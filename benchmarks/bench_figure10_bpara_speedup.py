@@ -1,0 +1,32 @@
+"""Figure 10 — speedup of B-Para with respect to the sequential BFS.
+
+Shapes asserted (paper §5.1): speedups grow with workers and are
+*superlinear* on the memory-bound random posets (partitioning removes the
+GC pressure on top of the parallelism); the paper reports up to ~11× with
+8 threads.
+"""
+
+from repro.experiments import figure10
+from repro.experiments.config import FIGURE10_BENCHMARKS
+
+
+def test_figure10(benchmark, artifact_sink):
+    curves = benchmark.pedantic(
+        figure10.run, args=(FIGURE10_BENCHMARKS,), rounds=1, iterations=1
+    )
+    artifact_sink("figure10", figure10.render(curves))
+    by_name = {c.benchmark: c for c in curves}
+    for name in FIGURE10_BENCHMARKS:
+        curve = by_name[name]
+        speedups = [curve.speedup(k) for k in (1, 2, 4, 8)]
+        assert all(s is not None for s in speedups), name
+        # monotone growth with worker count
+        assert speedups == sorted(speedups), name
+        # meaningful parallelism at 8 workers
+        assert speedups[-1] > 4.0, name
+    # superlinear speedup on at least the larger d-* posets
+    assert by_name["d-500"].speedup(8) > 8.0
+    assert by_name["d-10k"].speedup(8) > 8.0
+    # B-Para(1) already beats sequential BFS (the GC mechanism)
+    for name in ("d-300", "d-500", "d-10k"):
+        assert by_name[name].speedup(1) > 1.0, name

@@ -1,0 +1,27 @@
+"""Figure 11 — speedup of L-Para with respect to the sequential lexical
+algorithm.
+
+Shapes asserted (paper §5.1): near-parity (slightly better) at one worker
+— "L-Para can reduce 20% of the running time in average" — and 6–10× at 8
+workers for the well-partitioned posets.
+"""
+
+from repro.experiments import figure11
+from repro.experiments.config import FIGURE11_BENCHMARKS
+
+
+def test_figure11(benchmark, artifact_sink):
+    curves = benchmark.pedantic(
+        figure11.run, args=(FIGURE11_BENCHMARKS,), rounds=1, iterations=1
+    )
+    artifact_sink("figure11", figure11.render(curves))
+    by_name = {c.benchmark: c for c in curves}
+    for name in FIGURE11_BENCHMARKS:
+        curve = by_name[name]
+        speedups = [curve.speedup(k) for k in (1, 2, 4, 8)]
+        assert all(s is not None for s in speedups), name
+        assert speedups == sorted(speedups), name
+        # single worker: comparable to (or a bit better than) sequential
+        assert 0.75 <= speedups[0] <= 2.0, name
+        # 8 workers: the paper's 6-10x envelope, generously bounded
+        assert speedups[-1] > 4.0, name

@@ -1,0 +1,27 @@
+"""Figure 12 — memory usage of the lexical algorithm versus L-Para.
+
+Shape asserted: "for most of the benchmarks, the memory usage of ParaMount
+is identical to that of the original enumeration algorithm" — both are
+dominated by the input poset (plus runtime baseline); the BFS live set is
+what explodes instead.
+"""
+
+from repro.experiments import figure12
+from repro.workloads.registry import ENUMERATION_WORKLOADS
+
+NAMES = list(ENUMERATION_WORKLOADS)
+
+
+def test_figure12(benchmark, artifact_sink):
+    reports = benchmark.pedantic(figure12.run, args=(NAMES,), rounds=1, iterations=1)
+    artifact_sink("figure12", figure12.render(reports))
+    for lexical, lpara, bfs in reports:
+        # L-Para memory ≈ lexical memory (within 5%)
+        assert lpara.total_mb / lexical.total_mb < 1.05, lexical.benchmark
+        # lexical's live state is negligible
+        assert lexical.live_bytes < lexical.poset_bytes + lexical.baseline_bytes
+    # the o.o.m. posets show the BFS live-set blow-up
+    by_name = {lex.benchmark: (lex, lp, bfs) for lex, lp, bfs in reports}
+    for name in ("bank", "hedc", "elevator"):
+        lex, _, bfs = by_name[name]
+        assert bfs.live_bytes > 10 * lex.live_bytes, name

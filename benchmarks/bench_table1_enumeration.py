@@ -1,0 +1,45 @@
+"""Table 1 — enumeration running times.
+
+One benchmark per Table 1 row (the four enumeration runs over that poset),
+plus a final check that renders the whole table and asserts the paper's
+qualitative pattern: BFS o.o.m. on bank/hedc/elevator, B-Para(1) beating
+BFS, and L-Para speeding up with workers.
+"""
+
+import pytest
+
+from repro.experiments import table1
+from repro.experiments.common import measure_benchmark
+from repro.workloads.registry import ENUMERATION_WORKLOADS
+
+NAMES = list(ENUMERATION_WORKLOADS)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_measure_benchmark(benchmark, name):
+    """Times the four enumeration runs (BFS, B-Para, lexical, L-Para) for
+    one Table 1 benchmark; cached for the figure benches."""
+    result = benchmark.pedantic(measure_benchmark, args=(name,), rounds=1, iterations=1)
+    assert result.states > 0
+    assert result.seq_lexical.finished
+
+
+def test_render_table1(benchmark, artifact_sink):
+    rows = benchmark.pedantic(table1.run, args=(NAMES,), rounds=1, iterations=1)
+    artifact_sink("table1", table1.render(rows))
+    by_name = {r.name: r for r in rows}
+    # o.o.m. pattern matches the paper
+    for name in NAMES:
+        expected_oom = ENUMERATION_WORKLOADS[name].bfs_oom_expected
+        assert (by_name[name].bfs_seconds is None) == expected_oom, name
+    # B-Para completes everything, including the o.o.m. posets
+    for row in rows:
+        assert all(v > 0 for v in row.bpara_seconds.values())
+    # speedups grow with workers for the well-partitioned posets
+    for name in ("d-300", "d-500", "d-10k", "tsp", "hedc", "elevator"):
+        row = by_name[name]
+        assert row.lpara_seconds[8] < row.lpara_seconds[1]
+        assert row.lpara_speedup(8) > 3.0, name
+    # B-Para(1) is faster than sequential BFS where BFS finishes
+    for name in ("d-300", "d-500", "d-10k"):
+        assert by_name[name].bpara_speedup(1) > 1.0, name

@@ -1,0 +1,78 @@
+"""Table 2 — online data-race detection across the three detectors.
+
+One benchmark per program (timing the ParaMount detector, the paper's
+subject), plus a final render-and-check of the whole table: detection
+counts per tool must equal the paper's, RV must be the slowest general
+detector, and its failure statuses (o.o.m. / exception) must land on the
+paper's benchmarks.
+"""
+
+import pytest
+
+from repro.detector import FastTrackDetector, ParaMountDetector, RVRuntimeDetector
+from repro.experiments import table2
+from repro.workloads.registry import DETECTION_WORKLOADS
+
+NAMES = list(DETECTION_WORKLOADS)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_paramount_detection(benchmark, name):
+    """Wall-clock of the ParaMount online detector on one benchmark."""
+    workload = DETECTION_WORKLOADS[name]
+    trace = workload.trace()
+
+    def run():
+        return ParaMountDetector().run(trace, workload.benign_vars)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.num_detections == workload.expected.paramount
+
+
+@pytest.mark.parametrize("name", ["banking", "set (faulty)", "sor"])
+def test_rv_runtime_detection(benchmark, name):
+    """Wall-clock of the RV baseline where it completes."""
+    workload = DETECTION_WORKLOADS[name]
+    trace = workload.trace()
+
+    def run():
+        return RVRuntimeDetector().run(trace, workload.benign_vars)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.status == "ok"
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_fasttrack_detection(benchmark, name):
+    """Wall-clock of FastTrack on one benchmark."""
+    workload = DETECTION_WORKLOADS[name]
+    trace = workload.trace()
+
+    def run():
+        return FastTrackDetector(trace.num_threads).run(trace, workload.benign_vars)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.num_detections == workload.expected.fasttrack
+
+
+def test_render_table2(benchmark, artifact_sink):
+    rows = benchmark.pedantic(table2.run, args=(NAMES,), rounds=1, iterations=1)
+    artifact_sink("table2", table2.render(rows))
+    by_name = {r.name: r for r in rows}
+    for name, workload in DETECTION_WORKLOADS.items():
+        row = by_name[name]
+        e = workload.expected
+        assert row.paramount.num_detections == e.paramount, name
+        assert row.fasttrack.num_detections == e.fasttrack, name
+        assert row.rv.status == e.rv_status, name
+        if e.rv_detections is not None:
+            assert row.rv.num_detections == e.rv_detections, name
+    # ParaMount is much faster than the RV baseline where RV completes
+    for name in ("banking", "set (faulty)", "set (correct)", "sor", "elevator"):
+        row = by_name[name]
+        assert row.rv.elapsed > row.paramount.elapsed, name
+    # elevator's base (sleep) time dominates all detectors, as in the paper
+    elevator = by_name["elevator"]
+    assert elevator.base_seconds > max(
+        elevator.paramount.elapsed, elevator.rv.elapsed, elevator.fasttrack.elapsed
+    )

@@ -1,0 +1,13 @@
+"""Table 3 — qualitative detector comparison (generated from code)."""
+
+from repro.experiments import table3
+
+
+def test_render_table3(benchmark, artifact_sink):
+    rows = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    artifact_sink("table3", table3.render(rows))
+    by_name = {r.detector: r for r in rows}
+    assert by_name["ParaMount"].enumeration == "Parallel"
+    assert by_name["ParaMount"].kind == "Online"
+    assert by_name["RV runtime (jPredictor)"].kind == "Offline"
+    assert by_name["FastTrack"].predicate_assumption == "Data races"

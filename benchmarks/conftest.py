@@ -1,0 +1,43 @@
+"""Benchmark-suite plumbing.
+
+Each bench regenerates one of the paper's tables/figures.  Rendered
+artifacts are printed to the terminal at the end of the session and also
+written under ``benchmarks/results/`` so EXPERIMENTS.md can be compared
+against a fresh run.
+
+The enumeration measurements are cached per process
+(:mod:`repro.experiments.common`), so the figure benches reuse Table 1's
+runs instead of re-enumerating.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_artifacts: dict = {}
+
+
+@pytest.fixture(scope="session")
+def artifact_sink():
+    """Collects rendered tables/figures; flushed at session end."""
+
+    def record(name: str, text: str) -> None:
+        _artifacts[name] = text
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _artifacts:
+        print("\n\n" + "=" * 72)
+        print("Regenerated paper artifacts (also in benchmarks/results/):")
+        print("=" * 72)
+        for name in sorted(_artifacts):
+            print()
+            print(_artifacts[name])

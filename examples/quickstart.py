@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: enumerate the consistent global states of a poset.
+
+Builds the running example of the paper (Figure 4: two threads, one
+cross-thread dependency), shows its vector clocks, enumerates all
+consistent global states three ways — sequential lexical, sequential BFS,
+and ParaMount over the interval partition — and prints the partition.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ParaMount, compute_intervals
+from repro.enumeration import BFSEnumerator, CollectingVisitor, LexicalEnumerator
+from repro.poset import PosetBuilder, count_ideals
+
+
+def build_figure4_poset():
+    """The paper's Figure 4(a): thread 0 = t1, thread 1 = t2, and the
+    happened-before edge e2[1] → e1[2]."""
+    builder = PosetBuilder(2)
+    builder.append(1)  # e2[1]
+    builder.append(0)  # e1[1]
+    builder.append(0, deps=[(1, 1)])  # e1[2] requires e2[1]
+    builder.append(1)  # e2[2]
+    return builder.build()
+
+
+def main() -> None:
+    poset = build_figure4_poset()
+
+    print("Poset (paper Figure 4):")
+    for event in poset.events():
+        print(f"  {event}  vc={event.vc}")
+    print(f"  i(P) = {count_ideals(poset)} consistent global states\n")
+
+    # Sequential baselines --------------------------------------------------
+    lex = CollectingVisitor()
+    LexicalEnumerator(poset).enumerate(lex)
+    print(f"Lexical enumeration ({len(lex.cuts)} states, lex order):")
+    print(f"  {lex.cuts}\n")
+
+    bfs = CollectingVisitor()
+    result = BFSEnumerator(poset).enumerate(bfs)
+    print(
+        f"BFS enumeration: {result.states} states, "
+        f"peak {result.peak_live} intermediate states held\n"
+    )
+
+    # ParaMount -------------------------------------------------------------
+    print("ParaMount interval partition (Definition 2, Figure 6):")
+    for interval in compute_intervals(poset):
+        tag = " (owns the empty state)" if interval.owns_empty else ""
+        print(f"  I({interval.event}): [{interval.lo} .. {interval.hi}]{tag}")
+
+    pm = ParaMount(poset, subroutine="lexical")
+    states = CollectingVisitor()
+    result = pm.run(states)
+    print(
+        f"\nParaMount enumerated {result.states} states across "
+        f"{len(result.intervals)} intervals — exactly once each: "
+        f"{len(states.as_set()) == result.states}"
+    )
+
+
+if __name__ == "__main__":
+    main()

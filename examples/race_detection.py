@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Predictive data-race detection on the banking benchmark.
+
+Runs the Table 2 ``banking`` program once under the simulated runtime,
+then feeds the single observed trace to the three detectors:
+
+* the ParaMount online-and-parallel predicate detector (the paper's),
+* the RV-runtime-style offline BFS baseline,
+* FastTrack.
+
+The race on the unlocked ``audit`` counter is found by all three — even
+when the observed schedule happened to serialize the conflicting accesses,
+because predicate detection *predicts* the alternative schedules from the
+happened-before poset rather than re-running the program.
+
+Run:  python examples/race_detection.py
+"""
+
+from repro.detector import FastTrackDetector, ParaMountDetector, RVRuntimeDetector
+from repro.workloads.registry import DETECTION_WORKLOADS
+
+
+def describe(report) -> None:
+    print(f"{report.detector}:")
+    print(f"  status:            {report.status}")
+    print(f"  wall time:         {report.elapsed * 1000:.2f} ms")
+    if report.poset_events:
+        print(f"  poset events:      {report.poset_events}")
+    if report.states_enumerated:
+        print(f"  states enumerated: {report.states_enumerated}")
+    if report.racy_vars:
+        for var in report.sorted_vars():
+            race = report.races[var]
+            benign = " (benign)" if race.benign else ""
+            print(
+                f"  RACE on {var!r}: thread {race.first[0]} {race.first[1]} vs "
+                f"thread {race.second[0]} {race.second[1]}{benign}"
+            )
+    else:
+        print("  no races reported")
+    print()
+
+
+def main() -> None:
+    workload = DETECTION_WORKLOADS["banking"]
+    trace = workload.trace()
+    print(
+        f"Observed one execution of {workload.name!r}: "
+        f"{trace.num_threads} threads, {len(trace.ops)} operations, "
+        f"{len(trace.variables())} shared variables\n"
+    )
+    describe(ParaMountDetector().run(trace, workload.benign_vars))
+    describe(RVRuntimeDetector().run(trace, workload.benign_vars))
+    describe(FastTrackDetector(trace.num_threads).run(trace, workload.benign_vars))
+
+
+if __name__ == "__main__":
+    main()

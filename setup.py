@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed editable on machines without the ``wheel`` package
+(PEP 660 editable installs require building a wheel).
+"""
+from setuptools import setup
+
+setup()

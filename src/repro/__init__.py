@@ -1,0 +1,47 @@
+"""ParaMount: parallel and online enumeration of consistent global states.
+
+A reproduction of Chang & Garg, *"A Parallel Algorithm for Global States
+Enumeration in Concurrent Systems"* (PPoPP 2015).  See ``README.md`` for a
+tour and ``DESIGN.md`` for the system inventory.
+
+The most commonly used entry points are re-exported here:
+
+>>> from repro import ParaMount, PosetBuilder
+>>> b = PosetBuilder(2)
+>>> _ = b.append(0); _ = b.append(1, deps=[(0, 1)])
+>>> ParaMount(b.build()).run().states
+3
+"""
+
+from repro.core.online import OnlineParaMount
+from repro.core.paramount import ParaMount
+from repro.detector.fasttrack import FastTrackDetector
+from repro.detector.paramount_detector import ParaMountDetector
+from repro.detector.rv_runtime import RVRuntimeDetector
+from repro.enumeration.base import CollectingVisitor
+from repro.enumeration.bfs import BFSEnumerator
+from repro.enumeration.lexical import LexicalEnumerator
+from repro.poset.builder import PosetBuilder
+from repro.poset.ideals import count_ideals
+from repro.poset.poset import Poset
+from repro.runtime.program import Program
+from repro.runtime.scheduler import run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Poset",
+    "PosetBuilder",
+    "count_ideals",
+    "BFSEnumerator",
+    "LexicalEnumerator",
+    "CollectingVisitor",
+    "ParaMount",
+    "OnlineParaMount",
+    "Program",
+    "run_program",
+    "ParaMountDetector",
+    "RVRuntimeDetector",
+    "FastTrackDetector",
+]

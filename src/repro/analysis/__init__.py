@@ -1,0 +1,30 @@
+"""Analysis and reporting: speedup computation on the simulated parallel
+machine, the memory model behind Figure 12, lattice profiling and
+rendering, and text renderers for the paper's tables and figures."""
+
+from repro.analysis.hasse import hasse_edges, lattice_levels, render_lattice
+from repro.analysis.memory import MemoryModel, MemoryReport
+from repro.analysis.profile import LatticeProfile, profile_poset, render_profile
+from repro.analysis.speedup import (
+    EnumerationMeasurement,
+    SpeedupCurve,
+    measure_paramount,
+    measure_sequential,
+    speedup_curve,
+)
+
+__all__ = [
+    "EnumerationMeasurement",
+    "SpeedupCurve",
+    "measure_sequential",
+    "measure_paramount",
+    "speedup_curve",
+    "MemoryModel",
+    "MemoryReport",
+    "LatticeProfile",
+    "profile_poset",
+    "render_profile",
+    "lattice_levels",
+    "hasse_edges",
+    "render_lattice",
+]

@@ -1,0 +1,78 @@
+"""Text rendering of small global-state lattices.
+
+Debugging aid used by the examples and docs: prints the lattice of
+consistent cuts level by level (a level = number of executed events, the
+paper's Figure 2(b)/4(c) layout rotated), optionally marking the states
+that satisfy a predicate.  Intended for posets with at most a few hundred
+states — render anything bigger with statistics, not pictures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.enumeration.lexical import LexicalEnumerator
+from repro.poset.lattice import consistent_successors
+from repro.poset.poset import Poset
+from repro.types import Cut
+
+__all__ = ["lattice_levels", "hasse_edges", "render_lattice"]
+
+#: Refuse to render lattices bigger than this (use statistics instead).
+MAX_RENDER_STATES = 2000
+
+
+def lattice_levels(poset: Poset) -> Dict[int, List[Cut]]:
+    """Consistent cuts grouped by level (= number of executed events)."""
+    levels: Dict[int, List[Cut]] = {}
+
+    def visit(cut: Cut) -> None:
+        levels.setdefault(sum(cut), []).append(cut)
+
+    result = LexicalEnumerator(poset).enumerate(visit)
+    if result.states > MAX_RENDER_STATES:  # pragma: no cover - guard
+        raise ValueError(
+            f"lattice has {result.states} states; too large to render"
+        )
+    for cuts in levels.values():
+        cuts.sort()
+    return levels
+
+
+def hasse_edges(poset: Poset) -> List[Tuple[Cut, Cut]]:
+    """Covering pairs of the lattice: ``(G, G')`` with ``G'`` one event
+    above ``G`` (the arrows of the paper's Figure 2(b))."""
+    edges: List[Tuple[Cut, Cut]] = []
+
+    def visit(cut: Cut) -> None:
+        for succ in consistent_successors(poset, cut):
+            edges.append((cut, succ))
+
+    LexicalEnumerator(poset).enumerate(visit)
+    return edges
+
+
+def render_lattice(
+    poset: Poset,
+    mark: Optional[Callable[[Cut], bool]] = None,
+    label: str = "*",
+) -> str:
+    """Render the lattice bottom-up, one level per line.
+
+    ``mark`` flags states (e.g. predicate witnesses) with ``label``::
+
+        level 0:  (0,0)
+        level 1:  (0,1)  (1,0)
+        level 2:  (1,1)* (0,2)
+    """
+    levels = lattice_levels(poset)
+    lines: List[str] = []
+    for level in sorted(levels):
+        cells = []
+        for cut in levels[level]:
+            text = "(" + ",".join(str(c) for c in cut) + ")"
+            if mark is not None and mark(cut):
+                text += label
+            cells.append(text)
+        lines.append(f"level {level:>2}:  " + "  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Lattice and partition profiling.
+
+``repro-tools profile`` and the ablation benches use this to answer "what
+does this poset's lattice look like, and how well will ParaMount's
+partition parallelize it?" without eyeballing raw numbers:
+
+* lattice shape: state count, level count, widest level (the BFS memory
+  driver);
+* partition shape: interval-size distribution, load imbalance, and the
+  modeled speedups at the paper's worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.paramount import ParaMount
+from repro.core.simulated import CostModel, simulate_schedule
+from repro.enumeration.bfs import BFSEnumerator
+from repro.poset.poset import Poset
+from repro.util.cuts import zero_cut
+from repro.util.stats import Summary, summarize
+from repro.util.tables import TextTable
+
+__all__ = ["LatticeProfile", "profile_poset", "render_profile"]
+
+
+@dataclass(frozen=True)
+class LatticeProfile:
+    """Shape summary of one poset's lattice and its ParaMount partition."""
+
+    threads: int
+    events: int
+    states: int
+    levels: int
+    max_level_width: int
+    interval_sizes: Summary
+    load_imbalance: float
+    modeled_speedup: Dict[int, float]
+
+
+def profile_poset(
+    poset: Poset,
+    cost_model: Optional[CostModel] = None,
+    worker_counts: Sequence[int] = (1, 2, 4, 8),
+) -> LatticeProfile:
+    """Profile the lattice (full enumeration — size the poset accordingly)."""
+    model = cost_model if cost_model is not None else CostModel()
+    widths = BFSEnumerator(poset).level_widths(
+        zero_cut(poset.num_threads), poset.lengths
+    )
+    result = ParaMount(poset).run()
+    tasks = [model.task_seconds(s.work, s.peak_live) for s in result.intervals]
+    serial = sum(tasks)
+    speedups = {
+        k: (serial / simulate_schedule(tasks, k).makespan if tasks else 1.0)
+        for k in worker_counts
+    }
+    return LatticeProfile(
+        threads=poset.num_threads,
+        events=poset.num_events,
+        states=result.states,
+        levels=len(widths),
+        max_level_width=max(widths) if widths else 0,
+        interval_sizes=summarize(
+            [s.states for s in result.intervals] or [0]
+        ),
+        load_imbalance=result.load_imbalance(),
+        modeled_speedup=speedups,
+    )
+
+
+def render_profile(profile: LatticeProfile, title: str = "Lattice profile") -> str:
+    """Render a profile as a two-column table."""
+    table = TextTable(["metric", "value"], title=title)
+    table.add_row(["threads (n)", profile.threads])
+    table.add_row(["events |E|", profile.events])
+    table.add_row(["global states i(P)", profile.states])
+    table.add_row(["lattice levels", profile.levels])
+    table.add_row(["widest level", profile.max_level_width])
+    s = profile.interval_sizes
+    table.add_row(
+        ["interval sizes", f"mean {s.mean:.1f}, min {s.minimum:.0f}, max {s.maximum:.0f}"]
+    )
+    table.add_row(["load imbalance", f"{profile.load_imbalance:.2f}"])
+    for k in sorted(profile.modeled_speedup):
+        table.add_row([f"modeled speedup ({k}w)", f"{profile.modeled_speedup[k]:.2f}x"])
+    return table.render()

@@ -1,0 +1,161 @@
+"""Speedup measurement pipeline for Tables 1 and Figures 10–11.
+
+The pipeline measures each benchmark once per algorithm and replays the
+metered costs through the simulated k-worker machine (DESIGN.md §3):
+
+1. :func:`measure_sequential` runs the sequential baseline (BFS or
+   lexical) over the whole lattice, metering work and live state;
+2. :func:`measure_paramount` runs ParaMount serially, metering the same
+   quantities *per interval*;
+3. :func:`speedup_curve` converts both into modeled seconds via the
+   :class:`~repro.core.simulated.CostModel` and greedy-schedules the
+   intervals on 1, 2, 4, 8 workers — the paper's thread counts.
+
+Wall-clock time of the actual (GIL-serialized) runs is also recorded so
+the reports can show both numbers side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.paramount import ParaMount
+from repro.core.simulated import CostModel, simulate_schedule
+from repro.enumeration.base import make_enumerator
+from repro.errors import OutOfMemoryError
+from repro.poset.poset import Poset
+from repro.util.timing import Stopwatch
+
+__all__ = [
+    "EnumerationMeasurement",
+    "SpeedupCurve",
+    "measure_sequential",
+    "measure_paramount",
+    "speedup_curve",
+    "WORKER_COUNTS",
+]
+
+#: The paper's evaluated worker counts.
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass
+class EnumerationMeasurement:
+    """Metered outcome of one enumeration run (sequential or partitioned)."""
+
+    algorithm: str
+    states: int
+    work: int
+    peak_live: int
+    wall_time: float
+    #: Per-interval (work, peak_live) pairs; empty for sequential runs.
+    interval_costs: List[tuple]
+    #: Set when the run aborted on the modeled memory budget.
+    oom: bool = False
+
+    @property
+    def finished(self) -> bool:
+        """True when the run completed (no o.o.m.)."""
+        return not self.oom
+
+
+def measure_sequential(
+    poset: Poset, algorithm: str, memory_budget: Optional[int] = None
+) -> EnumerationMeasurement:
+    """Run a sequential enumerator over the full lattice and meter it."""
+    enumerator = make_enumerator(algorithm, poset, memory_budget=memory_budget)
+    with Stopwatch() as sw:
+        try:
+            result = enumerator.enumerate()
+            oom = False
+        except OutOfMemoryError:
+            result = None
+            oom = True
+    if oom:
+        return EnumerationMeasurement(
+            algorithm=algorithm,
+            states=0,
+            work=0,
+            peak_live=memory_budget or 0,
+            wall_time=sw.elapsed,
+            interval_costs=[],
+            oom=True,
+        )
+    return EnumerationMeasurement(
+        algorithm=algorithm,
+        states=result.states,
+        work=result.work,
+        peak_live=result.peak_live,
+        wall_time=sw.elapsed,
+        interval_costs=[],
+    )
+
+
+def measure_paramount(
+    poset: Poset, subroutine: str, memory_budget: Optional[int] = None
+) -> EnumerationMeasurement:
+    """Run ParaMount (serially) and meter every interval's cost.
+
+    Partitioning bounds each interval's live state, so B-Para completes
+    benchmarks the sequential BFS cannot — the paper's Table 1 pattern.
+    """
+    pm = ParaMount(poset, subroutine=subroutine, memory_budget=memory_budget)
+    result = pm.run()
+    return EnumerationMeasurement(
+        algorithm=f"{subroutine}-para",
+        states=result.states,
+        work=result.work,
+        peak_live=result.peak_live,
+        wall_time=result.wall_time,
+        interval_costs=[(s.work, s.peak_live) for s in result.intervals],
+    )
+
+
+@dataclass
+class SpeedupCurve:
+    """Modeled times and speedups across worker counts for one benchmark."""
+
+    benchmark: str
+    algorithm: str
+    sequential_seconds: Optional[float]
+    parallel_seconds: Dict[int, float]
+
+    def speedup(self, workers: int) -> Optional[float]:
+        """Modeled speedup over the sequential baseline (None if the
+        baseline could not finish — the paper leaves those cells blank)."""
+        if self.sequential_seconds is None:
+            return None
+        return self.sequential_seconds / self.parallel_seconds[workers]
+
+    def speedups(self) -> Dict[int, Optional[float]]:
+        """Speedup per worker count."""
+        return {k: self.speedup(k) for k in self.parallel_seconds}
+
+
+def speedup_curve(
+    benchmark: str,
+    sequential: EnumerationMeasurement,
+    partitioned: EnumerationMeasurement,
+    cost_model: Optional[CostModel] = None,
+    worker_counts: Sequence[int] = WORKER_COUNTS,
+) -> SpeedupCurve:
+    """Build the modeled speedup curve from two measurements."""
+    model = cost_model if cost_model is not None else CostModel()
+    seq_seconds = (
+        model.sequential_seconds(sequential.work, sequential.peak_live)
+        if sequential.finished
+        else None
+    )
+    task_seconds = [
+        model.task_seconds(work, live) for work, live in partitioned.interval_costs
+    ]
+    parallel = {
+        k: simulate_schedule(task_seconds, k).makespan for k in worker_counts
+    }
+    return SpeedupCurve(
+        benchmark=benchmark,
+        algorithm=partitioned.algorithm,
+        sequential_seconds=seq_seconds,
+        parallel_seconds=parallel,
+    )

@@ -1,0 +1,47 @@
+"""ParaMount — the paper's contribution (§3–§4).
+
+* :mod:`repro.core.intervals` — the interval partition: ``Gmin(e)`` from
+  vector clocks, ``Gbnd(e)`` from the total order ``→p`` (Definition 1),
+  and ``I(e)`` (Definition 2);
+* :mod:`repro.core.bounded` — Algorithm 2, bounded enumeration of one
+  interval via any sequential subroutine (lexical or BFS);
+* :mod:`repro.core.paramount` — Algorithm 1, the offline parallel driver;
+* :mod:`repro.core.online` — Algorithm 4, the online worker driven by a
+  live event stream;
+* :mod:`repro.core.executors` — serial / thread-pool / process-pool
+  backends;
+* :mod:`repro.core.simulated` — the deterministic parallel-machine cost
+  model used to regenerate the paper's speedup figures on a GIL-bound
+  single-core interpreter (see DESIGN.md §3);
+* :mod:`repro.core.metrics` — per-interval statistics.
+"""
+
+from repro.core.bounded import bounded_enumeration
+from repro.core.executors import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from repro.core.intervals import Interval, compute_intervals, interval_of_cut
+from repro.core.metrics import IntervalStats, ParaMountResult
+from repro.core.online import OnlineParaMount
+from repro.core.paramount import ParaMount
+from repro.core.simulated import CostModel, simulate_schedule
+
+__all__ = [
+    "Interval",
+    "compute_intervals",
+    "interval_of_cut",
+    "bounded_enumeration",
+    "ParaMount",
+    "OnlineParaMount",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "CostModel",
+    "simulate_schedule",
+    "IntervalStats",
+    "ParaMountResult",
+]

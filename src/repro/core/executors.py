@@ -1,0 +1,102 @@
+"""Execution backends for ParaMount workers.
+
+The paper runs one Java thread per worker pulling events off the total
+order (Algorithm 1).  We provide:
+
+* :class:`SerialExecutor` — run interval tasks in ``→p`` order on the
+  calling thread (the baseline, and the engine underneath the simulated
+  parallel machine);
+* :class:`ThreadExecutor` — a real shared-memory thread pool.  Functionally
+  identical to the paper's setup; on CPython the GIL serializes the compute
+  so it demonstrates correctness under concurrency, not speedup (the
+  speedup experiments use :mod:`repro.core.simulated` — DESIGN.md §3);
+* :class:`ProcessExecutor` — a process pool for true parallelism when the
+  per-task payload is picklable (no shared visitor callbacks).
+
+All executors preserve task order in the returned list, so per-interval
+statistics line up with the ``→p`` order regardless of backend.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from abc import ABC, abstractmethod
+from typing import Callable, List, Sequence, TypeVar
+
+__all__ = ["Executor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor"]
+
+T = TypeVar("T")
+
+
+class Executor(ABC):
+    """Maps a list of zero-argument tasks to their results, order-preserving."""
+
+    #: Short backend name used in experiment tables.
+    name: str = "abstract"
+
+    def __init__(self, num_workers: int = 1):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be ≥ 1, got {num_workers}")
+        #: Worker count (the paper's "number of threads").
+        self.num_workers = num_workers
+
+    @abstractmethod
+    def map_tasks(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        """Run all tasks; return results in task order."""
+
+
+class SerialExecutor(Executor):
+    """Run tasks one after another on the calling thread."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        super().__init__(num_workers=1)
+
+    def map_tasks(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        return [task() for task in tasks]
+
+
+class ThreadExecutor(Executor):
+    """A real thread pool (``concurrent.futures.ThreadPoolExecutor``).
+
+    Visitors invoked from tasks run concurrently: callers must pass
+    thread-safe visitors (the detector's predicate evaluators take a lock
+    or use thread-local accumulation).
+    """
+
+    name = "threads"
+
+    def map_tasks(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        if not tasks:
+            return []
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.num_workers
+        ) as pool:
+            futures = [pool.submit(task) for task in tasks]
+            return [f.result() for f in futures]
+
+
+class ProcessExecutor(Executor):
+    """A process pool for GIL-free parallelism.
+
+    Tasks must be picklable top-level callables; enumeration visitors
+    cannot cross the process boundary, so this backend suits counting and
+    self-contained predicate evaluation (the task returns its findings).
+    Worker count defaults to the machine's CPU count.
+    """
+
+    name = "processes"
+
+    def __init__(self, num_workers: int = 0):
+        super().__init__(num_workers=num_workers or os.cpu_count() or 1)
+
+    def map_tasks(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        if not tasks:
+            return []
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.num_workers
+        ) as pool:
+            futures = [pool.submit(task) for task in tasks]
+            return [f.result() for f in futures]

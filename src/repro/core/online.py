@@ -1,0 +1,139 @@
+"""The online ParaMount worker — the paper's Algorithm 4.
+
+Events arrive one at a time while the monitored program runs.  Each
+insertion happens inside one critical section that (a) appends the event to
+the poset, (b) reads ``Gmin(e)`` off the event's clock, and (c) snapshots
+the per-thread maxima as ``Gbnd(e)`` — the builder's
+:meth:`~repro.poset.builder.PosetBuilder.append_stamped` is exactly that
+atomic block.  The interval ``I(e)`` is then enumerated *outside* the
+critical section, possibly concurrently with further insertions and other
+interval enumerations (Theorem 3: an enumeration bounded by ``Gbnd(e)``
+never looks at events inserted later, so there is no interference).
+
+Because the insertion order is, by construction, a linear extension of
+happened-before (the builder rejects anything else), the online intervals
+partition the lattice of the final poset exactly as in the offline case —
+the equivalence the tests check.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+from repro.core.bounded import bounded_enumeration, make_bounded_subroutine
+from repro.core.intervals import Interval
+from repro.core.metrics import IntervalStats, ParaMountResult
+from repro.poset.builder import PosetBuilder
+from repro.poset.event import Event
+from repro.poset.poset import Poset
+from repro.types import Cut
+from repro.util.cuts import zero_cut
+
+__all__ = ["OnlineParaMount"]
+
+#: Callback invoked per enumerated state: ``(cut, triggering_event)``.
+OnlineVisitor = Callable[[Cut, Event], None]
+
+
+class OnlineParaMount:
+    """Online, parallel enumeration of global states from a live event feed.
+
+    Parameters
+    ----------
+    num_threads:
+        Width of the monitored computation.
+    subroutine:
+        Bounded sequential subroutine (``"lexical"`` by default, as in the
+        paper's online detector, or ``"bfs"``/``"dfs"``).
+    on_state:
+        Optional callback invoked for every enumerated global state with
+        the cut and the event whose interval produced it — this is where a
+        predicate detector plugs in (paper Figure 7).  When insertions come
+        from multiple threads the callback must be thread-safe (pass
+        ``synchronized=True`` to get a built-in mutex).
+    synchronized:
+        Wrap ``on_state`` and the statistics in a mutex so :meth:`insert`
+        may be called from concurrently running threads.
+    memory_budget:
+        Per-interval cap on live intermediate states.
+    """
+
+    def __init__(
+        self,
+        num_threads: int,
+        subroutine: str = "lexical",
+        on_state: Optional[OnlineVisitor] = None,
+        synchronized: bool = False,
+        memory_budget: Optional[int] = None,
+    ):
+        self.builder = PosetBuilder(num_threads)
+        self._view = self.builder.view()
+        self._subroutine = make_bounded_subroutine(
+            subroutine, self._view, memory_budget=memory_budget
+        )
+        self._on_state = on_state
+        self._stats_lock = threading.Lock() if synchronized else None
+        self._visit_lock = threading.Lock() if synchronized else None
+        self._result = ParaMountResult()
+        self._intervals: List[Interval] = []
+
+    @property
+    def num_threads(self) -> int:
+        """Width of the monitored computation."""
+        return self.builder.num_threads
+
+    def insert(self, event: Event) -> IntervalStats:
+        """Insert one event and enumerate its interval ``I(e)``.
+
+        Returns the interval's statistics.  May be called concurrently from
+        many threads when constructed with ``synchronized=True`` — the
+        paper's detector calls it from the thread that just executed the
+        event ("no additional threads are spawned for ParaMount", §5.2).
+        """
+        gbnd = self.builder.append_stamped(event)  # Algorithm 4 lines 1–5
+        owns_empty = sum(gbnd) == 1  # first event in →p owns the empty state
+        interval = Interval(
+            event=event.eid,
+            lo=zero_cut(self.num_threads) if owns_empty else event.vc,
+            hi=gbnd,
+            owns_empty=owns_empty,
+        )
+        visit = None
+        if self._on_state is not None:
+            on_state = self._on_state
+            if self._visit_lock is not None:
+                lock = self._visit_lock
+
+                def visit(cut: Cut) -> None:
+                    with lock:
+                        on_state(cut, event)
+
+            else:
+
+                def visit(cut: Cut) -> None:
+                    on_state(cut, event)
+
+        stats = bounded_enumeration(self._subroutine, interval, visit)
+        if self._stats_lock is not None:
+            with self._stats_lock:
+                self._result.add_interval(stats)
+                self._intervals.append(interval)
+        else:
+            self._result.add_interval(stats)
+            self._intervals.append(interval)
+        return stats
+
+    @property
+    def result(self) -> ParaMountResult:
+        """Aggregate statistics over all intervals enumerated so far."""
+        return self._result
+
+    @property
+    def intervals(self) -> List[Interval]:
+        """The intervals processed so far, in insertion order."""
+        return list(self._intervals)
+
+    def snapshot_poset(self) -> Poset:
+        """Freeze the poset built so far (e.g. at program termination)."""
+        return self.builder.build()

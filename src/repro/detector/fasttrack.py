@@ -1,0 +1,206 @@
+"""FastTrack — epoch-based dynamic race detection (Flanagan & Freund 2009).
+
+Reimplemented from the published algorithm: per-thread vector clocks
+``C_t``, per-lock clocks ``L_m``, and per-variable *epochs* — a write epoch
+``W_x`` and an adaptive read state ``R_x`` that is an epoch while reads are
+totally ordered and inflates to a full vector clock when reads become
+concurrent (the READ SHARE transition).  The seven access rules below are
+the paper's, including the O(1) fast paths that give the tool its name:
+
+* READ SAME EPOCH, READ EXCLUSIVE, READ SHARE, READ SHARED;
+* WRITE SAME EPOCH, WRITE EXCLUSIVE, WRITE SHARED (which discards the
+  shared read set after checking it).
+
+FastTrack analyzes only the observed order (no enumeration of global
+states — Table 3) and reports at most one race per variable.  It treats
+initialization writes like any other write, which is exactly why it
+reports the benign init race in ``set (correct)`` that the ParaMount
+detector filters out (paper §5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.detector.report import DetectionReport, RaceRecord
+from repro.runtime.trace import Trace
+from repro.util.timing import Stopwatch
+
+__all__ = ["FastTrackDetector"]
+
+#: An epoch ``c@t`` is stored as ``(clock, tid)``.
+Epoch = Tuple[int, int]
+
+
+class _VarState:
+    """Per-variable FastTrack state."""
+
+    __slots__ = ("write_epoch", "read_epoch", "read_vc")
+
+    def __init__(self) -> None:
+        self.write_epoch: Optional[Epoch] = None
+        self.read_epoch: Optional[Epoch] = None
+        #: Non-None iff the variable is in the shared-read regime.
+        self.read_vc: Optional[List[int]] = None
+
+
+class FastTrackDetector:
+    """Online race detection over a trace (one pass, no enumeration)."""
+
+    name = "FastTrack"
+
+    def __init__(self, num_threads: int):
+        self.n = num_threads
+        self._C: List[List[int]] = [[0] * num_threads for _ in range(num_threads)]
+        for t in range(num_threads):
+            self._C[t][t] = 1  # threads start at epoch 1@t, per the paper
+        self._L: Dict[str, List[int]] = {}
+        self._vars: Dict[str, _VarState] = {}
+
+    # ------------------------------------------------------------------ #
+    # public API
+
+    def run(self, trace: Trace, benign_vars: frozenset = frozenset()) -> DetectionReport:
+        """Process a whole trace; return the detection report."""
+        report = DetectionReport(detector=self.name, benchmark=trace.program_name)
+        with Stopwatch() as sw:
+            for op in trace:
+                kind = op.kind
+                if kind == "read":
+                    self._read(op.tid, op.obj, op.is_init, benign_vars, report)
+                elif kind == "write":
+                    self._write(op.tid, op.obj, op.is_init, benign_vars, report)
+                elif kind == "acquire" or kind == "wait":
+                    self._acquire(op.tid, op.obj)
+                elif kind == "release":
+                    self._release(op.tid, op.obj)
+                elif kind == "fork":
+                    self._fork(op.tid, op.target)
+                elif kind == "join":
+                    self._join(op.tid, op.target)
+                # notify / thread_start / thread_end: no clock action (the
+                # wakeup ordering flows through the monitor's release/wait).
+        report.elapsed = sw.elapsed
+        return report
+
+    # ------------------------------------------------------------------ #
+    # clock rules
+
+    def _lock(self, name: str) -> List[int]:
+        vc = self._L.get(name)
+        if vc is None:
+            vc = self._L[name] = [0] * self.n
+        return vc
+
+    def _acquire(self, t: int, m: str) -> None:
+        ct = self._C[t]
+        for k, x in enumerate(self._lock(m)):
+            if x > ct[k]:
+                ct[k] = x
+
+    def _release(self, t: int, m: str) -> None:
+        lm = self._lock(m)
+        lm[:] = self._C[t]
+        self._C[t][t] += 1  # advance the releaser's epoch
+
+    def _fork(self, t: int, u: int) -> None:
+        cu = self._C[u]
+        for k, x in enumerate(self._C[t]):
+            if x > cu[k]:
+                cu[k] = x
+        self._C[t][t] += 1
+
+    def _join(self, t: int, u: int) -> None:
+        ct = self._C[t]
+        for k, x in enumerate(self._C[u]):
+            if x > ct[k]:
+                ct[k] = x
+        self._C[u][u] += 1
+
+    # ------------------------------------------------------------------ #
+    # access rules
+
+    def _state(self, var: str) -> _VarState:
+        st = self._vars.get(var)
+        if st is None:
+            st = self._vars[var] = _VarState()
+        return st
+
+    def _read(
+        self, t: int, var: str, is_init: bool, benign: frozenset, report: DetectionReport
+    ) -> None:
+        st = self._state(var)
+        ct = self._C[t]
+        epoch = (ct[t], t)
+        if st.read_epoch == epoch:
+            return  # READ SAME EPOCH
+        if st.read_vc is not None and st.read_vc[t] == ct[t]:
+            return  # READ SHARED same epoch
+        w = st.write_epoch
+        if w is not None and w[0] > ct[w[1]]:
+            report.record(
+                RaceRecord(
+                    var=var,
+                    first=(w[1], "write"),
+                    second=(t, "read"),
+                    benign=var in benign,
+                )
+            )
+        if st.read_vc is not None:
+            st.read_vc[t] = ct[t]  # READ SHARED
+        else:
+            r = st.read_epoch
+            if r is None or r[0] <= ct[r[1]]:
+                st.read_epoch = epoch  # READ EXCLUSIVE
+            else:
+                # READ SHARE: inflate to a vector clock.
+                vc = [0] * self.n
+                vc[r[1]] = r[0]
+                vc[t] = ct[t]
+                st.read_vc = vc
+                st.read_epoch = None
+
+    def _write(
+        self, t: int, var: str, is_init: bool, benign: frozenset, report: DetectionReport
+    ) -> None:
+        st = self._state(var)
+        ct = self._C[t]
+        epoch = (ct[t], t)
+        if st.write_epoch == epoch:
+            return  # WRITE SAME EPOCH
+        w = st.write_epoch
+        if w is not None and w[0] > ct[w[1]]:
+            report.record(
+                RaceRecord(
+                    var=var,
+                    first=(w[1], "write"),
+                    second=(t, "write"),
+                    benign=var in benign,
+                )
+            )
+        if st.read_vc is not None:
+            # WRITE SHARED: check the whole read set, then discard it.
+            for u, ru in enumerate(st.read_vc):
+                if ru > ct[u]:
+                    report.record(
+                        RaceRecord(
+                            var=var,
+                            first=(u, "read"),
+                            second=(t, "write"),
+                            benign=var in benign,
+                        )
+                    )
+                    break
+            st.read_vc = None
+        else:
+            r = st.read_epoch
+            if r is not None and r[0] > ct[r[1]]:
+                report.record(
+                    RaceRecord(
+                        var=var,
+                        first=(r[1], "read"),
+                        second=(t, "write"),
+                        benign=var in benign,
+                    )
+                )
+        st.write_epoch = epoch

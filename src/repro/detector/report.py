@@ -1,0 +1,67 @@
+"""Detection reports shared by all three detectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["RaceRecord", "DetectionReport"]
+
+#: Detector completion statuses (Table 2's outcome vocabulary).
+STATUS_OK = "ok"
+STATUS_OOM = "o.o.m."
+STATUS_EXCEPTION = "exception"
+
+
+@dataclass(frozen=True)
+class RaceRecord:
+    """One reported data race: a conflicting concurrent access pair.
+
+    ``first``/``second`` identify the two accesses as ``(tid, op)`` pairs;
+    ``benign`` marks races the reproduction knows to be benign (driver
+    variables, initialization) so the tests can check Table 2's footnotes.
+    """
+
+    var: str
+    first: Tuple[int, str]
+    second: Tuple[int, str]
+    benign: bool = False
+
+
+@dataclass
+class DetectionReport:
+    """Outcome of one detector run on one benchmark."""
+
+    detector: str
+    benchmark: str
+    status: str = STATUS_OK
+    #: Variables with at least one reported race (the paper's "#Detection"
+    #: counts variables, not access pairs).
+    racy_vars: Set[str] = field(default_factory=set)
+    #: First reported race per variable.
+    races: Dict[str, RaceRecord] = field(default_factory=dict)
+    #: Wall-clock seconds of the detection run (monitor + enumeration +
+    #: predicate for the online tools; all passes for the offline one).
+    elapsed: float = 0.0
+    #: Global states enumerated (0 for FastTrack — no enumeration).
+    states_enumerated: int = 0
+    #: Events in the detector's poset (collections for ParaMount, raw
+    #: accesses for the RV baseline).
+    poset_events: int = 0
+    #: Failure detail for o.o.m. / exception outcomes.
+    error: Optional[str] = None
+
+    @property
+    def num_detections(self) -> int:
+        """Number of variables reported racy (Table 2 "#Detection")."""
+        return len(self.racy_vars)
+
+    def record(self, race: RaceRecord) -> None:
+        """Record a race, keeping only the first per variable."""
+        if race.var not in self.races:
+            self.races[race.var] = race
+        self.racy_vars.add(race.var)
+
+    def sorted_vars(self) -> List[str]:
+        """Reported variables in stable order."""
+        return sorted(self.racy_vars)

@@ -1,0 +1,42 @@
+"""Distributed-system simulation substrate.
+
+The paper's algorithms apply unchanged to distributed systems ("the term
+threads would mean threads in concurrent systems or processes in
+distributed systems", §1).  This package provides the distributed half of
+the runtime substrate: processes exchanging messages over FIFO channels,
+with Fidge/Mattern vector clocks piggybacked on every message — the
+textbook construction the paper's §2.2 summarizes.
+
+Contents:
+
+* :mod:`repro.distsim.simulator` — deterministic event-driven simulation
+  of message-passing processes (behaviors are generators yielding
+  ``Send``/``Receive``/``Internal`` actions);
+* :mod:`repro.distsim.monitor` — converts a simulation run into the poset
+  of events (send → receive edges, process order), ready for ParaMount;
+* :mod:`repro.distsim.snapshot` — the Chandy–Lamport snapshot algorithm
+  [3], whose recorded cut is validated against the enumerated lattice;
+* :mod:`repro.distsim.protocols` — classic workloads: token ring, ring
+  leader election, Ricart–Agrawala-style mutual exclusion, and a
+  diffusing-computation termination scenario.
+"""
+
+from repro.distsim.monitor import poset_from_run
+from repro.distsim.simulator import (
+    DistributedSystem,
+    Internal,
+    Receive,
+    Send,
+    SimulationRun,
+)
+from repro.distsim.snapshot import chandy_lamport_snapshot
+
+__all__ = [
+    "DistributedSystem",
+    "Send",
+    "Receive",
+    "Internal",
+    "SimulationRun",
+    "poset_from_run",
+    "chandy_lamport_snapshot",
+]

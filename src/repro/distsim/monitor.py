@@ -1,0 +1,47 @@
+"""Convert a distributed simulation run into a poset of events.
+
+The run's events already carry Fidge/Mattern clocks; this module groups
+them into per-process chains and freezes a :class:`~repro.poset.poset.Poset`
+whose insertion order is the execution order — a linear extension of
+happened-before (a receive always executes after its send), so the poset
+is directly consumable by offline *and* online ParaMount.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import List
+
+from repro.distsim.simulator import SimulationRun
+from repro.poset.event import Event
+from repro.poset.poset import Poset
+
+__all__ = ["poset_from_run", "events_from_run"]
+
+
+def events_from_run(run: SimulationRun) -> List[Event]:
+    """The run's events as poset events, in execution order."""
+    out: List[Event] = []
+    for de in run.events:
+        out.append(
+            Event(
+                tid=de.pid,
+                idx=de.idx,
+                vc=de.vc,
+                kind=de.kind,
+                obj=de.tag,
+            )
+        )
+    return out
+
+
+def poset_from_run(run: SimulationRun) -> Poset:
+    """Freeze the run into a poset (chains per process, recorded order)."""
+    events = events_from_run(run)
+    chains = defaultdict(list)
+    for e in events:
+        chains[e.tid].append(e)
+    return Poset(
+        [chains.get(p, []) for p in range(run.num_processes)],
+        insertion=[e.eid for e in events],
+    )

@@ -1,0 +1,167 @@
+"""Classic distributed protocols as simulation workloads.
+
+Each builder returns a list of process behaviors for
+:class:`~repro.distsim.simulator.DistributedSystem`.  They are the
+distributed analogues of the thread workloads: structured computations
+whose posets exercise enumeration and whose properties exercise predicate
+detection —
+
+* :func:`token_ring` — a token circulating ``rounds`` times (long causal
+  chains, tiny lattice);
+* :func:`ring_election` — Chang–Roberts leader election (data-dependent
+  message pattern);
+* :func:`dist_mutex` — token-based (safe) vs optimistic-grant (faulty)
+  distributed mutual exclusion; the faulty variant admits global states
+  with two processes in the critical section, caught by
+  :class:`~repro.predicates.mutual_exclusion.MutualExclusionPredicate`;
+* :func:`diffusing_work` — a diffusing computation for termination
+  detection: workers go passive, but in-flight messages make "all frontier
+  events passive" an *unsound* termination test — the classic pitfall the
+  :class:`~repro.predicates.termination.TerminationPredicate` fixes by
+  counting messages in the cut.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.distsim.simulator import Internal, Receive, Send
+
+__all__ = ["token_ring", "ring_election", "dist_mutex", "diffusing_work"]
+
+#: Tag of critical-section events (consumed by the mutex predicate).
+CS_TAG = "critical"
+#: Tag of passive events (consumed by the termination predicate).
+PASSIVE_TAG = "passive"
+
+
+def token_ring(n: int, rounds: int = 2) -> List[Callable]:
+    """A token circulates the ring ``rounds`` times, ending at process 0."""
+
+    def holder(ctx):
+        nxt = (ctx.pid + 1) % n
+        for r in range(rounds):
+            if not (ctx.pid == 0 and r == 0):
+                yield Receive()  # wait for the token
+            yield Internal("work")
+            yield Send(nxt, f"token-{r}", tag="token")
+        if ctx.pid == 0:
+            yield Receive()  # the token coming home after the last lap
+            yield Internal("done")
+
+    return [holder] * n
+
+
+def ring_election(n: int, ids: List[int]) -> List[Callable]:
+    """Chang–Roberts election on a unidirectional ring.
+
+    ``ids[p]`` is process ``p``'s (unique) candidate id.  Every process
+    learns the leader and terminates.
+    """
+    if len(set(ids)) != n:
+        raise ValueError("candidate ids must be unique")
+
+    def node(ctx):
+        my_id = ids[ctx.pid]
+        nxt = (ctx.pid + 1) % n
+        yield Send(nxt, my_id, tag="cand")
+        leader = False
+        while True:
+            msg = yield Receive()
+            if msg.tag == "cand":
+                if msg.payload > my_id:
+                    yield Send(nxt, msg.payload, tag="cand")
+                elif msg.payload == my_id:
+                    leader = True
+                    yield Internal("leader")
+                    yield Send(nxt, my_id, tag="elected")
+                # smaller candidates are swallowed
+            elif msg.tag == "elected":
+                if leader:
+                    break  # the announcement completed the loop
+                yield Internal("learned-leader")
+                yield Send(nxt, msg.payload, tag="elected")
+                break
+        if leader:
+            yield Internal("announced")
+
+    return [node] * n
+
+
+def dist_mutex(n: int, safe: bool = True) -> List[Callable]:
+    """Distributed mutual exclusion over ``n`` processes.
+
+    * ``safe=True`` — token-based: process 0 holds the token; each process
+      enters its critical section only while holding it, then passes it on.
+      All CS events are totally ordered by the token's causal chain.
+    * ``safe=False`` — "optimistic grant": each process broadcasts a
+      request and enters after receiving all grants, but grants are issued
+      unconditionally — a deliberately broken protocol where two CS events
+      can be concurrent (the violation ParaMount's mutual-exclusion
+      predicate exhibits on the lattice).
+    """
+    if safe:
+
+        def node(ctx):
+            nxt = (ctx.pid + 1) % n
+            if ctx.pid == 0:
+                yield Internal(CS_TAG)  # holds the initial token
+                yield Send(nxt, None, tag="token")
+                if n > 1:
+                    yield Receive()  # token returns after the full circle
+                yield Internal("idle")
+            else:
+                yield Receive()
+                yield Internal(CS_TAG)
+                yield Send(nxt, None, tag="token")
+
+        return [node] * n
+
+    def node(ctx):  # noqa: F811 - deliberate variant shadowing
+        others = [q for q in range(n) if q != ctx.pid]
+        for q in others:
+            yield Send(q, None, tag="request")
+        granted = 0
+        replied = 0
+        # serve others' requests and collect grants concurrently
+        while granted < len(others) or replied < len(others):
+            msg = yield Receive()
+            if msg.tag == "request":
+                # BUG: grant unconditionally, even while entering ourselves
+                yield Send(msg.src, None, tag="grant")
+                replied += 1
+            elif msg.tag == "grant":
+                granted += 1
+        yield Internal(CS_TAG)
+        yield Internal("idle")
+
+    return [node] * n
+
+
+def diffusing_work(n: int, fanout: int = 2) -> List[Callable]:
+    """A diffusing computation rooted at process 0.
+
+    The root sends work to ``fanout`` children; every worker performs the
+    task, forwards to one further process (until the ring is covered), and
+    goes *passive*.  At the end every process's last event is tagged
+    ``passive``, but there are global states where all frontiers are
+    passive while work messages are still in flight — the classic
+    termination-detection trap.
+    """
+
+    def node(ctx):
+        if ctx.pid == 0:
+            yield Internal("active")
+            for k in range(1, min(fanout, n - 1) + 1):
+                yield Send(k, "work", tag="work")
+            yield Internal(PASSIVE_TAG)
+        else:
+            yield Internal(PASSIVE_TAG)  # initially passive
+            msg = yield Receive()
+            yield Internal("active")
+            nxt = ctx.pid + fanout
+            if nxt < n:
+                yield Send(nxt, msg.payload, tag="work")
+            yield Internal(PASSIVE_TAG)
+
+    return [node] * n

@@ -1,0 +1,45 @@
+"""Sequential global-state enumeration algorithms.
+
+These are the baselines the paper compares against and the *subroutines*
+ParaMount parallelizes (§3.2):
+
+* :class:`~repro.enumeration.bfs.BFSEnumerator` — Cooper–Marzullo
+  breadth-first enumeration [6], enhanced (as in the paper's evaluation)
+  with within-level deduplication so each state is produced exactly once;
+  memory grows with the widest lattice level (exponential in ``n``).
+* :class:`~repro.enumeration.lexical.LexicalEnumerator` — the Ganter/Garg
+  lexical-order enumeration [11, 12]; stateless, ``O(n²)`` amortized work
+  per state, ``O(n)`` extra space.
+* :class:`~repro.enumeration.dfs.DFSEnumerator` — a depth-first reference
+  with a visited set (testing/validation only).
+
+All three implement the *bounded* interface the ParaMount workers need:
+``enumerate_interval(lo, hi)`` walks exactly the consistent cuts ``G`` with
+``lo ≤ G ≤ hi`` (paper Algorithm 2's generalization).
+"""
+
+from repro.enumeration.base import (
+    CollectingVisitor,
+    EnumerationResult,
+    Enumerator,
+    make_enumerator,
+)
+from repro.enumeration.bfs import BFSEnumerator
+from repro.enumeration.counting import verify_enumerator
+from repro.enumeration.dfs import DFSEnumerator
+from repro.enumeration.fast_lexical import FastLexicalEnumerator
+from repro.enumeration.lexical import LexicalEnumerator
+from repro.enumeration.squire import SquireEnumerator
+
+__all__ = [
+    "Enumerator",
+    "EnumerationResult",
+    "CollectingVisitor",
+    "make_enumerator",
+    "BFSEnumerator",
+    "LexicalEnumerator",
+    "FastLexicalEnumerator",
+    "SquireEnumerator",
+    "DFSEnumerator",
+    "verify_enumerator",
+]

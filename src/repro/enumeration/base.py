@@ -1,0 +1,138 @@
+"""Common interface and instrumentation for enumeration algorithms.
+
+Every enumerator reports an :class:`EnumerationResult` carrying, besides
+the state count, two abstract cost metrics the parallel cost model
+(:mod:`repro.core.simulated`) consumes:
+
+* ``work`` — abstract work units (roughly: inner-loop iterations), the
+  machine-independent analogue of CPU time;
+* ``peak_live`` — the maximum number of simultaneously stored intermediate
+  global states, the driver of the BFS memory blow-up and of the paper's
+  garbage-collection effect (§5.1: partitioning shrinks intermediate state,
+  which is why B-Para(1) beats sequential BFS).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import EnumerationError
+from repro.poset.poset import Poset
+from repro.types import Cut, CutVisitor
+from repro.util.cuts import cut_leq, zero_cut
+
+__all__ = [
+    "EnumerationResult",
+    "Enumerator",
+    "CollectingVisitor",
+    "make_enumerator",
+]
+
+
+@dataclass(frozen=True)
+class EnumerationResult:
+    """Outcome of one enumeration run (full or bounded)."""
+
+    states: int
+    work: int
+    peak_live: int
+
+    def __add__(self, other: "EnumerationResult") -> "EnumerationResult":
+        """Combine results of independent runs (counts add; peaks add too,
+        conservatively modeling runs that are live concurrently)."""
+        return EnumerationResult(
+            states=self.states + other.states,
+            work=self.work + other.work,
+            peak_live=self.peak_live + other.peak_live,
+        )
+
+
+class CollectingVisitor:
+    """A visitor that records every visited cut (for tests and examples)."""
+
+    def __init__(self) -> None:
+        self.cuts: List[Cut] = []
+
+    def __call__(self, cut: Cut) -> None:
+        self.cuts.append(cut)
+
+    def as_set(self) -> set:
+        """The visited cuts as a set (order-insensitive comparisons)."""
+        return set(self.cuts)
+
+
+class Enumerator(ABC):
+    """Base class for sequential enumeration algorithms.
+
+    Subclasses implement :meth:`enumerate_interval`; the unbounded
+    :meth:`enumerate` walks the whole lattice ``[0, lengths]``.
+    """
+
+    #: Short algorithm name used in experiment tables ("bfs", "lexical", ...).
+    name: str = "abstract"
+
+    def __init__(self, poset: Poset, memory_budget: Optional[int] = None):
+        #: The input poset.
+        self.poset = poset
+        #: Optional cap on ``peak_live`` — exceeding it raises
+        #: :class:`repro.errors.OutOfMemoryError` (models the paper's o.o.m.).
+        self.memory_budget = memory_budget
+
+    def enumerate(self, visit: Optional[CutVisitor] = None) -> EnumerationResult:
+        """Enumerate *all* consistent global states exactly once."""
+        return self.enumerate_interval(
+            zero_cut(self.poset.num_threads), self.poset.lengths, visit
+        )
+
+    @abstractmethod
+    def enumerate_interval(
+        self, lo: Cut, hi: Cut, visit: Optional[CutVisitor] = None
+    ) -> EnumerationResult:
+        """Enumerate every consistent cut ``G`` with ``lo ≤ G ≤ hi``.
+
+        The bounds are componentwise (the paper's ``≤`` on global states);
+        each qualifying state is visited exactly once.  Raises
+        :class:`EnumerationError` if the bounds are malformed.
+        """
+
+    def _check_bounds(self, lo: Cut, hi: Cut) -> None:
+        n = self.poset.num_threads
+        if len(lo) != n or len(hi) != n:
+            raise EnumerationError(
+                f"bounds must have width {n}: lo={lo}, hi={hi}"
+            )
+        if not cut_leq(lo, hi):
+            raise EnumerationError(f"lower bound {lo} does not precede {hi}")
+        if not cut_leq(hi, self.poset.lengths):
+            raise EnumerationError(
+                f"upper bound {hi} exceeds the final cut {self.poset.lengths}"
+            )
+
+
+def make_enumerator(
+    name: str, poset: Poset, memory_budget: Optional[int] = None
+) -> Enumerator:
+    """Factory by algorithm name: ``"bfs"``, ``"lexical"``, ``"dfs"`` or
+    ``"squire"`` or ``"lexical-fast"``."""
+    from repro.enumeration.bfs import BFSEnumerator
+    from repro.enumeration.dfs import DFSEnumerator
+    from repro.enumeration.fast_lexical import FastLexicalEnumerator
+    from repro.enumeration.lexical import LexicalEnumerator
+    from repro.enumeration.squire import SquireEnumerator
+
+    table = {
+        "bfs": BFSEnumerator,
+        "lexical": LexicalEnumerator,
+        "lexical-fast": FastLexicalEnumerator,
+        "dfs": DFSEnumerator,
+        "squire": SquireEnumerator,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise EnumerationError(
+            f"unknown enumerator {name!r}; expected one of {sorted(table)}"
+        ) from None
+    return cls(poset, memory_budget=memory_budget)

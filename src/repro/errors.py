@@ -1,0 +1,103 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InconsistentCutError",
+    "PosetError",
+    "EventOrderError",
+    "EnumerationError",
+    "IntervalError",
+    "SchedulerError",
+    "DeadlockError",
+    "OutOfMemoryError",
+    "DetectorError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class PosetError(ReproError):
+    """Raised for structurally invalid posets or malformed poset queries.
+
+    Examples include referencing a thread index outside ``range(n)``,
+    referencing an event index beyond the length of a thread's chain, or
+    constructing a poset whose happened-before relation is cyclic.
+    """
+
+
+class EventOrderError(PosetError):
+    """Raised when events are inserted in an order violating causality.
+
+    The online algorithm (paper Algorithm 4) requires the insertion order to
+    be a linear extension of the happened-before relation: an event may only
+    be inserted after all of its causal predecessors.
+    """
+
+
+class InconsistentCutError(ReproError):
+    """Raised when an operation requires a consistent cut but was given an
+    inconsistent one (a cut that omits a causal predecessor of an included
+    event)."""
+
+
+class EnumerationError(ReproError):
+    """Raised for invalid enumeration requests, e.g. a bounded enumeration
+    whose lower bound does not precede its upper bound."""
+
+
+class IntervalError(EnumerationError):
+    """Raised when an interval of global states ``I(e)`` is malformed, e.g.
+    ``Gmin(e) ≤ Gbnd(e)`` does not hold."""
+
+
+class SchedulerError(ReproError):
+    """Raised by the simulated concurrent-program runtime for scheduling
+    failures other than deadlock (e.g. scheduling an exited thread)."""
+
+
+class DeadlockError(SchedulerError):
+    """Raised when every runnable thread of a simulated program is blocked
+    (all waiting on locks, monitors, or joins that can never be released)."""
+
+
+class OutOfMemoryError(ReproError):
+    """Raised when a detector or enumerator exceeds its configured memory
+    budget.
+
+    This models the paper's ``o.o.m.`` outcomes: the Cooper–Marzullo BFS
+    stores a number of intermediate global states that may grow
+    exponentially with the number of threads, so RV runtime (which uses it)
+    runs out of memory on large posets (paper Tables 1 and 2).
+    """
+
+    def __init__(self, used: int, budget: int, what: str = "global states"):
+        super().__init__(
+            f"memory budget exceeded: {used} {what} live, budget {budget}"
+        )
+        #: Number of live units (e.g. stored global states) at failure time.
+        self.used = used
+        #: The configured budget that was exceeded.
+        self.budget = budget
+
+
+class DetectorError(ReproError):
+    """Raised by predicate detectors for unrecoverable internal failures.
+
+    This also models the ``exception`` outcomes that the paper reports for
+    RV runtime on some benchmarks (Table 2).
+    """
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload specification is invalid (unknown name, bad
+    scale parameters, ...)."""

@@ -1,0 +1,15 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment can be regenerated three ways:
+
+* programmatically — ``from repro.experiments import table1; table1.run()``;
+* from the command line — ``python -m repro.experiments table1``;
+* via the benchmark suite — ``pytest benchmarks/ --benchmark-only``.
+
+Measurements are cached per process (:mod:`repro.experiments.common`) so
+the figures that share runs with Table 1 don't re-enumerate.
+"""
+
+from repro.experiments import figure10, figure11, figure12, table1, table2, table3
+
+__all__ = ["table1", "table2", "table3", "figure10", "figure11", "figure12"]

@@ -1,0 +1,73 @@
+"""Shared measurement plumbing for the experiment modules.
+
+Table 1 and Figures 10–12 consume the same underlying runs: the sequential
+BFS and lexical enumerations plus the partitioned (ParaMount) runs with
+either subroutine.  :func:`measure_benchmark` performs them once per poset
+and caches the bundle for the process lifetime, so regenerating all four
+artifacts costs four enumerations per benchmark, not sixteen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.speedup import (
+    EnumerationMeasurement,
+    measure_paramount,
+    measure_sequential,
+)
+from repro.experiments.config import BFS_MEMORY_BUDGET
+from repro.poset.poset import Poset
+from repro.workloads.registry import enumeration_workload
+
+__all__ = ["BenchmarkMeasurements", "measure_benchmark", "clear_cache"]
+
+
+@dataclass
+class BenchmarkMeasurements:
+    """All enumeration runs over one Table 1 poset."""
+
+    name: str
+    threads: int
+    events: int
+    states: int
+    seq_lexical: EnumerationMeasurement
+    seq_bfs: EnumerationMeasurement
+    para_lexical: EnumerationMeasurement
+    para_bfs: EnumerationMeasurement
+    poset: Poset
+
+
+_CACHE: Dict[str, BenchmarkMeasurements] = {}
+
+
+def measure_benchmark(name: str) -> BenchmarkMeasurements:
+    """Measure (or fetch cached) all four enumeration runs for ``name``."""
+    cached = _CACHE.get(name)
+    if cached is not None:
+        return cached
+    workload = enumeration_workload(name)
+    poset = workload.build_poset()
+    seq_lexical = measure_sequential(poset, "lexical")
+    seq_bfs = measure_sequential(poset, "bfs", memory_budget=BFS_MEMORY_BUDGET)
+    para_lexical = measure_paramount(poset, "lexical")
+    para_bfs = measure_paramount(poset, "bfs", memory_budget=BFS_MEMORY_BUDGET)
+    bundle = BenchmarkMeasurements(
+        name=name,
+        threads=poset.num_threads,
+        events=poset.num_events,
+        states=seq_lexical.states,
+        seq_lexical=seq_lexical,
+        seq_bfs=seq_bfs,
+        para_lexical=para_lexical,
+        para_bfs=para_bfs,
+        poset=poset,
+    )
+    _CACHE[name] = bundle
+    return bundle
+
+
+def clear_cache() -> None:
+    """Drop all cached measurements (tests use this for isolation)."""
+    _CACHE.clear()

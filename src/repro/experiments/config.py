@@ -1,0 +1,40 @@
+"""Shared experiment configuration.
+
+The constants here pin the modeled machine (cost model, heap budget) so
+every table and figure is generated against the same configuration — and
+so EXPERIMENTS.md can state it once.
+"""
+
+from __future__ import annotations
+
+from repro.core.simulated import CostModel
+
+__all__ = [
+    "COST_MODEL",
+    "BFS_MEMORY_BUDGET",
+    "WORKER_COUNTS",
+    "FIGURE10_BENCHMARKS",
+    "FIGURE11_BENCHMARKS",
+]
+
+#: The modeled parallel machine (see repro.core.simulated for semantics).
+COST_MODEL = CostModel(
+    seconds_per_work_unit=1.0e-8,
+    task_overhead_seconds=2.0e-6,
+    gc_threshold=256,
+    gc_alpha=0.18,
+)
+
+#: Live-state cap for the sequential BFS in Table 1 — the stand-in for the
+#: paper's 2 GB JVM heap.  Calibrated so the BFS finishes the d-* and tsp
+#: posets but exhausts memory on bank/hedc/elevator, as in the paper.
+BFS_MEMORY_BUDGET = 25_000
+
+#: The paper's thread counts for the parallel runs.
+WORKER_COUNTS = (1, 2, 4, 8)
+
+#: Figure 10 shows B-Para speedups on these benchmarks.
+FIGURE10_BENCHMARKS = ("d-300", "d-500", "d-10k", "tsp")
+
+#: Figure 11 shows L-Para speedups on these benchmarks.
+FIGURE11_BENCHMARKS = ("d-300", "d-10k", "hedc", "elevator")

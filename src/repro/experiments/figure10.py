@@ -1,0 +1,52 @@
+"""Figure 10 — speedup of B-Para with respect to the sequential BFS.
+
+The paper plots speedup versus thread count (1, 2, 4, 8) for d-300, d-500,
+d-10k and tsp.  Expected shape: superlinear speedups on the memory-bound
+posets (up to ~11× at 8 threads), because partitioning shrinks the BFS's
+intermediate state and hence the modeled GC pressure, on top of the
+parallelism itself (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.speedup import SpeedupCurve, speedup_curve
+from repro.experiments.common import measure_benchmark
+from repro.experiments.config import COST_MODEL, FIGURE10_BENCHMARKS, WORKER_COUNTS
+from repro.util.tables import ascii_series
+
+__all__ = ["run", "render"]
+
+
+def run(benchmarks: Sequence[str] = FIGURE10_BENCHMARKS) -> List[SpeedupCurve]:
+    """Compute B-Para speedup curves for the figure's benchmarks."""
+    curves = []
+    for name in benchmarks:
+        m = measure_benchmark(name)
+        curves.append(
+            speedup_curve(
+                name, m.seq_bfs, m.para_bfs,
+                cost_model=COST_MODEL, worker_counts=WORKER_COUNTS,
+            )
+        )
+    return curves
+
+
+def render(curves: Sequence[SpeedupCurve]) -> str:
+    """Render the speedup series as a text block (the figure's data)."""
+    series = []
+    for curve in curves:
+        values: List[Optional[float]] = [curve.speedup(k) for k in WORKER_COUNTS]
+        series.append((curve.benchmark, values))
+    return ascii_series(
+        "Figure 10: speedup of B-Para vs sequential BFS",
+        "threads",
+        list(WORKER_COUNTS),
+        series,
+    )
+
+
+def speedup_map(curves: Sequence[SpeedupCurve]) -> Dict[str, Dict[int, Optional[float]]]:
+    """benchmark -> {workers: speedup} (what the tests assert against)."""
+    return {c.benchmark: c.speedups() for c in curves}

@@ -1,0 +1,51 @@
+"""Figure 11 — speedup of L-Para with respect to the sequential lexical
+algorithm.
+
+The paper plots d-300, d-10k, hedc and elevator ("the other benchmarks
+have the similar trend"): roughly 1–1.25× at one thread (partitioning
+alone already saves ~20% on average) and 6–10× at 8 threads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.speedup import SpeedupCurve, speedup_curve
+from repro.experiments.common import measure_benchmark
+from repro.experiments.config import COST_MODEL, FIGURE11_BENCHMARKS, WORKER_COUNTS
+from repro.util.tables import ascii_series
+
+__all__ = ["run", "render"]
+
+
+def run(benchmarks: Sequence[str] = FIGURE11_BENCHMARKS) -> List[SpeedupCurve]:
+    """Compute L-Para speedup curves for the figure's benchmarks."""
+    curves = []
+    for name in benchmarks:
+        m = measure_benchmark(name)
+        curves.append(
+            speedup_curve(
+                name, m.seq_lexical, m.para_lexical,
+                cost_model=COST_MODEL, worker_counts=WORKER_COUNTS,
+            )
+        )
+    return curves
+
+
+def render(curves: Sequence[SpeedupCurve]) -> str:
+    """Render the speedup series as a text block (the figure's data)."""
+    series = []
+    for curve in curves:
+        values: List[Optional[float]] = [curve.speedup(k) for k in WORKER_COUNTS]
+        series.append((curve.benchmark, values))
+    return ascii_series(
+        "Figure 11: speedup of L-Para vs sequential lexical",
+        "threads",
+        list(WORKER_COUNTS),
+        series,
+    )
+
+
+def speedup_map(curves: Sequence[SpeedupCurve]) -> Dict[str, Dict[int, Optional[float]]]:
+    """benchmark -> {workers: speedup} (what the tests assert against)."""
+    return {c.benchmark: c.speedups() for c in curves}

@@ -1,0 +1,70 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments table1 [bench ...]
+    python -m repro.experiments table2 [bench ...]
+    python -m repro.experiments table3
+    python -m repro.experiments figure10 | figure11 | figure12
+    python -m repro.experiments all
+
+Each subcommand prints the corresponding table/figure as monospace text —
+the same renderers the benchmark suite uses, so CLI output and
+``EXPERIMENTS.md`` stay comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import figure10, figure11, figure12, table1, table2, table3
+
+__all__ = ["main"]
+
+_EXPERIMENTS = ("table1", "table2", "table3", "figure10", "figure11", "figure12")
+
+
+def _run_one(name: str, benchmarks: Optional[List[str]]) -> str:
+    if name == "table1":
+        return table1.render(table1.run(benchmarks or None))
+    if name == "table2":
+        return table2.render(table2.run(benchmarks or None))
+    if name == "table3":
+        return table3.render(table3.run())
+    if name == "figure10":
+        return figure10.render(figure10.run())
+    if name == "figure11":
+        return figure11.render(figure11.run())
+    if name == "figure12":
+        return figure12.render(figure12.run(benchmarks or None))
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.experiments`` / ``repro-experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=_EXPERIMENTS + ("all",),
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="optional benchmark subset (table1/table2/figure12 only)",
+    )
+    args = parser.parse_args(argv)
+    names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(_run_one(name, args.benchmarks))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Table 1 — benchmark facts and enumeration running times.
+
+Columns, exactly as in the paper: benchmark info (n, #events, #global
+states), sequential BFS, B-Para(1/2/4/8), sequential lexical, and
+L-Para(1/2/4/8).  Times are *modeled seconds* on the simulated parallel
+machine (DESIGN.md §3); ``o.o.m.`` marks runs whose live intermediate
+state exceeded the modeled heap, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.speedup import speedup_curve
+from repro.experiments.common import BenchmarkMeasurements, measure_benchmark
+from repro.experiments.config import COST_MODEL, WORKER_COUNTS
+from repro.util.tables import TextTable, format_float
+from repro.workloads.registry import ENUMERATION_WORKLOADS
+
+__all__ = ["Table1Row", "run", "render"]
+
+
+@dataclass
+class Table1Row:
+    """One benchmark's Table 1 cells."""
+
+    name: str
+    threads: int
+    events: int
+    states: int
+    bfs_seconds: Optional[float]  # None == o.o.m.
+    bpara_seconds: Dict[int, float]
+    lexical_seconds: float
+    lpara_seconds: Dict[int, float]
+
+    def bpara_speedup(self, workers: int) -> Optional[float]:
+        """B-Para speedup over sequential BFS (None when BFS o.o.m.-ed)."""
+        if self.bfs_seconds is None:
+            return None
+        return self.bfs_seconds / self.bpara_seconds[workers]
+
+    def lpara_speedup(self, workers: int) -> float:
+        """L-Para speedup over the sequential lexical algorithm."""
+        return self.lexical_seconds / self.lpara_seconds[workers]
+
+
+def _row(measurements: BenchmarkMeasurements) -> Table1Row:
+    bfs_curve = speedup_curve(
+        measurements.name,
+        measurements.seq_bfs,
+        measurements.para_bfs,
+        cost_model=COST_MODEL,
+        worker_counts=WORKER_COUNTS,
+    )
+    lex_curve = speedup_curve(
+        measurements.name,
+        measurements.seq_lexical,
+        measurements.para_lexical,
+        cost_model=COST_MODEL,
+        worker_counts=WORKER_COUNTS,
+    )
+    assert lex_curve.sequential_seconds is not None
+    return Table1Row(
+        name=measurements.name,
+        threads=measurements.threads,
+        events=measurements.events,
+        states=measurements.states,
+        bfs_seconds=bfs_curve.sequential_seconds,
+        bpara_seconds=bfs_curve.parallel_seconds,
+        lexical_seconds=lex_curve.sequential_seconds,
+        lpara_seconds=lex_curve.parallel_seconds,
+    )
+
+
+def run(benchmarks: Optional[Sequence[str]] = None) -> List[Table1Row]:
+    """Measure every Table 1 benchmark (or the given subset)."""
+    names = list(benchmarks) if benchmarks is not None else list(ENUMERATION_WORKLOADS)
+    return [_row(measure_benchmark(name)) for name in names]
+
+
+def render(rows: Sequence[Table1Row]) -> str:
+    """Render the rows in the paper's column layout."""
+    headers = (
+        ["Benchmark", "n", "#events", "#global states", "BFS"]
+        + [f"B-Para({k})" for k in WORKER_COUNTS]
+        + ["Lexical"]
+        + [f"L-Para({k})" for k in WORKER_COUNTS]
+    )
+    table = TextTable(headers, title="Table 1: enumeration times (modeled seconds)")
+    for row in rows:
+        cells: List[object] = [row.name, row.threads, row.events, row.states]
+        cells.append(
+            "o.o.m." if row.bfs_seconds is None else format_float(row.bfs_seconds, 2)
+        )
+        cells += [format_float(row.bpara_seconds[k], 2) for k in WORKER_COUNTS]
+        cells.append(format_float(row.lexical_seconds, 2))
+        cells += [format_float(row.lpara_seconds[k], 2) for k in WORKER_COUNTS]
+        table.add_row(cells)
+    return table.render()

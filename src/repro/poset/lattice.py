@@ -1,0 +1,132 @@
+"""Lattice operations on consistent global states.
+
+The consistent cuts of a poset form a distributive lattice under
+componentwise min/max (Mattern 1988).  This module provides the local
+moves — successors, predecessors, minimal extensions — that the
+enumeration algorithms and the property-based tests are built from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import InconsistentCutError
+from repro.poset.poset import Poset
+from repro.types import Cut
+
+__all__ = [
+    "is_consistent_cut",
+    "consistent_successors",
+    "consistent_predecessors",
+    "minimal_consistent_extension",
+    "require_consistent",
+]
+
+
+def is_consistent_cut(poset: Poset, cut: Sequence[int]) -> bool:
+    """Alias of :meth:`Poset.is_consistent` as a free function."""
+    return poset.is_consistent(cut)
+
+
+def require_consistent(poset: Poset, cut: Sequence[int], what: str = "cut") -> Cut:
+    """Return ``cut`` as a tuple, raising :class:`InconsistentCutError` if it
+    is not a consistent global state of ``poset``."""
+    t = tuple(cut)
+    if not poset.is_consistent(t):
+        raise InconsistentCutError(f"{what} {t} is not a consistent global state")
+    return t
+
+
+def consistent_successors(poset: Poset, cut: Sequence[int]) -> List[Cut]:
+    """All consistent cuts reachable by executing exactly one more event.
+
+    These are the outgoing lattice edges from ``cut`` — the moves the BFS
+    algorithm explores (one per *enabled* thread).
+    """
+    out: List[Cut] = []
+    c = tuple(cut)
+    for tid in range(poset.num_threads):
+        if poset.enabled(c, tid):
+            out.append(c[:tid] + (c[tid] + 1,) + c[tid + 1 :])
+    return out
+
+
+def consistent_predecessors(poset: Poset, cut: Sequence[int]) -> List[Cut]:
+    """All consistent cuts from which ``cut`` is one event away.
+
+    Thread ``tid`` can be *retracted* when it has executed at least one
+    event and its maximal event is maximal in the cut (no other included
+    event depends on it).
+    """
+    out: List[Cut] = []
+    c = tuple(cut)
+    n = poset.num_threads
+    for tid in range(n):
+        if c[tid] == 0:
+            continue
+        retractable = True
+        for j in range(n):
+            if j != tid and c[j] and poset.vc(j, c[j])[tid] >= c[tid]:
+                retractable = False
+                break
+        if retractable:
+            out.append(c[:tid] + (c[tid] - 1,) + c[tid + 1 :])
+    return out
+
+
+def minimal_consistent_extension(
+    poset: Poset,
+    lower: Sequence[int],
+    fixed_prefix: int = 0,
+    prefix: Optional[Sequence[int]] = None,
+    work: Optional[List[int]] = None,
+) -> Optional[Cut]:
+    """Least consistent cut ``G`` with ``G ≥ lower`` and a fixed prefix.
+
+    This is the closure workhorse of the lexical algorithm: positions
+    ``0..fixed_prefix-1`` are pinned to ``prefix`` (default: pinned to
+    ``lower``); the remaining positions start at ``lower`` and are raised
+    to a fixpoint so every included event's predecessors are included.
+
+    Returns ``None`` when no consistent cut exists with that prefix —
+    i.e. when the fixpoint would need to raise a pinned component.  The
+    fixpoint exists and is unique because consistency constraints are
+    monotone (raising a component only adds requirements upward); it is the
+    standard least-closure computation on a distributive lattice.
+
+    ``work``, when given, is a one-element list whose cell is incremented
+    by the number of inner comparisons performed — the real work meter the
+    cost model consumes.
+    """
+    n = poset.num_threads
+    lengths = poset.lengths
+    cut = list(prefix[:fixed_prefix]) if prefix is not None else list(lower[:fixed_prefix])
+    cut += [max(lo, 0) for lo in lower[fixed_prefix:]]
+    if len(cut) != n:
+        raise InconsistentCutError(f"lower bound {tuple(lower)} has wrong width")
+    for i, v in enumerate(cut):
+        if v > lengths[i]:
+            return None
+    # Worklist fixpoint: each raised component re-queues its row constraint.
+    ops = 0
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n):
+            ci = cut[i]
+            if ci == 0:
+                continue
+            v = poset.vc(i, ci)
+            ops += n
+            for j in range(n):
+                need = v[j]
+                if need > cut[j]:
+                    if j < fixed_prefix or need > lengths[j]:
+                        if work is not None:
+                            work[0] += ops
+                        return None
+                    cut[j] = need
+                    changed = True
+    if work is not None:
+        work[0] += ops
+    return tuple(cut)

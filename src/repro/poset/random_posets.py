@@ -1,0 +1,131 @@
+"""Random distributed computations — the paper's ``d-*`` benchmark family.
+
+The paper evaluates on "randomly generated posets for modeling distributed
+computations" named ``d-300``, ``d-500``, ``d-10K`` (10 processes and 300 /
+500 / 10,000 events).  We reproduce the family with a message-passing
+generator: processes execute events sequentially in a global schedule; each
+event, with probability ``message_prob``, receives from another process
+(merging that process's current clock), which creates the cross edges that
+keep ``i(P)`` large but finite.
+
+Density intuition: with no messages, ``i(P)`` is the product of
+``(len_i + 1)``; every message edge cuts the lattice down.  The paper's
+posets have ``i(P)`` in the 10⁷–10¹⁰ range for 300–38k events; pure-Python
+per-state costs force us to target 10⁴–10⁶ states instead (DESIGN.md §3),
+which the ``target`` helper calibrates via the exact ideal counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import WorkloadError
+from repro.poset.builder import PosetBuilder
+from repro.poset.poset import Poset
+from repro.util.rng import DeterministicRng
+
+__all__ = ["RandomComputationSpec", "random_computation"]
+
+
+@dataclass(frozen=True)
+class RandomComputationSpec:
+    """Parameters of a random distributed computation.
+
+    ``num_events`` is the total across all processes; events are assigned
+    to processes round-robin with random jitter so chain lengths stay
+    balanced (matching the paper's symmetric d-* posets).
+    """
+
+    num_processes: int
+    num_events: int
+    message_prob: float = 0.3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_processes < 1:
+            raise WorkloadError("need at least one process")
+        if self.num_events < self.num_processes:
+            raise WorkloadError("need at least one event per process")
+        if not 0.0 <= self.message_prob <= 1.0:
+            raise WorkloadError("message_prob must be in [0, 1]")
+
+
+def random_computation(spec: RandomComputationSpec) -> Poset:
+    """Generate the poset of a random distributed computation.
+
+    The generator emits events in a single global schedule (so the builder
+    records a valid insertion order ``→p`` for free).  Each event:
+
+    1. is assigned to a process — round-robin base with random swaps, so
+       every process gets ``num_events / num_processes ± O(1)`` events;
+    2. with probability ``message_prob`` receives a message from the
+       *latest event* of a uniformly random other process (if that process
+       has executed anything yet), adding a cross edge.
+    """
+    rng = DeterministicRng(spec.seed).fork("random_computation")
+    n = spec.num_processes
+    builder = PosetBuilder(n)
+
+    # Balanced assignment: shuffle within blocks of one-event-per-process.
+    schedule: List[int] = []
+    full_blocks, remainder = divmod(spec.num_events, n)
+    for _ in range(full_blocks):
+        block = list(range(n))
+        rng.shuffle(block)
+        schedule.extend(block)
+    tail = rng.sample(list(range(n)), remainder)
+    schedule.extend(tail)
+
+    for tid in schedule:
+        deps = []
+        if n > 1 and rng.random() < spec.message_prob:
+            sender = rng.randint(0, n - 2)
+            if sender >= tid:
+                sender += 1  # uniform over the other n-1 processes
+            last = builder.chain_length(sender)
+            if last > 0:
+                deps.append((sender, last))
+        builder.append(tid, deps=deps, kind="internal")
+    return builder.build()
+
+
+def calibrated_random_computation(
+    num_processes: int,
+    num_events: int,
+    target_states: int,
+    seed: int = 0,
+    tolerance: float = 0.5,
+    max_iterations: int = 24,
+) -> Poset:
+    """Search ``message_prob`` so that ``i(P)`` lands near ``target_states``.
+
+    Binary search on the message probability (more messages → fewer
+    states), counting exactly with the interval DP.  Used by the benchmark
+    harness to scale the d-* posets to a Python-feasible size while keeping
+    their structure.  ``tolerance`` is relative (0.5 → within 2× either
+    way).
+    """
+    from repro.poset.ideals import count_ideals
+
+    lo_p, hi_p = 0.0, 1.0
+    best: Optional[Poset] = None
+    best_err = float("inf")
+    for _ in range(max_iterations):
+        p = (lo_p + hi_p) / 2.0
+        poset = random_computation(
+            RandomComputationSpec(num_processes, num_events, p, seed)
+        )
+        states = count_ideals(poset)
+        err = abs(states - target_states) / max(target_states, 1)
+        if err < best_err:
+            best_err = err
+            best = poset
+        if err <= tolerance:
+            break
+        if states > target_states:
+            lo_p = p  # too many states → need more messages
+        else:
+            hi_p = p
+    assert best is not None
+    return best

@@ -1,0 +1,142 @@
+"""Topological total orders ``→p`` over a poset's events.
+
+ParaMount's interval partition is parameterized by *any* linear extension
+of happened-before (paper §3.1, Property 1).  Different extensions yield
+different interval shapes — and hence different parallel load balance — so
+we provide several and an ablation compares them
+(:mod:`repro.experiments` ablations):
+
+* :func:`topological_order` — Kahn's algorithm with a FIFO tie-break
+  (breadth-first flavor, tends to interleave threads evenly);
+* :func:`lexicographic_topological_order` — always advances the smallest
+  ready thread id (depth-first along thread 0 first; worst-case skewed
+  intervals);
+* :func:`random_topological_order` — uniform-ish random ready choice,
+  seeded;
+* :func:`insertion_order` — the order recorded by an online builder.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import PosetError
+from repro.poset.poset import Poset
+from repro.types import EventId
+from repro.util.rng import DeterministicRng
+
+__all__ = [
+    "topological_order",
+    "lexicographic_topological_order",
+    "random_topological_order",
+    "insertion_order",
+    "is_linear_extension",
+]
+
+
+def _ready(poset: Poset, progress: List[int], tid: int) -> bool:
+    """Thread ``tid``'s next event has all causal predecessors emitted."""
+    nxt = progress[tid] + 1
+    if nxt > poset.lengths[tid]:
+        return False
+    v = poset.vc(tid, nxt)
+    for j in range(poset.num_threads):
+        if j != tid and v[j] > progress[j]:
+            return False
+    return True
+
+
+def topological_order(poset: Poset) -> Tuple[EventId, ...]:
+    """Kahn's algorithm with FIFO tie-break over threads.
+
+    Work ``O(|E|·n)`` with the clock-based ready test — within the paper's
+    ``O(|E| + |H|)`` budget since each ready test inspects one clock.
+    """
+    n = poset.num_threads
+    progress = [0] * n
+    order: List[EventId] = []
+    queue: deque[int] = deque(t for t in range(n) if _ready(poset, progress, t))
+    queued = [t in queue for t in range(n)]
+    total = poset.num_events
+    while queue:
+        tid = queue.popleft()
+        queued[tid] = False
+        if not _ready(poset, progress, tid):
+            continue
+        progress[tid] += 1
+        order.append((tid, progress[tid]))
+        for t in range(n):
+            if not queued[t] and _ready(poset, progress, t):
+                queue.append(t)
+                queued[t] = True
+    if len(order) != total:
+        raise PosetError("poset is cyclic: topological sort did not cover all events")
+    return tuple(order)
+
+
+def lexicographic_topological_order(poset: Poset) -> Tuple[EventId, ...]:
+    """Always advance the smallest ready thread id (skewed extension)."""
+    n = poset.num_threads
+    progress = [0] * n
+    order: List[EventId] = []
+    total = poset.num_events
+    while len(order) < total:
+        for tid in range(n):
+            if _ready(poset, progress, tid):
+                progress[tid] += 1
+                order.append((tid, progress[tid]))
+                break
+        else:
+            raise PosetError("poset is cyclic: no ready thread")
+    return tuple(order)
+
+
+def random_topological_order(poset: Poset, rng: DeterministicRng) -> Tuple[EventId, ...]:
+    """A random linear extension: at each step pick a uniformly random ready
+    thread.  (Uniform over *threads*, not over all extensions — sufficient
+    for the load-balance ablation.)"""
+    n = poset.num_threads
+    progress = [0] * n
+    order: List[EventId] = []
+    total = poset.num_events
+    while len(order) < total:
+        ready = [t for t in range(n) if _ready(poset, progress, t)]
+        if not ready:
+            raise PosetError("poset is cyclic: no ready thread")
+        tid = rng.choice(ready)
+        progress[tid] += 1
+        order.append((tid, progress[tid]))
+    return tuple(order)
+
+
+def insertion_order(poset: Poset) -> Tuple[EventId, ...]:
+    """The total order recorded when the poset was built online.
+
+    Raises :class:`PosetError` when the poset carries no insertion order.
+    """
+    if poset.insertion is None:
+        raise PosetError("poset has no recorded insertion order")
+    return poset.insertion
+
+
+def is_linear_extension(poset: Poset, order: Sequence[EventId]) -> bool:
+    """Check Property 1: ``e → f ⇒ e →p f`` and the order covers each event
+    exactly once."""
+    n = poset.num_threads
+    if sorted(order) != sorted(
+        (t, k) for t in range(n) for k in range(1, poset.lengths[t] + 1)
+    ):
+        return False
+    position = {eid: i for i, eid in enumerate(order)}
+    seen = [0] * n
+    for tid, idx in order:
+        if idx != seen[tid] + 1:
+            return False  # events of a thread must appear in chain order
+        seen[tid] = idx
+        v = poset.vc(tid, idx)
+        for j in range(n):
+            if j != tid and v[j] > 0:
+                if position[(j, v[j])] > position[(tid, idx)]:
+                    return False
+    return True

@@ -1,0 +1,154 @@
+"""Vector clocks and the paper's clock-update rule (Algorithm 3).
+
+A vector clock is an ``n``-vector of event counts.  For an event ``e``
+executed by thread ``i``:
+
+* ``e.vc[i]`` is the 1-based index of ``e`` within thread ``i``'s chain, and
+* ``e.vc[j]`` (``j ≠ i``) is the index of the latest event of thread ``j``
+  that happened before ``e``.
+
+This is the Fidge/Mattern construction.  The crucial identification the
+paper exploits (§2.2): ``e.vc``, read as a frontier vector, *is* the least
+consistent global state ``Gmin(e)`` whose frontier contains ``e``.
+
+Two clock flavors live here:
+
+* :class:`VectorClock` — a small mutable clock object carried by simulated
+  threads, locks, and monitors inside :mod:`repro.runtime`;
+* plain tuples — the immutable clocks stored per event inside
+  :class:`~repro.poset.poset.Poset`, which the enumeration inner loops
+  consume without attribute-access overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.types import Clock
+
+__all__ = [
+    "VectorClock",
+    "calculate_vector_clock",
+    "clock_leq",
+    "clock_lt",
+    "clock_concurrent",
+    "merge_clocks",
+]
+
+
+def clock_leq(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Componentwise ``a ≤ b`` on clock vectors."""
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+    return True
+
+
+def clock_lt(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Strict clock order: ``a ≤ b`` and ``a ≠ b`` (i.e. *happened-before*
+    when ``a`` and ``b`` are event clocks)."""
+    return clock_leq(a, b) and tuple(a) != tuple(b)
+
+
+def clock_concurrent(a: Sequence[int], b: Sequence[int]) -> bool:
+    """True when neither clock dominates the other (concurrent events)."""
+    return not clock_leq(a, b) and not clock_leq(b, a)
+
+
+def merge_clocks(clocks: Iterable[Sequence[int]], n: int) -> Clock:
+    """Componentwise max of clock vectors (empty merge → zero clock)."""
+    acc = [0] * n
+    for c in clocks:
+        for i, v in enumerate(c):
+            if v > acc[i]:
+                acc[i] = v
+    return tuple(acc)
+
+
+class VectorClock:
+    """Mutable vector clock attached to threads/locks in the runtime.
+
+    The in-place mutation methods mirror the paper's Algorithm 3 so the
+    monitoring layer reads as a direct transcription of the pseudo-code.
+    """
+
+    __slots__ = ("_v",)
+
+    def __init__(self, n: int, values: Optional[Sequence[int]] = None):
+        if values is None:
+            self._v: List[int] = [0] * n
+        else:
+            if len(values) != n:
+                raise ValueError(
+                    f"clock of width {len(values)} does not match n={n}"
+                )
+            self._v = [int(x) for x in values]
+
+    @property
+    def width(self) -> int:
+        """Number of threads the clock tracks."""
+        return len(self._v)
+
+    def snapshot(self) -> Clock:
+        """Immutable copy of the current clock value."""
+        return tuple(self._v)
+
+    def tick(self, owner: int) -> None:
+        """Increment the owner component (a local, process-ordered event)."""
+        self._v[owner] += 1
+
+    def merge_in(self, other: "VectorClock | Sequence[int]") -> None:
+        """Componentwise-max this clock with ``other`` (receive/acquire)."""
+        ov = other._v if isinstance(other, VectorClock) else other
+        v = self._v
+        for k, x in enumerate(ov):
+            if x > v[k]:
+                v[k] = x
+
+    def copy_from(self, other: "VectorClock | Sequence[int]") -> None:
+        """Overwrite this clock with ``other``'s value."""
+        ov = other._v if isinstance(other, VectorClock) else other
+        self._v[:] = list(ov)
+
+    def __getitem__(self, k: int) -> int:
+        return self._v[k]
+
+    def __setitem__(self, k: int, value: int) -> None:
+        self._v[k] = int(value)
+
+    def __len__(self) -> int:
+        return len(self._v)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VectorClock):
+            return self._v == other._v
+        if isinstance(other, (tuple, list)):
+            return tuple(self._v) == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - clocks are mutable
+        raise TypeError("VectorClock is mutable and unhashable; use snapshot()")
+
+    def __repr__(self) -> str:
+        return f"VectorClock({self._v})"
+
+
+def calculate_vector_clock(vc_i: VectorClock, vc_j: VectorClock, owner: int) -> Clock:
+    """The paper's Algorithm 3: synchronize two clocks and stamp a new event.
+
+    ``vc_i`` is the clock of the thread executing the new event (its
+    ``owner`` component is incremented); ``vc_j`` is the clock of the other
+    party (a lock being acquired, a monitor, a joined thread, ...).  Both
+    clocks are updated in place to the merged value — exactly lines 1–4 of
+    Algorithm 3 — and the merged value is returned as the new event's clock.
+
+    The explicit ``owner`` argument replaces the paper's convention that the
+    first argument is always "thread i's clock": it makes the increment
+    target unambiguous when clocks are stored on non-thread objects.
+    """
+    if vc_i.width != vc_j.width:
+        raise ValueError("cannot synchronize clocks of different widths")
+    vc_i.tick(owner)  # line 1: vci[i] ← vci[i] + 1
+    vc_i.merge_in(vc_j)  # lines 2–3: vci[k] ← max(vci[k], vcj[k])
+    vc_j.copy_from(vc_i)  # line 4: vcj ← vci
+    return vc_i.snapshot()  # line 5: return vci

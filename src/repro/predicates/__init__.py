@@ -1,0 +1,35 @@
+"""Predicates evaluated on enumerated global states.
+
+The race predicate (paper Algorithms 5–6) drives the Table 2 experiments;
+the conjunctive and mutual-exclusion predicates exercise the
+general-purpose claim — ParaMount "makes no assumptions on the nature of
+the predicate" — and back the extension experiments.
+"""
+
+from repro.predicates.base import StatePredicate
+from repro.predicates.conjunctive import ConjunctivePredicate, detect_conjunctive
+from repro.predicates.data_race import DataRacePredicate, events_are_concurrent
+from repro.predicates.modalities import definitely, possibly, satisfying_states
+from repro.predicates.mutual_exclusion import MutualExclusionPredicate
+from repro.predicates.slicing import (
+    ConjunctiveSlice,
+    conjunctive_slice,
+    greatest_satisfying,
+    least_satisfying,
+)
+
+__all__ = [
+    "StatePredicate",
+    "DataRacePredicate",
+    "events_are_concurrent",
+    "ConjunctivePredicate",
+    "detect_conjunctive",
+    "MutualExclusionPredicate",
+    "possibly",
+    "definitely",
+    "satisfying_states",
+    "ConjunctiveSlice",
+    "conjunctive_slice",
+    "least_satisfying",
+    "greatest_satisfying",
+]

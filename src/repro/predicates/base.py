@@ -1,0 +1,47 @@
+"""Predicate protocol.
+
+A *predicate* decides whether the user-specified condition holds in a
+global state (paper §1).  The detectors evaluate predicates on every
+enumerated state; implementations receive the state's frontier events so
+the common case (conditions over maximal events, like data races) is O(n)
+per state without re-deriving the frontier.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from repro.poset.event import Event
+from repro.types import Cut
+
+__all__ = ["StatePredicate"]
+
+
+class StatePredicate(ABC):
+    """Interface for conditions checked on global states."""
+
+    #: Human-readable predicate name (reports and tables).
+    name: str = "abstract"
+
+    @abstractmethod
+    def check(
+        self,
+        cut: Cut,
+        frontier: Sequence[Optional[Event]],
+        new_event: Optional[Event] = None,
+    ) -> bool:
+        """Return True when the condition holds in this global state.
+
+        ``frontier[i]`` is the maximal event of thread ``i`` in the state
+        (``None`` when the thread has executed nothing).  ``new_event`` is
+        the event whose interval is being enumerated in the online setting
+        (the paper's ``e`` in Algorithms 5–6) or ``None`` offline.
+
+        Implementations may record richer findings internally; the boolean
+        lets generic drivers count matching states.
+        """
+
+    def matches(self) -> List[object]:
+        """Findings accumulated across :meth:`check` calls (default: none)."""
+        return []

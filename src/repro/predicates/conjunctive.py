@@ -1,0 +1,136 @@
+"""Conjunctive predicates (Garg & Waldecker 1994) — a polynomial special
+case, implemented both ways.
+
+A conjunctive predicate is ``⋀ᵢ lᵢ`` with each ``lᵢ`` local to thread
+``i``.  For this class the full lattice need not be enumerated: the
+classic detection algorithm advances per-thread candidate events until it
+finds a frontier of pairwise-concurrent satisfying events or exhausts a
+thread, in ``O(n²·|E|)`` time.  The paper cites this line of work (§1, §6)
+as the motivation for *general-purpose* enumeration: when no structure is
+assumed, enumeration is unavoidable.
+
+We ship both the polynomial detector (:func:`detect_conjunctive`) and an
+enumeration-based :class:`ConjunctivePredicate` so the tests can
+cross-validate one against the other — and the ablation benchmark can show
+the exponential/polynomial gap the paper alludes to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.poset.event import Event
+from repro.poset.poset import Poset
+from repro.predicates.base import StatePredicate
+from repro.types import Cut
+
+__all__ = ["ConjunctivePredicate", "detect_conjunctive"]
+
+#: Per-thread local predicate over events.
+LocalPredicate = Callable[[Event], bool]
+
+
+def detect_conjunctive(
+    poset: Poset, locals_: Sequence[Optional[LocalPredicate]]
+) -> Optional[Cut]:
+    """Find a consistent cut whose frontier satisfies every local predicate.
+
+    ``locals_[i]`` is the predicate for thread ``i`` (``None`` means thread
+    ``i`` is unconstrained — any frontier, including the empty one, is
+    accepted for it).  Returns a witness cut, or ``None`` when no global
+    state satisfies the conjunction.
+
+    Algorithm (Garg–Waldecker, phrased on clocks): keep, per constrained
+    thread, a pointer to its earliest not-yet-eliminated satisfying event.
+    Two candidate events ``(ti, ki)`` and ``(tj, kj)`` can be *frontier
+    positions of one consistent cut* iff neither requires more of the other
+    thread than the candidate position provides::
+
+        vc(ti, ki)[tj] ≤ kj   and   vc(tj, kj)[ti] ≤ ki
+
+    (ordered events can still share a frontier — the state following the
+    earlier event may persist while the later executes — so plain event
+    concurrency is the wrong test).  When ``vc(tj, kj)[ti] > ki``, every
+    solution must place thread ``ti`` beyond ``ki`` (monotone clocks), so
+    ``ti``'s pointer advances; symmetric for ``tj``.  Each elimination is
+    provably safe, so when the candidates become pairwise compatible, the
+    join of their clocks is the least witness cut.
+    """
+    n = poset.num_threads
+    satisfying: List[List[int]] = []
+    for tid in range(n):
+        pred = locals_[tid]
+        if pred is None:
+            satisfying.append([])
+            continue
+        satisfying.append(
+            [
+                idx
+                for idx in range(1, poset.lengths[tid] + 1)
+                if pred(poset.event(tid, idx))
+            ]
+        )
+    constrained = [t for t in range(n) if locals_[t] is not None]
+    pointer = {t: 0 for t in constrained}
+    for t in constrained:
+        if not satisfying[t]:
+            return None
+
+    while True:
+        advanced = False
+        for ti in constrained:
+            ki = satisfying[ti][pointer[ti]]
+            for tj in constrained:
+                if tj == ti:
+                    continue
+                kj = satisfying[tj][pointer[tj]]
+                if poset.vc(tj, kj)[ti] > ki:
+                    # tj's candidate requires ti beyond ki: eliminate ki.
+                    pointer[ti] += 1
+                    if pointer[ti] >= len(satisfying[ti]):
+                        return None
+                    advanced = True
+                    break
+            if advanced:
+                break
+        if not advanced:
+            break
+
+    # Candidates are pairwise frontier-compatible; the join of their clocks
+    # is consistent and has each candidate as its thread's frontier event.
+    cut = [0] * n
+    for t in constrained:
+        vc = poset.vc(t, satisfying[t][pointer[t]])
+        for k in range(n):
+            if vc[k] > cut[k]:
+                cut[k] = vc[k]
+    # Unconstrained threads stay at whatever the join forced (possibly 0).
+    return tuple(cut)
+
+
+class ConjunctivePredicate(StatePredicate):
+    """Enumeration-based evaluation of the same conjunction.
+
+    ``check`` is True when, for every constrained thread, the frontier
+    event exists and satisfies its local predicate.  Used to cross-validate
+    :func:`detect_conjunctive` over full enumerations.
+    """
+
+    name = "conjunctive"
+
+    def __init__(self, locals_: Sequence[Optional[LocalPredicate]]):
+        self.locals_ = list(locals_)
+        self.witnesses: List[Cut] = []
+
+    def check(self, cut, frontier, new_event=None) -> bool:
+        for tid, pred in enumerate(self.locals_):
+            if pred is None:
+                continue
+            ev = frontier[tid]
+            if ev is None or not pred(ev):
+                return False
+        self.witnesses.append(tuple(cut))
+        return True
+
+    def matches(self) -> List[object]:
+        return list(self.witnesses)

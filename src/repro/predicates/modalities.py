@@ -1,0 +1,114 @@
+"""The Cooper–Marzullo detection modalities: *possibly* and *definitely*.
+
+The paper's notion of predicate detection descends from Cooper & Marzullo
+[6], who distinguish two questions about a predicate ``φ`` over global
+states:
+
+* ``possibly(φ)`` — does *some* consistent observation pass through a
+  state satisfying ``φ``?  Equivalent to "φ holds in at least one
+  consistent global state" (what the paper's detector reports).
+* ``definitely(φ)`` — does *every* consistent observation pass through a
+  state satisfying ``φ``?  Strictly stronger; the right question for
+  conditions that must be unavoidable (e.g. "the system necessarily passes
+  through a quiescent configuration").
+
+``possibly`` is a short-circuiting enumeration.  ``definitely`` uses the
+classic level algorithm: walk the lattice breadth-first but *refuse to
+expand* states satisfying ``φ``; if the final state is still reachable
+through ``φ``-free states, some observation avoids ``φ`` — not definite.
+(An observation is a path of single-event steps from the empty to the
+final state, which is exactly a maximal chain of the lattice.)
+
+Both accept any :class:`~repro.predicates.base.StatePredicate` or a plain
+callable ``(cut, frontier) -> bool``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Set, Union
+
+from repro.poset.event import Event
+from repro.poset.poset import Poset
+from repro.predicates.base import StatePredicate
+from repro.types import Cut
+from repro.util.cuts import zero_cut
+
+__all__ = ["possibly", "definitely", "satisfying_states"]
+
+PredicateLike = Union[StatePredicate, Callable[[Cut, Sequence[Optional[Event]]], bool]]
+
+
+def _as_callable(pred: PredicateLike):
+    if isinstance(pred, StatePredicate):
+        return lambda cut, frontier: pred.check(cut, frontier)
+    return pred
+
+
+def possibly(poset: Poset, pred: PredicateLike) -> Optional[Cut]:
+    """First satisfying consistent global state, or ``None``.
+
+    Short-circuiting lexical walk — worst case visits every state (the
+    general-purpose lower bound the paper discusses), but returns at the
+    first witness.
+    """
+    from repro.enumeration.lexical import lex_first, lex_successor
+
+    check = _as_callable(pred)
+    lo = zero_cut(poset.num_threads)
+    hi = poset.lengths
+    cut = lex_first(poset, lo, hi)
+    while cut is not None:
+        if check(cut, poset.frontier_events(cut)):
+            return cut
+        cut = lex_successor(poset, cut, lo, hi)
+    return None
+
+
+def definitely(poset: Poset, pred: PredicateLike) -> bool:
+    """True when every observation passes through a ``φ`` state.
+
+    Level-by-level reachability over ``φ``-free states: if the final state
+    can be reached without ever satisfying ``φ``, some interleaving avoids
+    the predicate.  The empty and final states themselves count (an
+    observation passes through both).
+    """
+    check = _as_callable(pred)
+    n = poset.num_threads
+    start = zero_cut(n)
+    final = poset.lengths
+    if check(start, poset.frontier_events(start)):
+        return True
+
+    level: Set[Cut] = {start}
+    while level:
+        next_level: Set[Cut] = set()
+        for cut in level:
+            for tid in range(n):
+                if not poset.enabled(cut, tid):
+                    continue
+                succ = cut[:tid] + (cut[tid] + 1,) + cut[tid + 1 :]
+                if succ in next_level:
+                    continue
+                if check(succ, poset.frontier_events(succ)):
+                    continue  # φ blocks this path — do not expand through it
+                if succ == final:
+                    return False  # a φ-free observation exists
+                next_level.add(succ)
+        level = next_level
+    return True
+
+
+def satisfying_states(poset: Poset, pred: PredicateLike) -> List[Cut]:
+    """All consistent global states satisfying the predicate (full
+    enumeration; for diagnostics and tests)."""
+    from repro.enumeration.lexical import LexicalEnumerator
+
+    check = _as_callable(pred)
+    out: List[Cut] = []
+
+    def visit(cut: Cut) -> None:
+        if check(cut, poset.frontier_events(cut)):
+            out.append(cut)
+
+    LexicalEnumerator(poset).enumerate(visit)
+    return out

@@ -1,0 +1,85 @@
+"""Termination detection as a global predicate.
+
+A diffusing computation has terminated when (a) every process is passive
+*and* (b) no message is in flight.  The naive frontier-only test — "all
+frontier events are passive" — is unsound: a consistent cut can catch every
+process momentarily passive while a work message is still traveling (the
+classic counterexample; :func:`repro.distsim.protocols.diffusing_work`
+manufactures it).
+
+:class:`TerminationPredicate` adds the channel condition by counting: a
+message is in flight in cut ``G`` exactly when its send event is in ``G``
+but its receive event is not, so ``G`` is quiescent iff the number of send
+events inside ``G`` equals the number of receive events inside ``G``
+(every receive's matching send is in ``G`` by consistency).  Per-process
+prefix counts make the check O(n) per state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.poset.event import Event
+from repro.poset.poset import Poset
+from repro.predicates.base import StatePredicate
+from repro.types import Cut
+
+__all__ = ["TerminationPredicate", "naive_all_passive"]
+
+
+def naive_all_passive(passive_tag: str = "passive"):
+    """The *unsound* frontier-only test (kept for the demonstration)."""
+
+    def check(cut: Cut, frontier: Sequence[Optional[Event]]) -> bool:
+        for ev in frontier:
+            if ev is None or ev.obj != passive_tag:
+                return False
+        return True
+
+    return check
+
+
+class TerminationPredicate(StatePredicate):
+    """Sound termination test: all passive and channels empty."""
+
+    name = "termination"
+
+    def __init__(self, poset: Poset, passive_tag: str = "passive"):
+        self.passive_tag = passive_tag
+        n = poset.num_threads
+        # prefix counts: sends[p][k] = #send events among p's first k events
+        self._sends: List[List[int]] = []
+        self._recvs: List[List[int]] = []
+        for p in range(n):
+            s = [0]
+            r = [0]
+            for k in range(1, poset.lengths[p] + 1):
+                e = poset.event(p, k)
+                s.append(s[-1] + (1 if e.kind == "send" else 0))
+                r.append(r[-1] + (1 if e.kind == "receive" else 0))
+            self._sends.append(s)
+            self._recvs.append(r)
+        self.witnesses: List[Cut] = []
+
+    def in_flight(self, cut: Cut) -> int:
+        """Messages sent but not yet received inside ``cut``."""
+        sent = sum(self._sends[p][c] for p, c in enumerate(cut))
+        received = sum(self._recvs[p][c] for p, c in enumerate(cut))
+        return sent - received
+
+    def check(
+        self,
+        cut: Cut,
+        frontier: Sequence[Optional[Event]],
+        new_event: Optional[Event] = None,
+    ) -> bool:
+        for ev in frontier:
+            if ev is None or ev.obj != self.passive_tag:
+                return False
+        if self.in_flight(cut) != 0:
+            return False
+        self.witnesses.append(tuple(cut))
+        return True
+
+    def matches(self) -> List[object]:
+        return list(self.witnesses)

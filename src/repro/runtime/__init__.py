@@ -1,0 +1,51 @@
+"""Simulated concurrent-program runtime.
+
+This package replaces the paper's JVM + bytecode-injection stack
+(DESIGN.md §3).  Benchmark programs are written as Python generator
+functions that *yield operations* — reads/writes of shared variables, lock
+acquire/release, monitor wait/notify, fork/join, compute, sleep.  A seeded,
+deterministic scheduler interleaves the threads and records the observed
+execution as a :class:`~repro.runtime.trace.Trace`: the global total order
+of operations, which is exactly what an instrumented program would emit.
+
+Detectors consume traces through their own front-ends (1-pass online for
+ParaMount and FastTrack, 2-pass offline for the RV-runtime baseline), just
+as Table 3 of the paper contrasts.
+"""
+
+from repro.runtime.ops import (
+    Acquire,
+    Compute,
+    Fork,
+    Join,
+    Notify,
+    NotifyAll,
+    Read,
+    Release,
+    Sleep,
+    Wait,
+    Write,
+)
+from repro.runtime.program import Program, ThreadContext
+from repro.runtime.scheduler import Scheduler, run_program
+from repro.runtime.trace import Trace, TraceOp
+
+__all__ = [
+    "Read",
+    "Write",
+    "Acquire",
+    "Release",
+    "Wait",
+    "Notify",
+    "NotifyAll",
+    "Fork",
+    "Join",
+    "Compute",
+    "Sleep",
+    "Program",
+    "ThreadContext",
+    "Scheduler",
+    "run_program",
+    "Trace",
+    "TraceOp",
+]

@@ -1,0 +1,133 @@
+"""Operations a simulated thread can yield.
+
+A thread body is a generator; each ``yield <Op>`` hands control to the
+scheduler, which performs the operation atomically and resumes the thread
+(with a value, for :class:`Read`).  Operations are the granularity of
+interleaving — between any two of them the scheduler may switch threads,
+which is how alternative schedules and data races arise.
+
+The set mirrors what the paper's bytecode injector intercepts: variable
+accesses, lock/monitor operations (including implicit Java monitors), and
+thread lifecycle (fork/join).  :class:`Compute` and :class:`Sleep` model
+local work and timed waits (the elevator benchmark's ``sleep()`` calls,
+which dominate its base running time in Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "Op",
+    "Read",
+    "Write",
+    "Acquire",
+    "Release",
+    "Wait",
+    "Notify",
+    "NotifyAll",
+    "Fork",
+    "Join",
+    "Compute",
+    "Sleep",
+]
+
+
+class Op:
+    """Base class of all yieldable operations."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Read(Op):
+    """Read shared variable ``var``; the yield expression evaluates to its
+    current value."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class Write(Op):
+    """Write ``value`` to shared variable ``var``.
+
+    ``is_init`` marks an initialization write: a store to a freshly created
+    object no other thread can reference yet.  The ParaMount detector
+    ignores such writes when reporting races (paper §5.2); FastTrack and the
+    RV baseline treat them like any other write — the source of their extra
+    reports on the ``set`` benchmarks.
+    """
+
+    var: str
+    value: Any = None
+    is_init: bool = False
+
+
+@dataclass(frozen=True)
+class Acquire(Op):
+    """Acquire lock ``lock`` (blocking)."""
+
+    lock: str
+
+
+@dataclass(frozen=True)
+class Release(Op):
+    """Release lock ``lock`` (must be held by the caller)."""
+
+    lock: str
+
+
+@dataclass(frozen=True)
+class Wait(Op):
+    """Monitor wait on ``lock``: atomically release and sleep until
+    notified, then re-acquire before resuming (Java ``Object.wait``)."""
+
+    lock: str
+
+
+@dataclass(frozen=True)
+class Notify(Op):
+    """Wake one waiter of ``lock`` (must be held by the caller)."""
+
+    lock: str
+
+
+@dataclass(frozen=True)
+class NotifyAll(Op):
+    """Wake every waiter of ``lock`` (must be held by the caller)."""
+
+    lock: str
+
+
+@dataclass(frozen=True)
+class Fork(Op):
+    """Spawn a new thread running ``body`` (a generator function taking a
+    :class:`~repro.runtime.program.ThreadContext`).  The yield expression
+    evaluates to the child's thread id."""
+
+    body: Callable
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Join(Op):
+    """Block until thread ``tid`` terminates."""
+
+    tid: int
+
+
+@dataclass(frozen=True)
+class Compute(Op):
+    """Local computation costing ``units`` abstract work (no shared event,
+    no trace record; advances the virtual CPU clock)."""
+
+    units: int = 1
+
+
+@dataclass(frozen=True)
+class Sleep(Op):
+    """Timed wait of ``seconds`` *virtual* seconds.  Contributes to the
+    program's modeled base running time without blocking real time."""
+
+    seconds: float

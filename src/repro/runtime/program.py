@@ -1,0 +1,69 @@
+"""Program and thread-context abstractions for the simulated runtime.
+
+A :class:`Program` declares an initial (main) thread body, an upper bound
+on simultaneously live threads (the vector-clock width), and initial shared
+memory.  Thread bodies are generator functions::
+
+    def worker(ctx: ThreadContext):
+        yield Acquire("m")
+        v = yield Read("counter")
+        yield Write("counter", v + 1)
+        yield Release("m")
+
+``ctx`` gives the body its thread id, a deterministic per-thread RNG
+substream (so program logic is reproducible under any schedule seed), and a
+scratch dict for thread-local state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import WorkloadError
+from repro.util.rng import DeterministicRng
+
+__all__ = ["Program", "ThreadContext"]
+
+
+@dataclass
+class ThreadContext:
+    """Per-thread handle passed to every thread body."""
+
+    #: The thread's id (0 is the main thread).
+    tid: int
+    #: Deterministic RNG substream private to this thread.
+    rng: DeterministicRng
+    #: Free-form thread-local scratch space.
+    local: Dict[str, Any] = field(default_factory=dict)
+    #: Human-readable name (main / forked name / "t<tid>").
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Program:
+    """A simulated concurrent program.
+
+    ``max_threads`` bounds how many threads may ever exist (main plus
+    forks); it fixes the vector-clock width ``n`` — the paper's per-poset
+    thread count.  Forking beyond the bound raises
+    :class:`~repro.errors.SchedulerError` at run time.
+    """
+
+    name: str
+    main: Callable
+    max_threads: int
+    shared: Dict[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.max_threads < 1:
+            raise WorkloadError(
+                f"program {self.name!r}: max_threads must be ≥ 1"
+            )
+        if not callable(self.main):
+            raise WorkloadError(f"program {self.name!r}: main must be callable")
+
+    def initial_shared(self) -> Dict[str, Any]:
+        """A fresh copy of the initial shared memory."""
+        return dict(self.shared)

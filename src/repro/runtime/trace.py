@@ -1,0 +1,118 @@
+"""Execution traces: the observed total order of operations.
+
+A :class:`Trace` is what the paper's execution-path monitor produces — the
+single observed schedule from which predicate detection *predicts* other
+schedules.  Each :class:`TraceOp` records the operation, its thread, the
+objects touched, and its global sequence number.  Detector front-ends
+replay the trace to build their posets (1-pass online or 2-pass offline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["TraceOp", "Trace"]
+
+#: Trace operation kinds (string constants keep traces JSON-friendly).
+K_READ = "read"
+K_WRITE = "write"
+K_ACQUIRE = "acquire"
+K_RELEASE = "release"
+K_WAIT = "wait"
+K_NOTIFY = "notify"
+K_FORK = "fork"
+K_JOIN = "join"
+K_THREAD_START = "thread_start"
+K_THREAD_END = "thread_end"
+
+SYNC_KINDS = {
+    K_ACQUIRE,
+    K_RELEASE,
+    K_WAIT,
+    K_NOTIFY,
+    K_FORK,
+    K_JOIN,
+    K_THREAD_START,
+    K_THREAD_END,
+}
+ACCESS_KINDS = {K_READ, K_WRITE}
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One operation of the observed execution.
+
+    ``obj`` names the variable or lock; ``target`` is the child/joined
+    thread id for fork/join; ``is_init`` marks initialization writes.
+    """
+
+    seq: int
+    tid: int
+    kind: str
+    obj: Optional[str] = None
+    target: Optional[int] = None
+    is_init: bool = False
+
+    @property
+    def is_access(self) -> bool:
+        """True for read/write operations on shared variables."""
+        return self.kind in ACCESS_KINDS
+
+    @property
+    def is_sync(self) -> bool:
+        """True for synchronization / lifecycle operations."""
+        return self.kind in SYNC_KINDS
+
+
+@dataclass
+class Trace:
+    """The observed execution of one program run."""
+
+    program_name: str
+    num_threads: int
+    ops: List[TraceOp] = field(default_factory=list)
+    #: Modeled base running time: virtual sleep seconds plus compute units
+    #: converted by the scheduler (the Table 2 "Base" column).
+    base_seconds: float = 0.0
+    #: Final shared-memory contents (lets tests assert program semantics).
+    final_shared: Dict[str, Any] = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def variables(self) -> Set[str]:
+        """All shared variables accessed in the trace (Table 2 "#Var")."""
+        return {op.obj for op in self.ops if op.is_access and op.obj}
+
+    def locks(self) -> Set[str]:
+        """All locks/monitors operated on."""
+        return {
+            op.obj
+            for op in self.ops
+            if op.kind in (K_ACQUIRE, K_RELEASE, K_WAIT, K_NOTIFY) and op.obj
+        }
+
+    def accesses(self) -> List[TraceOp]:
+        """Just the read/write operations, in observed order."""
+        return [op for op in self.ops if op.is_access]
+
+    def per_thread_counts(self) -> List[int]:
+        """Number of trace ops per thread."""
+        counts = [0] * self.num_threads
+        for op in self.ops:
+            counts[op.tid] += 1
+        return counts
+
+    def uses_wait_notify(self) -> bool:
+        """Whether the program used monitor wait/notify — the construct the
+        RV-runtime baseline rejects (models its Table 2 ``exception``
+        rows)."""
+        return any(op.kind in (K_WAIT, K_NOTIFY) for op in self.ops)
+
+    def summary(self) -> Tuple[int, int, int]:
+        """(threads, ops, variables) for reporting."""
+        return (self.num_threads, len(self.ops), len(self.variables()))

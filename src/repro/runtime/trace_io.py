@@ -1,0 +1,75 @@
+"""JSON (de)serialization of execution traces.
+
+Traces are the hand-off artifact between observation and analysis: capture
+once, then replay through any detector or front-end — including from the
+command line (:mod:`repro.tools`).  The format is one JSON object with the
+operation list; values are intentionally restricted to what detectors need
+(operation kind, thread, object, target, init flag), not the program's
+data values.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.errors import ReproError
+from repro.runtime.trace import Trace, TraceOp
+
+__all__ = ["trace_to_dict", "trace_from_dict", "save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    """Serialize a trace to a JSON-compatible dictionary."""
+    return {
+        "version": _FORMAT_VERSION,
+        "program_name": trace.program_name,
+        "num_threads": trace.num_threads,
+        "base_seconds": trace.base_seconds,
+        "ops": [
+            {
+                "seq": op.seq,
+                "tid": op.tid,
+                "kind": op.kind,
+                "obj": op.obj,
+                "target": op.target,
+                "is_init": op.is_init,
+            }
+            for op in trace.ops
+        ],
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> Trace:
+    """Deserialize a trace from :func:`trace_to_dict`'s format."""
+    if data.get("version") != _FORMAT_VERSION:
+        raise ReproError(f"unsupported trace format version {data.get('version')!r}")
+    return Trace(
+        program_name=data["program_name"],
+        num_threads=data["num_threads"],
+        base_seconds=data.get("base_seconds", 0.0),
+        ops=[
+            TraceOp(
+                seq=rec["seq"],
+                tid=rec["tid"],
+                kind=rec["kind"],
+                obj=rec.get("obj"),
+                target=rec.get("target"),
+                is_init=rec.get("is_init", False),
+            )
+            for rec in data["ops"]
+        ],
+    )
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Load a trace previously written by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,18 @@
+"""Command-line tools: capture, detect, enumerate, explore.
+
+``python -m repro.tools <command>`` (or the ``repro-tools`` console
+script) drives the library end to end without writing Python:
+
+* ``list`` — available workloads;
+* ``run`` — execute a workload under a seeded schedule, save the trace;
+* ``detect`` — run a detector over a saved (or freshly captured) trace;
+* ``capture-poset`` — convert a workload execution into a poset file;
+* ``enumerate`` — count/enumerate a poset file's global states, optionally
+  with ParaMount and a modeled worker count;
+* ``explore`` — multi-schedule race exploration (the RichTest-style
+  companion).
+"""
+
+from repro.tools.cli import main
+
+__all__ = ["main"]

@@ -1,0 +1,7 @@
+"""``python -m repro.tools`` dispatches to the CLI."""
+
+import sys
+
+from repro.tools.cli import main
+
+sys.exit(main())

@@ -1,0 +1,260 @@
+"""Implementation of the ``repro-tools`` command line interface."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.util.timing import format_duration
+
+__all__ = ["main"]
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.workloads.registry import DETECTION_WORKLOADS, ENUMERATION_WORKLOADS
+
+    print("Detection workloads (Table 2):")
+    for name, w in DETECTION_WORKLOADS.items():
+        print(f"  {name:15s} {w.description}")
+    print("\nEnumeration workloads (Table 1):")
+    for name, w in ENUMERATION_WORKLOADS.items():
+        print(f"  {name:15s} n={w.threads:<3d} {w.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.runtime.trace_io import save_trace
+    from repro.workloads.registry import detection_workload
+
+    workload = detection_workload(args.workload)
+    trace = __import__("repro.runtime.scheduler", fromlist=["run_program"]).run_program(
+        workload.build(), seed=args.seed, stickiness=args.stickiness
+    )
+    print(
+        f"ran {workload.name!r}: {trace.num_threads} threads, "
+        f"{len(trace.ops)} operations, {len(trace.variables())} variables, "
+        f"base time {format_duration(trace.base_seconds)}"
+    )
+    if args.out:
+        save_trace(trace, args.out)
+        print(f"trace written to {args.out}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.detector import (
+        FastTrackDetector,
+        ParaMountDetector,
+        RVRuntimeDetector,
+    )
+    from repro.runtime.trace_io import load_trace
+    from repro.workloads.registry import DETECTION_WORKLOADS, detection_workload
+
+    if args.trace:
+        trace = load_trace(args.trace)
+        benign = frozenset()
+        if trace.program_name in DETECTION_WORKLOADS:
+            benign = DETECTION_WORKLOADS[trace.program_name].benign_vars
+    else:
+        workload = detection_workload(args.workload)
+        trace = workload.trace()
+        benign = workload.benign_vars
+
+    if args.detector == "paramount":
+        report = ParaMountDetector(subroutine=args.subroutine).run(trace, benign)
+    elif args.detector == "rv":
+        report = RVRuntimeDetector().run(trace, benign)
+    else:
+        report = FastTrackDetector(trace.num_threads).run(trace, benign)
+
+    print(f"detector:   {report.detector}")
+    print(f"benchmark:  {report.benchmark}")
+    print(f"status:     {report.status}")
+    print(f"elapsed:    {format_duration(report.elapsed)}")
+    if report.states_enumerated:
+        print(f"states:     {report.states_enumerated}")
+    if report.poset_events:
+        print(f"events:     {report.poset_events}")
+    print(f"detections: {report.num_detections}")
+    for var in report.sorted_vars():
+        race = report.races[var]
+        benign_tag = " [benign]" if race.benign else ""
+        print(
+            f"  {var}: t{race.first[0]} {race.first[1]} / "
+            f"t{race.second[0]} {race.second[1]}{benign_tag}"
+        )
+    if report.error:
+        print(f"note: {report.error}")
+    return 0
+
+
+def _cmd_capture_poset(args: argparse.Namespace) -> int:
+    from collections import defaultdict
+
+    from repro.detector.hb import events_from_trace
+    from repro.poset.io import save_poset
+    from repro.poset.poset import Poset
+    from repro.workloads.registry import detection_workload
+
+    workload = detection_workload(args.workload)
+    trace = workload.trace()
+    events = events_from_trace(trace, merge_collections=not args.raw)
+    chains = defaultdict(list)
+    for e in events:
+        chains[e.tid].append(e)
+    poset = Poset(
+        [chains.get(t, []) for t in range(trace.num_threads)],
+        insertion=[e.eid for e in events],
+    )
+    save_poset(poset, args.out)
+    kind = "raw access" if args.raw else "event-collection"
+    print(
+        f"captured {kind} poset of {workload.name!r}: n={poset.num_threads}, "
+        f"{poset.num_events} events -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    from repro.core.paramount import ParaMount
+    from repro.core.simulated import CostModel, simulate_schedule
+    from repro.poset.io import load_poset
+
+    poset = load_poset(args.poset)
+    print(f"poset: n={poset.num_threads}, {poset.num_events} events")
+    if args.paramount:
+        pm = ParaMount(poset, subroutine=args.algorithm)
+        result = pm.run()
+        print(
+            f"ParaMount({args.algorithm}): {result.states} states over "
+            f"{len(result.intervals)} intervals "
+            f"(wall {format_duration(result.wall_time)})"
+        )
+        model = CostModel()
+        tasks = [model.task_seconds(s.work, s.peak_live) for s in result.intervals]
+        for k in (1, 2, 4, 8):
+            makespan = simulate_schedule(tasks, k).makespan
+            print(f"  modeled time with {k} worker(s): {makespan:.4f}s")
+    else:
+        from repro.enumeration.base import make_enumerator
+        from repro.util.timing import Stopwatch
+
+        enumerator = make_enumerator(args.algorithm, poset)
+        with Stopwatch() as sw:
+            result = enumerator.enumerate()
+        print(
+            f"{args.algorithm}: {result.states} states "
+            f"(wall {format_duration(sw.elapsed)}, peak live {result.peak_live})"
+        )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.analysis.profile import profile_poset, render_profile
+    from repro.poset.io import load_poset
+
+    poset = load_poset(args.poset)
+    profile = profile_poset(poset)
+    print(render_profile(profile, title=f"Lattice profile: {args.poset}"))
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.runtime.explore import explore_schedules
+    from repro.workloads.registry import detection_workload
+
+    workload = detection_workload(args.workload)
+    result = explore_schedules(
+        workload.build(),
+        seeds=range(args.seeds),
+        benign_vars=workload.benign_vars,
+    )
+    print(
+        f"explored {result.schedules_run} schedules of {workload.name!r} "
+        f"({result.distinct_posets} distinct posets)"
+    )
+    print(f"racy variables ({result.num_detections}): {sorted(result.racy_vars)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tools",
+        description="Capture, detect, enumerate and explore with ParaMount.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads").set_defaults(
+        func=_cmd_list
+    )
+
+    p = sub.add_parser("run", help="run a workload and optionally save its trace")
+    p.add_argument("workload")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--stickiness", type=float, default=0.0)
+    p.add_argument("--out", help="write the observed trace as JSON")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("detect", help="run a detector over a trace")
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--trace", help="path to a saved trace JSON")
+    src.add_argument("--workload", help="capture a fresh trace of this workload")
+    p.add_argument(
+        "--detector",
+        choices=("paramount", "rv", "fasttrack"),
+        default="paramount",
+    )
+    p.add_argument(
+        "--subroutine",
+        choices=("lexical", "lexical-fast", "bfs", "dfs", "squire"),
+        default="lexical",
+        help="ParaMount's bounded subroutine",
+    )
+    p.set_defaults(func=_cmd_detect)
+
+    p = sub.add_parser("capture-poset", help="capture a workload's poset")
+    p.add_argument("workload")
+    p.add_argument("--out", required=True)
+    p.add_argument(
+        "--raw",
+        action="store_true",
+        help="one event per access (default: merged event collections)",
+    )
+    p.set_defaults(func=_cmd_capture_poset)
+
+    p = sub.add_parser("enumerate", help="enumerate a saved poset's states")
+    p.add_argument("poset")
+    p.add_argument(
+        "--algorithm",
+        choices=("lexical", "lexical-fast", "bfs", "dfs", "squire"),
+        default="lexical",
+    )
+    p.add_argument(
+        "--paramount",
+        action="store_true",
+        help="partition with ParaMount and model 1/2/4/8 workers",
+    )
+    p.set_defaults(func=_cmd_enumerate)
+
+    p = sub.add_parser("profile", help="profile a saved poset's lattice")
+    p.add_argument("poset")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("explore", help="multi-schedule race exploration")
+    p.add_argument("workload")
+    p.add_argument("--seeds", type=int, default=8)
+    p.set_defaults(func=_cmd_explore)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

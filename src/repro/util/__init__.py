@@ -1,0 +1,38 @@
+"""Small shared utilities: deterministic RNG helpers, timing, statistics,
+ASCII table/figure rendering, and cut/vector arithmetic helpers."""
+
+from repro.util.cuts import (
+    cut_dominates,
+    cut_join,
+    cut_leq,
+    cut_lt,
+    cut_max,
+    cut_meet,
+    lex_compare,
+    zero_cut,
+)
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.stats import Summary, geometric_mean, summarize
+from repro.util.tables import TextTable, format_float, format_int
+from repro.util.timing import Stopwatch, format_duration
+
+__all__ = [
+    "DeterministicRng",
+    "derive_seed",
+    "Stopwatch",
+    "format_duration",
+    "Summary",
+    "summarize",
+    "geometric_mean",
+    "TextTable",
+    "format_float",
+    "format_int",
+    "zero_cut",
+    "cut_leq",
+    "cut_lt",
+    "cut_join",
+    "cut_meet",
+    "cut_max",
+    "cut_dominates",
+    "lex_compare",
+]

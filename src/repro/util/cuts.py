@@ -1,0 +1,118 @@
+"""Pure functions on cut vectors (frontiers / vector clocks).
+
+A cut is a tuple of non-negative per-thread event counts.  The natural
+partial order on cuts is componentwise ``≤`` — exactly the order the paper
+uses to define intervals of global states:
+
+    ``G ≤ G' ≡ ∀i : G[i] ≤ G'[i]``                      (paper §3.1)
+
+These helpers are deliberately allocation-light: they are called inside the
+innermost loops of every enumeration algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.types import Cut
+
+__all__ = [
+    "zero_cut",
+    "cut_leq",
+    "cut_lt",
+    "cut_geq",
+    "cut_join",
+    "cut_meet",
+    "cut_max",
+    "cut_dominates",
+    "lex_compare",
+    "cuts_comparable",
+    "validate_cut_shape",
+]
+
+
+def zero_cut(n: int) -> Cut:
+    """Return the empty global state for ``n`` threads (no events executed)."""
+    return (0,) * n
+
+
+def cut_leq(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Componentwise ``a ≤ b`` (the lattice order on global states)."""
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+    return True
+
+
+def cut_geq(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Componentwise ``a ≥ b``."""
+    return cut_leq(b, a)
+
+
+def cut_lt(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Strict lattice order: ``a ≤ b`` and ``a ≠ b``."""
+    return cut_leq(a, b) and tuple(a) != tuple(b)
+
+
+def cut_join(a: Sequence[int], b: Sequence[int]) -> Cut:
+    """Least upper bound (componentwise max).
+
+    The join of two consistent cuts is consistent — the set of consistent
+    cuts forms a distributive lattice (Mattern 1988); the property is
+    exercised by the property-based tests.
+    """
+    return tuple(x if x >= y else y for x, y in zip(a, b))
+
+
+def cut_meet(a: Sequence[int], b: Sequence[int]) -> Cut:
+    """Greatest lower bound (componentwise min)."""
+    return tuple(x if x <= y else y for x, y in zip(a, b))
+
+
+def cut_max(cuts: Iterable[Sequence[int]], n: int) -> Cut:
+    """Join of an arbitrary collection of cuts (the empty join is the zero
+    cut for ``n`` threads)."""
+    acc = [0] * n
+    for c in cuts:
+        for i, v in enumerate(c):
+            if v > acc[i]:
+                acc[i] = v
+    return tuple(acc)
+
+
+def cut_dominates(a: Sequence[int], b: Sequence[int]) -> bool:
+    """True when ``a`` strictly dominates ``b`` in *every* component."""
+    for x, y in zip(a, b):
+        if x <= y:
+            return False
+    return True
+
+
+def lex_compare(a: Sequence[int], b: Sequence[int]) -> int:
+    """Three-way lexicographic comparison with thread 0 most significant.
+
+    Returns ``-1`` / ``0`` / ``+1``.  The lexical enumeration algorithm
+    (Ganter; Garg 2003; paper Algorithm 2) walks global states in exactly
+    this order.
+    """
+    for x, y in zip(a, b):
+        if x != y:
+            return -1 if x < y else 1
+    return 0
+
+
+def cuts_comparable(a: Sequence[int], b: Sequence[int]) -> bool:
+    """True when ``a ≤ b`` or ``b ≤ a`` in the lattice order."""
+    return cut_leq(a, b) or cut_leq(b, a)
+
+
+def validate_cut_shape(cut: Sequence[int], n: int) -> Cut:
+    """Validate that ``cut`` has ``n`` non-negative components; return it as
+    a tuple.  Raises :class:`ValueError` otherwise."""
+    t = tuple(cut)
+    if len(t) != n:
+        raise ValueError(f"cut {t!r} has {len(t)} components, expected {n}")
+    for v in t:
+        if not isinstance(v, int) or v < 0:
+            raise ValueError(f"cut {t!r} has invalid component {v!r}")
+    return t

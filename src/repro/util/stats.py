@@ -1,0 +1,75 @@
+"""Tiny statistics helpers for experiment reporting.
+
+Only the handful of aggregates the experiment tables need — the point is
+to keep the benchmark harness dependency-free and deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+__all__ = ["Summary", "summarize", "geometric_mean", "percentile"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.4g} min={self.minimum:.4g} "
+            f"max={self.maximum:.4g} sd={self.stddev:.4g}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary`; raises ``ValueError`` on empty input."""
+    data: List[float] = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(data)
+    mean = sum(data) / n
+    var = sum((v - mean) ** 2 for v in data) / n
+    return Summary(
+        count=n,
+        mean=mean,
+        minimum=min(data),
+        maximum=max(data),
+        stddev=math.sqrt(var),
+    )
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Speedup factors are ratios, so the paper-style "on average X times
+    faster" claims are aggregated geometrically.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot take the geometric mean of an empty sample")
+    for v in data:
+        if v <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {v}")
+    return math.exp(sum(math.log(v) for v in data) / len(data))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, ``q`` in ``[0, 100]``."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]

@@ -1,0 +1,101 @@
+"""Plain-text table rendering for the experiment harness.
+
+The paper's evaluation is communicated through tables (Tables 1–3) and
+line charts (Figures 10–12).  The benchmark harness prints both as
+monospace text so the reproduction can be diffed against ``EXPERIMENTS.md``
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["TextTable", "format_float", "format_int", "ascii_series"]
+
+
+def format_int(v: int) -> str:
+    """Thousands-separated integer: ``1234567`` → ``1,234,567``."""
+    return f"{v:,}"
+
+
+def format_float(v: float, digits: int = 2) -> str:
+    """Fixed-point float with a sensible fallback for tiny magnitudes."""
+    if v != 0 and abs(v) < 10 ** (-digits):
+        return f"{v:.2e}"
+    return f"{v:.{digits}f}"
+
+
+class TextTable:
+    """An accumulating monospace table with right-aligned numeric columns.
+
+    Example::
+
+        t = TextTable(["bench", "states", "time"])
+        t.add_row(["d-300", 42_000, "1.23s"])
+        print(t.render())
+    """
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        """Append one row; cells are stringified (ints get separators)."""
+        row = []
+        for cell in cells:
+            if isinstance(cell, bool):
+                row.append("yes" if cell else "no")
+            elif isinstance(cell, int):
+                row.append(format_int(cell))
+            elif isinstance(cell, float):
+                row.append(format_float(cell))
+            else:
+                row.append(str(cell))
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table to a string (no trailing newline)."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def ascii_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: Sequence[tuple],
+    value_digits: int = 2,
+) -> str:
+    """Render named data series as a compact text block.
+
+    ``series`` is a sequence of ``(name, values)`` pairs, each ``values``
+    aligned with ``xs``.  This is how the figure benchmarks print their
+    speedup curves.
+    """
+    table = TextTable([x_label] + [name for name, _ in series], title=title)
+    for i, x in enumerate(xs):
+        row: List[object] = [x]
+        for _, values in series:
+            v = values[i]
+            row.append(format_float(float(v), value_digits) if v is not None else "-")
+        table.add_row(row)
+    return table.render()

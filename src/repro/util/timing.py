@@ -1,0 +1,73 @@
+"""Wall-clock timing helpers used by the experiment harness.
+
+The paper reports wall-clock seconds; we report both wall-clock time and
+(for the parallel experiments on a GIL-constrained interpreter) modeled
+time from the simulated parallel machine.  See ``DESIGN.md`` §3.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Stopwatch", "format_duration"]
+
+
+class Stopwatch:
+    """A restartable wall-clock stopwatch based on ``perf_counter``.
+
+    Usage::
+
+        with Stopwatch() as sw:
+            work()
+        print(sw.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) the stopwatch."""
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return total elapsed seconds."""
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time (stops the watch if running)."""
+        self._start = None
+        self._elapsed = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Total elapsed seconds, including the current run if running."""
+        if self._start is not None:
+            return self._elapsed + (time.perf_counter() - self._start)
+        return self._elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration compactly: ``852ms``, ``3.21s``, ``2m14s``."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.0f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    minutes = int(seconds // 60)
+    return f"{minutes}m{seconds - 60 * minutes:.0f}s"

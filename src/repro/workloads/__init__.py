@@ -1,0 +1,30 @@
+"""Benchmark workloads.
+
+Detection workloads (paper Table 2) are concurrent programs for the
+simulated runtime; enumeration workloads (Table 1, Figures 10–12) are
+posets.  :mod:`repro.workloads.registry` collects both families.
+"""
+
+from repro.workloads.base import (
+    DetectionExpectation,
+    DetectionWorkload,
+    EnumerationWorkload,
+    poset_from_program,
+)
+from repro.workloads.registry import (
+    DETECTION_WORKLOADS,
+    ENUMERATION_WORKLOADS,
+    detection_workload,
+    enumeration_workload,
+)
+
+__all__ = [
+    "DetectionWorkload",
+    "DetectionExpectation",
+    "EnumerationWorkload",
+    "poset_from_program",
+    "DETECTION_WORKLOADS",
+    "ENUMERATION_WORKLOADS",
+    "detection_workload",
+    "enumeration_workload",
+]

@@ -1,0 +1,152 @@
+"""The ``arraylist1`` / ``arraylist2`` benchmarks.
+
+``arraylist1`` drives a *non-thread-safe* list from multiple threads: the
+``ArrayList.size``, ``ArrayList.elems`` and ``ArrayList.modcount`` fields
+are accessed with no synchronization — three real races (Table 2:
+ParaMount 3, FastTrack 3).  The test driver's own ``Driver.tasks`` table is
+initialized by a worker and published under a lock: benign, ordered under
+full HB, but racy under RV's sliced order — RV's fourth report, the false
+alarm the paper describes ("the reported variable is located in the test
+driver and its data race is benign").
+
+After the racy phase both variants run a producer/consumer hand-off on a
+monitor (``wait``/``notify``) — which the modeled RV baseline does not
+support.  RV therefore detects on the prefix (getting its 4 reports in
+``arraylist1``, matching the paper's footnote "acquired before the
+exception is thrown") and ends with status ``exception``.
+
+``arraylist2`` wraps every access in ``ArrayList.lock`` (the thread-safe
+library container): no races for any tool; RV still ends in ``exception``.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.ops import (
+    Acquire,
+    Compute,
+    Fork,
+    Join,
+    Notify,
+    Read,
+    Release,
+    Wait,
+    Write,
+)
+from repro.runtime.program import Program, ThreadContext
+from repro.workloads.base import DetectionExpectation, DetectionWorkload
+
+__all__ = ["build_arraylist", "WORKLOAD_ARRAYLIST1", "WORKLOAD_ARRAYLIST2"]
+
+_OPS_PER_WORKER = 3
+
+
+def _list_add(safe: bool):
+    """One ``add`` call: read-modify-write of the three list fields."""
+
+    def ops(ctx: ThreadContext):
+        if safe:
+            yield Acquire("ArrayList.lock")
+        size = yield Read("ArrayList.size")
+        yield Read("ArrayList.elems")
+        yield Write("ArrayList.elems", f"elem-{ctx.tid}")
+        yield Write("ArrayList.size", (size or 0) + 1)
+        mod = yield Read("ArrayList.modcount")
+        yield Write("ArrayList.modcount", (mod or 0) + 1)
+        if safe:
+            yield Release("ArrayList.lock")
+
+    return ops
+
+
+def _worker(safe: bool, publisher: bool):
+    def body(ctx: ThreadContext):
+        if publisher:
+            # Test-driver state: initialized here, published under the
+            # driver lock — benign, but RV's sliced order flags it.
+            yield Write("Driver.tasks", _OPS_PER_WORKER, is_init=True)
+            yield Acquire("Driver.lock")
+            yield Write("Driver.ready", True)
+            yield Release("Driver.lock")
+        else:
+            # Consume the driver configuration under the driver lock.
+            while True:
+                yield Acquire("Driver.lock")
+                ready = yield Read("Driver.ready")
+                if ready:
+                    yield Read("Driver.tasks")
+                yield Release("Driver.lock")
+                if ready:
+                    break
+        for _ in range(_OPS_PER_WORKER):
+            yield from _list_add(safe)(ctx)
+            yield Compute(2)
+
+    return body
+
+
+def _consumer(ctx: ThreadContext):
+    """Phase 2: monitor-based hand-off (unsupported by the RV baseline)."""
+    yield Acquire("Handoff.mon")
+    while True:
+        item = yield Read("Handoff.item")
+        if item is not None:
+            break
+        yield Wait("Handoff.mon")
+    yield Release("Handoff.mon")
+
+
+def _make_main(safe: bool):
+    def main(ctx: ThreadContext):
+        w1 = yield Fork(_worker(safe, publisher=True), name="worker1")
+        if safe:
+            # The thread-safe driver awaits setup before starting the
+            # second worker, so even the sliced order sees the driver
+            # configuration as join-ordered (RV reports nothing here).
+            yield Join(w1)
+        w2 = yield Fork(_worker(safe, publisher=False), name="worker2")
+        if not safe:
+            yield Join(w1)
+        yield Join(w2)
+        # Phase 2: producer/consumer on a Java-style monitor.
+        c = yield Fork(_consumer, name="consumer")
+        yield Acquire("Handoff.mon")
+        yield Write("Handoff.item", "payload")
+        yield Notify("Handoff.mon")
+        yield Release("Handoff.mon")
+        yield Join(c)
+
+    return main
+
+
+def build_arraylist(safe: bool) -> Program:
+    """The array-list benchmark program (4 threads)."""
+    return Program(
+        name="arraylist2" if safe else "arraylist1",
+        main=_make_main(safe),
+        max_threads=4,
+        shared={"Handoff.item": None, "Driver.ready": False},
+        description="shared list driver with a monitor hand-off phase",
+    )
+
+
+WORKLOAD_ARRAYLIST1 = DetectionWorkload(
+    name="arraylist1",
+    build=lambda: build_arraylist(safe=False),
+    expected=DetectionExpectation(
+        paramount=3, fasttrack=3, rv_detections=4, rv_status="exception"
+    ),
+    seed=1,
+    benign_vars=frozenset({"Driver.tasks"}),
+    description="non-thread-safe list driven concurrently",
+)
+
+WORKLOAD_ARRAYLIST2 = DetectionWorkload(
+    name="arraylist2",
+    build=lambda: build_arraylist(safe=True),
+    expected=DetectionExpectation(
+        paramount=0, fasttrack=0, rv_detections=None, rv_status="exception"
+    ),
+    seed=1,
+    benign_vars=frozenset({"Driver.tasks"}),
+    description="thread-safe library list",
+)

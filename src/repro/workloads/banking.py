@@ -1,0 +1,97 @@
+"""The ``banking`` benchmark — a typical concurrent error pattern [8].
+
+Three teller threads process transfers between five accounts.  Account
+balances and the running total are correctly protected by the bank's lock;
+the *audit counter*, however, is updated with an unprotected
+read-modify-write — the classic check-then-act bug, and the single data
+race every detector reports (Table 2: 1 / 1 / 1).
+
+A separate, fully unsynchronized variant (:func:`build_bank_enumeration`)
+reproduces the Table 1 ``bank`` poset: ``n`` independent per-thread chains
+whose lattice is the full grid — ``(L+1)^n`` global states (the paper's
+815 million is exactly ``13⁸``), the worst case for BFS memory.
+"""
+
+from __future__ import annotations
+
+from repro.poset.builder import PosetBuilder
+from repro.poset.poset import Poset
+from repro.runtime.ops import Acquire, Compute, Fork, Join, Read, Release, Write
+from repro.runtime.program import Program, ThreadContext
+from repro.workloads.base import DetectionExpectation, DetectionWorkload
+
+__all__ = ["build_banking", "build_bank_enumeration", "WORKLOAD"]
+
+_ACCOUNTS = 5
+_ROUNDS = 3
+
+
+def _teller(ctx: ThreadContext):
+    """One teller: locked transfers plus an unprotected audit increment."""
+    for _ in range(_ROUNDS):
+        src = ctx.rng.randint(0, _ACCOUNTS - 1)
+        dst = ctx.rng.randint(0, _ACCOUNTS - 1)
+        amount = ctx.rng.randint(1, 50)
+        yield Acquire("bank.lock")
+        a = yield Read(f"acct{src}")
+        b = yield Read(f"acct{dst}")
+        yield Write(f"acct{src}", a - amount)
+        yield Write(f"acct{dst}", b + amount)
+        t = yield Read("total")
+        yield Write("total", t)  # invariant: transfers keep the total fixed
+        yield Release("bank.lock")
+        # BUG: audit counter updated without holding any lock.
+        audit = yield Read("audit")
+        yield Compute(3)  # widen the race window
+        yield Write("audit", audit + 1)
+
+
+def _main(ctx: ThreadContext):
+    tellers = []
+    for i in range(3):
+        tid = yield Fork(_teller, name=f"teller{i}")
+        tellers.append(tid)
+    for tid in tellers:
+        yield Join(tid)
+    yield Acquire("bank.lock")
+    yield Read("total")
+    yield Release("bank.lock")
+
+
+def build_banking() -> Program:
+    """The Table 2 ``banking`` program (4 threads, 7 shared variables)."""
+    shared = {f"acct{i}": 100 for i in range(_ACCOUNTS)}
+    shared["total"] = 100 * _ACCOUNTS
+    shared["audit"] = 0
+    return Program(
+        name="banking",
+        main=_main,
+        max_threads=4,
+        shared=shared,
+        description="lock-protected transfers with an unprotected audit counter",
+    )
+
+
+def build_bank_enumeration(threads: int = 8, chain_length: int = 3) -> Poset:
+    """The Table 1 ``bank`` poset: fully unsynchronized accesses.
+
+    ``threads`` independent chains of ``chain_length`` events each — the
+    lattice is the complete grid with ``(chain_length+1)^threads`` states
+    and exponentially wide middle levels (the BFS o.o.m. driver).
+    """
+    builder = PosetBuilder(threads)
+    for _ in range(chain_length):
+        for tid in range(threads):
+            builder.append(tid, kind="write", obj="balance")
+    return builder.build()
+
+
+WORKLOAD = DetectionWorkload(
+    name="banking",
+    build=build_banking,
+    expected=DetectionExpectation(
+        paramount=1, fasttrack=1, rv_detections=1, rv_status="ok"
+    ),
+    seed=11,
+    description="3 tellers; audit counter race",
+)

@@ -1,0 +1,132 @@
+"""The ``elevator`` benchmark — a discrete-event elevator simulator [33].
+
+Three elevator cars poll a central, lock-protected controls object for
+pending floor calls, move (updating their lock-protected position), and
+``Sleep`` between polls.  The sleeps dominate the running time — the paper
+notes "the benchmark elevator contains several sleep() function calls,
+which dominate the overall running time, so its running time is almost the
+same on different detectors" (its Base and detection times are all ~16 s in
+Table 2).  Everything shared is protected: 0 detections for every tool.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.ops import Acquire, Fork, Join, Read, Release, Sleep, Write
+from repro.runtime.program import Program, ThreadContext
+from repro.workloads.base import DetectionExpectation, DetectionWorkload
+
+__all__ = ["build_elevator", "WORKLOAD"]
+
+_CARS = 3
+_ROUNDS = 4
+#: Virtual seconds slept per polling round (drives the Base column).
+_POLL_SLEEP = 1.3
+
+
+def _car(index: int):
+    def body(ctx: ThreadContext):
+        for _ in range(_ROUNDS):
+            yield Acquire("Controls.lock")
+            calls = yield Read("Controls.calls")
+            if calls and len(calls) > 0:
+                floor = calls[0]
+                yield Write("Controls.calls", calls[1:])
+                yield Write(f"Car{index}.target", floor)
+            yield Release("Controls.lock")
+            # Move towards the target, then idle until the next poll.
+            yield Acquire("Controls.lock")
+            pos = yield Read(f"Car{index}.pos")
+            target = yield Read(f"Car{index}.target")
+            if target is not None and pos != target:
+                yield Write(f"Car{index}.pos", target)
+            yield Release("Controls.lock")
+            yield Sleep(_POLL_SLEEP)
+
+    return body
+
+
+def _main(ctx: ThreadContext):
+    yield Acquire("Controls.lock")
+    yield Write("Controls.calls", (2, 5, 7, 1, 3, 6))
+    yield Release("Controls.lock")
+    cars = []
+    for i in range(_CARS):
+        tid = yield Fork(_car(i), name=f"car{i}")
+        cars.append(tid)
+    for tid in cars:
+        yield Join(tid)
+    yield Acquire("Controls.lock")
+    yield Read("Controls.calls")
+    yield Release("Controls.lock")
+
+
+def build_elevator() -> Program:
+    """The Table 2 elevator simulator (3 cars + main = 4 threads).
+
+    The Table 1 poset uses 11 cars (12 threads) via
+    :func:`build_elevator_scaled`.
+    """
+    return Program(
+        name="elevator",
+        main=_main,
+        max_threads=_CARS + 1,
+        shared={f"Car{i}.pos": 0 for i in range(_CARS)},
+        description="lock-protected elevator controls with polling sleeps",
+    )
+
+
+def build_elevator_scaled(
+    cars: int, rounds: int, moves_per_round: int = 2
+) -> Program:
+    """Parameterized variant used to regenerate the Table 1 poset (n=12)."""
+
+    def main(ctx: ThreadContext):
+        yield Acquire("Controls.lock")
+        yield Write("Controls.calls", tuple(range(cars * rounds)))
+        yield Release("Controls.lock")
+        tids = []
+        for i in range(cars):
+            tid = yield Fork(
+                _scaled_car(i, rounds, moves_per_round), name=f"car{i}"
+            )
+            tids.append(tid)
+        for tid in tids:
+            yield Join(tid)
+
+    shared = {f"Car{i}.pos": 0 for i in range(cars)}
+    return Program(
+        name="elevator",
+        main=main,
+        max_threads=cars + 1,
+        shared=shared,
+        description="scaled elevator simulator",
+    )
+
+
+def _scaled_car(index: int, rounds: int, moves_per_round: int = 2):
+    def body(ctx: ThreadContext):
+        for step in range(rounds):
+            yield Acquire("Controls.lock")
+            calls = yield Read("Controls.calls")
+            if calls:
+                yield Write("Controls.calls", calls[1:])
+            yield Release("Controls.lock")
+            # A few unsynchronized car-local movement events per round;
+            # their count tunes the 12-thread raw lattice's width/size so
+            # the poset stays Python-enumerable while still exceeding the
+            # modeled heap for the sequential BFS (DESIGN.md §3).
+            for move in range(moves_per_round):
+                yield Write(f"Car{index}.pos", step * moves_per_round + move)
+
+    return body
+
+
+WORKLOAD = DetectionWorkload(
+    name="elevator",
+    build=build_elevator,
+    expected=DetectionExpectation(
+        paramount=0, fasttrack=0, rv_detections=0, rv_status="ok"
+    ),
+    seed=4,
+    description="sleep-dominated discrete-event simulator",
+)

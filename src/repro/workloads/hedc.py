@@ -1,0 +1,110 @@
+"""The ``hedc`` benchmark — a meta-crawler for Internet archives [5, 33].
+
+A task pool drives worker threads over a monitor (workers ``wait`` for
+tasks, the master ``notify``-s as it posts them) — so the modeled RV
+baseline fails with an exception before seeing any race (Table 2: "–").
+
+The four known racy variables are unsynchronized bookkeeping the workers
+update as they complete tasks: ``Stats.bytes``, ``Stats.tasks``,
+``Cache.hits`` and ``MetaSearch.result`` (ParaMount 4, FastTrack 4).  Task
+hand-off itself is correctly lock-protected.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.ops import (
+    Acquire,
+    Compute,
+    Fork,
+    Join,
+    NotifyAll,
+    Read,
+    Release,
+    Wait,
+    Write,
+)
+from repro.runtime.program import Program, ThreadContext
+from repro.workloads.base import DetectionExpectation, DetectionWorkload
+
+__all__ = ["build_hedc", "WORKLOAD"]
+
+_RACY_VARS = ("Stats.bytes", "Stats.tasks", "Cache.hits", "MetaSearch.result")
+
+
+def _worker(tasks_per_worker: int, racy_updates: int):
+    def body(ctx: ThreadContext):
+        # Wait until the pool is open.
+        yield Acquire("Pool.mon")
+        while True:
+            open_ = yield Read("Pool.open")
+            if open_:
+                break
+            yield Wait("Pool.mon")
+        yield Release("Pool.mon")
+        for _ in range(tasks_per_worker):
+            # Locked task hand-off.
+            yield Acquire("Pool.lock")
+            nxt = yield Read("Pool.next")
+            yield Write("Pool.next", (nxt or 0) + 1)
+            yield Release("Pool.lock")
+            yield Compute(5)  # fetch and parse the archive page
+            # BUG: shared bookkeeping updated with no synchronization.
+            for var in _RACY_VARS[:racy_updates]:
+                v = yield Read(var)
+                yield Write(var, (v or 0) + 1)
+
+    return body
+
+
+def _make_main(workers: int, tasks_per_worker: int, racy_updates: int):
+    def main(ctx: ThreadContext):
+        tids = []
+        for i in range(workers):
+            tid = yield Fork(
+                _worker(tasks_per_worker, racy_updates), name=f"crawler{i}"
+            )
+            tids.append(tid)
+        yield Acquire("Pool.lock")
+        yield Write("Pool.next", 0)
+        yield Release("Pool.lock")
+        yield Acquire("Pool.mon")
+        yield Write("Pool.open", True)
+        yield NotifyAll("Pool.mon")
+        yield Release("Pool.mon")
+        for tid in tids:
+            yield Join(tid)
+        yield Read("Stats.tasks")
+
+    return main
+
+
+def build_hedc(
+    workers: int = 7,
+    tasks_per_worker: int = 1,
+    racy_updates: int = len(_RACY_VARS),
+) -> Program:
+    """The hedc crawler (``workers + 1`` threads; Table 2 uses 8).
+
+    ``racy_updates`` limits how many of the four racy bookkeeping
+    variables each task touches — the Table 1 enumeration variant uses 1
+    so the 12-thread raw-access lattice stays Python-enumerable
+    (DESIGN.md §3 scaling).
+    """
+    return Program(
+        name="hedc",
+        main=_make_main(workers, tasks_per_worker, racy_updates),
+        max_threads=workers + 1,
+        shared={"Pool.open": False},
+        description="task-pool crawler with unsynchronized statistics",
+    )
+
+
+WORKLOAD = DetectionWorkload(
+    name="hedc",
+    build=build_hedc,
+    expected=DetectionExpectation(
+        paramount=4, fasttrack=4, rv_detections=None, rv_status="exception"
+    ),
+    seed=8,
+    description="four unsynchronized bookkeeping variables",
+)

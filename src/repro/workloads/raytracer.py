@@ -1,0 +1,80 @@
+"""The ``raytracer`` benchmark — Java Grande 3-D ray tracer [33].
+
+Renderer threads shade disjoint scanline variables with *no*
+synchronization (embarrassingly parallel), then fold their partial sums
+into a shared ``Scene.checksum`` without holding a lock — the benchmark's
+well-known real race (ParaMount 1, FastTrack 1).
+
+The long unsynchronized per-thread access chains are exactly what blows up
+an enumerator that stores intermediate global states: the raw-access poset
+is a product of long independent chains, so the RV baseline's BFS exhausts
+its memory budget long before it reaches the (late) checksum states —
+reproducing Table 2's ``o.o.m.`` with no race reported ("the field with
+data races is not shown in the candidate list").  ParaMount's
+event-collection poset collapses each renderer to a couple of collections,
+so its detector finishes in milliseconds while using a tiny fraction of
+the memory (the paper's "our detector uses only 25% of the system
+memory").
+"""
+
+from __future__ import annotations
+
+from repro.runtime.ops import Compute, Fork, Join, Read, Write
+from repro.runtime.program import Program, ThreadContext
+from repro.workloads.base import DetectionExpectation, DetectionWorkload
+
+__all__ = ["build_raytracer", "WORKLOAD"]
+
+_RENDERERS = 3
+_ROWS_PER_RENDERER = 14
+
+
+def _renderer(index: int):
+    def body(ctx: ThreadContext):
+        for r in range(_ROWS_PER_RENDERER):
+            row = f"Image.row{index * _ROWS_PER_RENDERER + r}"
+            yield Compute(8)  # trace rays for this scanline
+            yield Write(row, (index + 1) * 1000 + r)
+            yield Read(row)  # accumulate into the local partial sum
+        # BUG: fold the partial checksum into the scene total unlocked.
+        total = yield Read("Scene.checksum")
+        yield Compute(2)
+        yield Write("Scene.checksum", (total or 0) + index + 1)
+
+    return body
+
+
+def _main(ctx: ThreadContext):
+    yield Write("Scene.checksum", 0, is_init=True)
+    tids = []
+    for i in range(_RENDERERS):
+        tid = yield Fork(_renderer(i), name=f"render{i}")
+        tids.append(tid)
+    # The main thread renders its own share of scanlines too (the Java
+    # Grande driver participates in the render).
+    yield from _renderer(_RENDERERS)(ctx)
+    for tid in tids:
+        yield Join(tid)
+    yield Read("Scene.checksum")
+
+
+def build_raytracer() -> Program:
+    """The Table 2 raytracer (4 threads)."""
+    return Program(
+        name="raytracer",
+        main=_main,
+        max_threads=_RENDERERS + 1,
+        shared={},
+        description="parallel renderer with an unlocked checksum fold",
+    )
+
+
+WORKLOAD = DetectionWorkload(
+    name="raytracer",
+    build=build_raytracer,
+    expected=DetectionExpectation(
+        paramount=1, fasttrack=1, rv_detections=0, rv_status="o.o.m."
+    ),
+    seed=6,
+    description="checksum race; RV baseline exhausts memory",
+)

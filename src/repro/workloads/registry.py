@@ -1,0 +1,145 @@
+"""Workload registry: the paper's two benchmark suites, by name.
+
+``DETECTION_WORKLOADS`` is Table 2's row order; ``ENUMERATION_WORKLOADS``
+is Table 1's.  Scaled parameters (event counts, message probabilities) are
+recorded in the individual modules; the exact per-poset state counts land
+in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads import arraylist, banking, elevator, hedc, raytracer, sets, sor, tsp
+from repro.workloads.base import (
+    DetectionWorkload,
+    EnumerationWorkload,
+    poset_from_program,
+)
+from repro.workloads.distributed import build_d_poset
+
+__all__ = [
+    "DETECTION_WORKLOADS",
+    "ENUMERATION_WORKLOADS",
+    "detection_workload",
+    "enumeration_workload",
+]
+
+#: Table 2's benchmarks, in the paper's row order.
+DETECTION_WORKLOADS: Dict[str, DetectionWorkload] = {
+    w.name: w
+    for w in (
+        banking.WORKLOAD,
+        sets.WORKLOAD_FAULTY,
+        sets.WORKLOAD_CORRECT,
+        arraylist.WORKLOAD_ARRAYLIST1,
+        arraylist.WORKLOAD_ARRAYLIST2,
+        sor.WORKLOAD,
+        elevator.WORKLOAD,
+        tsp.WORKLOAD,
+        raytracer.WORKLOAD,
+        hedc.WORKLOAD,
+    )
+}
+
+
+def _tsp_poset():
+    """Table 1 ``tsp``: 8-thread solver trace, raw access events."""
+    return poset_from_program(
+        tsp.build_tsp(workers=7, tasks_per_worker=8), seed=42
+    )
+
+
+def _hedc_poset():
+    """Table 1 ``hedc``: 12-thread crawler trace, raw access events."""
+    return poset_from_program(
+        hedc.build_hedc(workers=11, tasks_per_worker=1, racy_updates=1), seed=42
+    )
+
+
+def _elevator_poset():
+    """Table 1 ``elevator``: 12-thread simulator trace, raw access events."""
+    return poset_from_program(
+        elevator.build_elevator_scaled(cars=11, rounds=1, moves_per_round=2), seed=42
+    )
+
+
+#: Table 1's benchmarks, in the paper's row order.
+ENUMERATION_WORKLOADS: Dict[str, EnumerationWorkload] = {
+    w.name: w
+    for w in (
+        EnumerationWorkload(
+            name="d-300",
+            threads=10,
+            build_poset=lambda: build_d_poset("d-300"),
+            bfs_oom_expected=False,
+            description="random distributed computation (small)",
+        ),
+        EnumerationWorkload(
+            name="d-500",
+            threads=10,
+            build_poset=lambda: build_d_poset("d-500"),
+            bfs_oom_expected=False,
+            description="random distributed computation (medium)",
+        ),
+        EnumerationWorkload(
+            name="d-10k",
+            threads=10,
+            build_poset=lambda: build_d_poset("d-10k"),
+            bfs_oom_expected=False,
+            description="random distributed computation (large)",
+        ),
+        EnumerationWorkload(
+            name="bank",
+            threads=8,
+            build_poset=lambda: banking.build_bank_enumeration(
+                threads=8, chain_length=4
+            ),
+            bfs_oom_expected=True,
+            description="unsynchronized error pattern: full grid lattice",
+        ),
+        EnumerationWorkload(
+            name="tsp",
+            threads=8,
+            build_poset=_tsp_poset,
+            bfs_oom_expected=False,
+            description="heavily synchronized solver trace",
+        ),
+        EnumerationWorkload(
+            name="hedc",
+            threads=12,
+            build_poset=_hedc_poset,
+            bfs_oom_expected=True,
+            description="task-pool crawler trace",
+        ),
+        EnumerationWorkload(
+            name="elevator",
+            threads=12,
+            build_poset=_elevator_poset,
+            bfs_oom_expected=True,
+            description="discrete-event simulator trace",
+        ),
+    )
+}
+
+
+def detection_workload(name: str) -> DetectionWorkload:
+    """Look up a Table 2 workload by name."""
+    try:
+        return DETECTION_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown detection workload {name!r}; "
+            f"expected one of {sorted(DETECTION_WORKLOADS)}"
+        ) from None
+
+
+def enumeration_workload(name: str) -> EnumerationWorkload:
+    """Look up a Table 1 workload by name."""
+    try:
+        return ENUMERATION_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown enumeration workload {name!r}; "
+            f"expected one of {sorted(ENUMERATION_WORKLOADS)}"
+        ) from None

@@ -1,0 +1,153 @@
+"""The ``set (faulty)`` / ``set (correct)`` benchmarks [15].
+
+A concurrent set over a linked list protected by a hand-over-hand locking
+discipline.  Race reporting is at *field granularity* ("the variable
+``next`` of a node has data races"), matching how the real tools aggregate
+instances, so the shared variables are the fields ``Node.value``,
+``Node.next`` and ``Set.size``.
+
+Roles (4 threads):
+
+* ``adder1`` creates the first node — initializing ``Node.value``,
+  ``Node.next`` and the lazily-created ``Set.size`` *outside* the lock (no
+  other thread can reference a fresh node) — then links it under the lock.
+* ``adder2`` creates a second node (initializing its ``next`` field outside
+  the lock), spins until the set is non-empty, then links under the lock.
+  At field granularity its init write to ``Node.next`` is genuinely
+  HB-concurrent with ``adder1``'s — an initialization race on the field.
+* ``remover`` spins until the set is non-empty and unlinks the head under
+  the lock.  In the **faulty** variant it first performs an optimistic
+  *unlocked* traversal read of ``Node.next`` — the paper's bug, racing with
+  the adders' locked link writes.
+
+Expected Table 2 outcomes:
+
+* faulty — ParaMount 1 (``Node.next``, the real race; init accesses
+  filtered per §5.2), FastTrack 1 (same field), RV 3 (adds the benign
+  ``Node.value``/``Set.size`` init races visible under its sliced order);
+* correct — ParaMount 0, FastTrack 1 (the ``Node.next`` initialization
+  race — the paper's false alarm: "the variable next is initialized
+  without the protection of locks; consequently, FastTrack reports the
+  variable even if it is well protected in subsequent accesses"), RV 3.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.ops import Acquire, Compute, Fork, Join, Read, Release, Write
+from repro.runtime.program import Program, ThreadContext
+from repro.workloads.base import DetectionExpectation, DetectionWorkload
+
+__all__ = ["build_set", "WORKLOAD_FAULTY", "WORKLOAD_CORRECT"]
+
+
+def _spin_until_nonempty(ctx: ThreadContext):
+    """Locked polling of ``Set.head`` until the set becomes non-empty.
+
+    Orders everything the spinning thread does afterwards behind the
+    publishing adder's lock release (full happened-before), while leaving
+    it *weakly* concurrent — exactly the split the detectors disagree on.
+    """
+    while True:
+        yield Acquire("Set.lock")
+        head = yield Read("Set.head")
+        yield Release("Set.lock")
+        if head is not None:
+            return head
+
+
+def _adder1(ctx: ThreadContext):
+    yield Write("Node.value", 100, is_init=True)
+    yield Write("Node.next", None, is_init=True)
+    yield Write("Set.size", 0, is_init=True)  # lazy set bookkeeping
+    # Hand-over-hand: the node's link field is guarded by the node lock,
+    # the head pointer and bookkeeping by the set lock.
+    yield Acquire("Node.lock")
+    yield Write("Node.next", None)  # splice: node.next = successor
+    yield Release("Node.lock")
+    yield Acquire("Set.lock")
+    head = yield Read("Set.head")
+    yield Write("Set.head", "node-1")
+    size = yield Read("Set.size")
+    yield Write("Set.size", (size or 0) + 1)
+    yield Release("Set.lock")
+
+
+def _adder2(ctx: ThreadContext):
+    yield Write("Node.next", None, is_init=True)
+    head_snapshot = yield from _spin_until_nonempty(ctx)
+    yield Acquire("Node.lock")
+    yield Write("Node.next", head_snapshot)  # splice behind current head
+    yield Release("Node.lock")
+    yield Acquire("Set.lock")
+    yield Write("Set.head", "node-2")
+    size = yield Read("Set.size")
+    yield Write("Set.size", size + 1)
+    yield Release("Set.lock")
+
+
+def _remover(faulty: bool):
+    def body(ctx: ThreadContext):
+        if faulty:
+            # BUG: optimistic traversal reads the successor pointer with no
+            # lock held — races with a concurrent adder's locked splice.
+            yield Read("Node.next")
+            yield Compute(2)
+        yield from _spin_until_nonempty(ctx)
+        yield Acquire("Node.lock")
+        yield Read("Node.value")  # inspect the candidate node
+        nxt = yield Read("Node.next")  # locked traversal step
+        yield Release("Node.lock")
+        yield Acquire("Set.lock")
+        yield Read("Set.head")
+        yield Write("Set.head", nxt)  # unlink the head node
+        size = yield Read("Set.size")
+        yield Write("Set.size", size - 1)
+        yield Release("Set.lock")
+
+    return body
+
+
+def _make_main(faulty: bool):
+    def main(ctx: ThreadContext):
+        a1 = yield Fork(_adder1, name="adder1")
+        a2 = yield Fork(_adder2, name="adder2")
+        r = yield Fork(_remover(faulty), name="remover")
+        yield Join(a1)
+        yield Join(a2)
+        yield Join(r)
+
+    return main
+
+
+def build_set(faulty: bool) -> Program:
+    """The concurrent-set program (4 threads, field-granularity variables)."""
+    return Program(
+        name="set (faulty)" if faulty else "set (correct)",
+        main=_make_main(faulty),
+        max_threads=4,
+        shared={"Set.head": None},
+        description="hand-over-hand locked linked-list set",
+    )
+
+
+WORKLOAD_FAULTY = DetectionWorkload(
+    name="set (faulty)",
+    build=lambda: build_set(faulty=True),
+    expected=DetectionExpectation(
+        paramount=1, fasttrack=1, rv_detections=3, rv_status="ok"
+    ),
+    seed=5,
+    benign_vars=frozenset({"Node.value", "Set.size"}),
+    description="unlocked traversal read of Node.next",
+)
+
+WORKLOAD_CORRECT = DetectionWorkload(
+    name="set (correct)",
+    build=lambda: build_set(faulty=False),
+    expected=DetectionExpectation(
+        paramount=0, fasttrack=1, rv_detections=3, rv_status="ok"
+    ),
+    seed=5,
+    benign_vars=frozenset({"Node.value", "Node.next", "Set.size"}),
+    description="fully locked traversal; init-only reports remain",
+)

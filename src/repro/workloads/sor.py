@@ -1,0 +1,83 @@
+"""The ``sor`` benchmark — successive over-relaxation [33].
+
+A red/black grid solver: worker threads update disjoint row variables and
+meet at a lock-protected counting barrier between half-sweeps.  All shared
+state is either thread-disjoint (rows) or lock-protected (the barrier), so
+no detector reports anything (Table 2: 0 / 0 / 0); the benchmark's value is
+exercising a lock-heavy, barrier-structured poset where RV's BFS still
+finishes (it is one of the few programs RV completes, slowly).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.ops import Acquire, Compute, Fork, Join, Read, Release, Write
+from repro.runtime.program import Program, ThreadContext
+from repro.workloads.base import DetectionExpectation, DetectionWorkload
+
+__all__ = ["build_sor", "WORKLOAD"]
+
+_WORKERS = 3
+_PHASES = 2
+_ROWS_PER_WORKER = 2
+
+
+def _barrier(ctx: ThreadContext, phase: int):
+    """Lock-protected counting barrier (no monitor wait — the RV baseline
+    must be able to finish this benchmark)."""
+    yield Acquire("Barrier.lock")
+    count = yield Read(f"Barrier.count{phase}")
+    yield Write(f"Barrier.count{phase}", (count or 0) + 1)
+    yield Release("Barrier.lock")
+    while True:
+        yield Acquire("Barrier.lock")
+        count = yield Read(f"Barrier.count{phase}")
+        yield Release("Barrier.lock")
+        if count >= _WORKERS:
+            return
+        yield Compute(1)
+
+
+def _worker(worker_index: int):
+    def body(ctx: ThreadContext):
+        for phase in range(_PHASES):
+            # Red/black half-sweep over this worker's own rows.
+            for r in range(_ROWS_PER_WORKER):
+                row = f"Grid.row{worker_index * _ROWS_PER_WORKER + r}"
+                v = yield Read(row)
+                yield Compute(4)  # stencil arithmetic
+                yield Write(row, (v or 0) + 1)
+            yield from _barrier(ctx, phase)
+
+    return body
+
+
+def _main(ctx: ThreadContext):
+    workers = []
+    for i in range(_WORKERS):
+        tid = yield Fork(_worker(i), name=f"sor{i}")
+        workers.append(tid)
+    for tid in workers:
+        yield Join(tid)
+    yield Read("Grid.row0")  # gather the result
+
+
+def build_sor() -> Program:
+    """The Table 2 ``sor`` program (4 threads)."""
+    return Program(
+        name="sor",
+        main=_main,
+        max_threads=4,
+        shared={},
+        description="red/black relaxation with a lock-based barrier",
+    )
+
+
+WORKLOAD = DetectionWorkload(
+    name="sor",
+    build=build_sor,
+    expected=DetectionExpectation(
+        paramount=0, fasttrack=0, rv_detections=0, rv_status="ok"
+    ),
+    seed=2,
+    description="race-free scientific kernel",
+)

@@ -1,0 +1,109 @@
+"""The ``tsp`` benchmark — a parallel traveling-salesman solver [33].
+
+Worker threads pull branch-and-bound subproblems from a lock-protected
+queue filled by the master, who signals availability on a monitor — the
+``wait``/``notify`` usage that makes the modeled RV baseline bail out
+before reaching any race (Table 2: "–"/exception).
+
+The known benign race: workers *read* the current best tour cost without
+the lock as a pruning shortcut (``Tour.minCost``), while updates are
+properly locked — one reported variable for ParaMount and FastTrack.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.ops import (
+    Acquire,
+    Compute,
+    Fork,
+    Join,
+    Notify,
+    NotifyAll,
+    Read,
+    Release,
+    Wait,
+    Write,
+)
+from repro.runtime.program import Program, ThreadContext
+from repro.workloads.base import DetectionExpectation, DetectionWorkload
+
+__all__ = ["build_tsp", "WORKLOAD"]
+
+
+def _worker(tasks_per_worker: int):
+    def body(ctx: ThreadContext):
+        # Wait until the master has filled the work queue.
+        yield Acquire("Queue.mon")
+        while True:
+            filled = yield Read("Queue.filled")
+            if filled:
+                break
+            yield Wait("Queue.mon")
+        yield Release("Queue.mon")
+        for _ in range(tasks_per_worker):
+            # Pull a subproblem.
+            yield Acquire("Queue.lock")
+            idx = yield Read("Queue.next")
+            yield Write("Queue.next", (idx or 0) + 1)
+            yield Release("Queue.lock")
+            # Branch and bound: the pruning shortcut reads the bound
+            # WITHOUT the lock — the benchmark's known benign race.
+            bound = yield Read("Tour.minCost")
+            yield Compute(6)  # expand the subtree
+            cost = (idx or 0) * 7 + ctx.tid  # deterministic pseudo-cost
+            if bound is None or cost < bound:
+                yield Acquire("Tour.lock")
+                current = yield Read("Tour.minCost")
+                if current is None or cost < current:
+                    yield Write("Tour.minCost", cost)
+                    yield Write("Tour.best", f"tour-{ctx.tid}-{idx}")
+                yield Release("Tour.lock")
+
+    return body
+
+
+def _make_main(workers: int, tasks_per_worker: int):
+    def main(ctx: ThreadContext):
+        tids = []
+        for i in range(workers):
+            tid = yield Fork(_worker(tasks_per_worker), name=f"solver{i}")
+            tids.append(tid)
+        # Fill the queue, then wake all waiting workers.
+        yield Acquire("Queue.lock")
+        yield Write("Queue.next", 0)
+        yield Write("Queue.size", workers * tasks_per_worker)
+        yield Release("Queue.lock")
+        yield Acquire("Queue.mon")
+        yield Write("Queue.filled", True)
+        yield NotifyAll("Queue.mon")
+        yield Release("Queue.mon")
+        for tid in tids:
+            yield Join(tid)
+        yield Acquire("Tour.lock")
+        yield Read("Tour.best")
+        yield Release("Tour.lock")
+
+    return main
+
+
+def build_tsp(workers: int = 3, tasks_per_worker: int = 2) -> Program:
+    """The tsp solver (``workers + 1`` threads; Table 2 uses 4)."""
+    return Program(
+        name="tsp",
+        main=_make_main(workers, tasks_per_worker),
+        max_threads=workers + 1,
+        shared={"Queue.filled": False},
+        description="branch-and-bound with an unlocked bound-pruning read",
+    )
+
+
+WORKLOAD = DetectionWorkload(
+    name="tsp",
+    build=build_tsp,
+    expected=DetectionExpectation(
+        paramount=1, fasttrack=1, rv_detections=None, rv_status="exception"
+    ),
+    seed=3,
+    benign_vars=frozenset({"Tour.minCost"}),
+    description="benign unlocked read of the best-tour bound",
+)

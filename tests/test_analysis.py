@@ -1,0 +1,110 @@
+"""Tests for the analysis layer (speedup pipeline + memory model)."""
+
+import pytest
+
+from repro.analysis.memory import MemoryModel, MemoryReport
+from repro.analysis.speedup import (
+    measure_paramount,
+    measure_sequential,
+    speedup_curve,
+)
+from repro.core.simulated import CostModel
+
+from tests.conftest import build_chain_poset, build_figure4_poset
+
+
+def test_measure_sequential_lexical():
+    p = build_figure4_poset()
+    m = measure_sequential(p, "lexical")
+    assert m.states == 8
+    assert m.finished
+    assert m.peak_live == 1
+    assert m.interval_costs == []
+
+
+def test_measure_sequential_oom():
+    p = build_chain_poset(5, 3)
+    m = measure_sequential(p, "bfs", memory_budget=20)
+    assert m.oom and not m.finished
+    assert m.states == 0
+
+
+def test_measure_paramount_intervals():
+    p = build_figure4_poset()
+    m = measure_paramount(p, "lexical")
+    assert m.states == 8
+    assert len(m.interval_costs) == p.num_events
+    assert sum(1 for w, _ in m.interval_costs if w >= 0) == p.num_events
+
+
+def test_speedup_curve_shapes():
+    p = build_chain_poset(4, 3)
+    seq = measure_sequential(p, "lexical")
+    para = measure_paramount(p, "lexical")
+    curve = speedup_curve("grid", seq, para, worker_counts=(1, 2, 4, 8))
+    s1 = curve.speedup(1)
+    s8 = curve.speedup(8)
+    assert s1 is not None and s8 is not None
+    assert s8 >= s1  # more workers never hurt the modeled makespan
+    assert set(curve.speedups()) == {1, 2, 4, 8}
+
+
+def test_speedup_none_when_baseline_oom():
+    p = build_chain_poset(5, 3)
+    seq = measure_sequential(p, "bfs", memory_budget=20)
+    para = measure_paramount(p, "bfs", memory_budget=10_000)
+    curve = speedup_curve("grid", seq, para)
+    assert curve.sequential_seconds is None
+    assert curve.speedup(8) is None
+    assert all(v is None for v in curve.speedups().values())
+
+
+def test_gc_model_drives_superlinearity():
+    """With GC pressure on, the partitioned run's modeled advantage at one
+    worker exceeds the pure-work ratio — the paper's B-Para(1) < BFS."""
+    p = build_chain_poset(4, 4)
+    seq = measure_sequential(p, "bfs")
+    para = measure_paramount(p, "bfs")
+    pressured = CostModel(gc_threshold=16, gc_alpha=0.5)
+    no_gc = CostModel(gc_threshold=10**9)
+    curve_gc = speedup_curve("g", seq, para, cost_model=pressured)
+    curve_flat = speedup_curve("g", seq, para, cost_model=no_gc)
+    assert curve_gc.speedup(1) > curve_flat.speedup(1)
+
+
+def test_memory_model_accounting():
+    p = build_figure4_poset()
+    mm = MemoryModel(baseline_bytes=0)
+    poset_bytes = mm.poset_bytes(p)
+    assert poset_bytes == p.num_events * (96 + 2 * 8)
+    assert mm.cut_bytes(2) == 64 + 16
+    assert mm.live_state_bytes(p, 10) == 10 * mm.cut_bytes(2)
+    assert mm.paramount_overhead_bytes(p) == 2 * 4 * mm.cut_bytes(2)
+
+
+def test_memory_report_totals():
+    r = MemoryReport(
+        benchmark="b",
+        algorithm="lexical",
+        poset_bytes=1000,
+        live_bytes=200,
+        overhead_bytes=50,
+        baseline_bytes=0,
+    )
+    assert r.total_bytes == 1250
+    assert r.total_mb == pytest.approx(1250 / 1024 / 1024)
+
+
+def test_lexical_vs_lpara_memory_nearly_identical():
+    """Figure 12's claim, in the model: the bookkeeping overhead is small
+    relative to the runtime baseline + poset."""
+    p = build_chain_poset(8, 3)
+    mm = MemoryModel()
+    lexical_total = mm.baseline_bytes + mm.poset_bytes(p) + mm.live_state_bytes(p, 1)
+    lpara_total = (
+        mm.baseline_bytes
+        + mm.poset_bytes(p)
+        + mm.live_state_bytes(p, 8)
+        + mm.paramount_overhead_bytes(p)
+    )
+    assert lpara_total / lexical_total < 1.01

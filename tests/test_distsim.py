@@ -1,0 +1,260 @@
+"""Tests for the distributed-system simulation substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distsim import (
+    DistributedSystem,
+    Internal,
+    Receive,
+    Send,
+    chandy_lamport_snapshot,
+    poset_from_run,
+)
+from repro.distsim.protocols import (
+    CS_TAG,
+    diffusing_work,
+    dist_mutex,
+    ring_election,
+    token_ring,
+)
+from repro.errors import DeadlockError, SchedulerError
+from repro.poset.ideals import count_ideals
+from repro.poset.topological import is_linear_extension
+
+
+# --------------------------------------------------------------------- #
+# simulator basics
+
+
+def test_ping_pong():
+    def ping(ctx):
+        yield Send(1, "ping")
+        msg = yield Receive()
+        assert msg.payload == "pong"
+
+    def pong(ctx):
+        msg = yield Receive()
+        assert msg.payload == "ping"
+        yield Send(0, "pong")
+
+    run = DistributedSystem([ping, pong], seed=1).run()
+    assert run.message_count() == 2
+    kinds = [(e.pid, e.kind) for e in run.events]
+    assert kinds.index((0, "send")) < kinds.index((1, "receive"))
+
+
+def test_clocks_are_fidge_mattern():
+    def ping(ctx):
+        yield Send(1, "x")
+
+    def pong(ctx):
+        msg = yield Receive()
+        assert msg.clock == (1, 0)
+        yield Internal("after")
+
+    run = DistributedSystem([ping, pong], seed=0).run()
+    recv = next(e for e in run.events if e.kind == "receive")
+    assert recv.vc == (1, 1)
+    internal = next(e for e in run.events if e.kind == "internal")
+    assert internal.vc == (1, 2)
+
+
+def test_fifo_per_channel():
+    def sender(ctx):
+        for i in range(5):
+            yield Send(1, i)
+
+    def receiver(ctx):
+        got = []
+        for _ in range(5):
+            msg = yield Receive()
+            got.append(msg.payload)
+        assert got == list(range(5))
+
+    for seed in range(6):
+        DistributedSystem([sender, receiver], seed=seed).run()
+
+
+def test_deadlock_detected():
+    def waiter(ctx):
+        yield Receive()
+
+    with pytest.raises(DeadlockError):
+        DistributedSystem([waiter, waiter], seed=0).run()
+
+
+def test_undelivered_tallied():
+    def sender(ctx):
+        yield Send(1, "orphan")
+
+    def ignorer(ctx):
+        yield Internal("busy")
+
+    run = DistributedSystem([sender, ignorer], seed=0).run()
+    assert run.undelivered == {(0, 1): 1}
+
+
+def test_bad_destination_rejected():
+    def bad(ctx):
+        yield Send(9, "nope")
+
+    with pytest.raises(SchedulerError):
+        DistributedSystem([bad], seed=0).run()
+
+
+def test_unknown_action_rejected():
+    def bad(ctx):
+        yield "junk"
+
+    with pytest.raises(SchedulerError):
+        DistributedSystem([bad], seed=0).run()
+
+
+def test_determinism_by_seed():
+    behaviors = token_ring(4, rounds=2)
+    a = DistributedSystem(behaviors, seed=9).run()
+    b = DistributedSystem(behaviors, seed=9).run()
+    assert [(e.pid, e.kind, e.vc) for e in a.events] == [
+        (e.pid, e.kind, e.vc) for e in b.events
+    ]
+
+
+# --------------------------------------------------------------------- #
+# monitor → poset
+
+
+def test_poset_from_run_valid():
+    run = DistributedSystem(token_ring(4, rounds=2), seed=3).run()
+    poset = poset_from_run(run)
+    assert poset.num_threads == 4
+    assert poset.num_events == len(run.events)
+    assert is_linear_extension(poset, poset.insertion)
+
+
+def test_token_ring_lattice_is_narrow():
+    """A circulating token serializes the computation: the lattice is
+    barely larger than a chain."""
+    run = DistributedSystem(token_ring(4, rounds=2), seed=3).run()
+    poset = poset_from_run(run)
+    assert count_ideals(poset) <= 4 * poset.num_events
+
+
+def test_election_terminates_and_has_one_leader():
+    ids = [3, 7, 1, 5]
+    for seed in range(5):
+        run = DistributedSystem(ring_election(4, ids), seed=seed).run()
+        leaders = [e for e in run.events if e.tag == "leader"]
+        assert len(leaders) == 1
+        assert leaders[0].pid == ids.index(max(ids))
+
+
+# --------------------------------------------------------------------- #
+# mutual exclusion on the lattice
+
+
+def _cs_violations(run):
+    from repro.core.paramount import ParaMount
+    from repro.predicates.mutual_exclusion import MutualExclusionPredicate
+
+    poset = poset_from_run(run)
+    pred = MutualExclusionPredicate(
+        lambda e: "cs" if e.obj == CS_TAG else None
+    )
+    ParaMount(poset).run(lambda cut: pred.check(cut, poset.frontier_events(cut)))
+    return pred.matches()
+
+
+def test_token_mutex_safe():
+    for seed in range(4):
+        run = DistributedSystem(dist_mutex(4, safe=True), seed=seed).run()
+        assert _cs_violations(run) == []
+
+
+def test_optimistic_mutex_violates():
+    run = DistributedSystem(dist_mutex(3, safe=False), seed=1).run()
+    assert _cs_violations(run)
+
+
+# --------------------------------------------------------------------- #
+# termination detection
+
+
+def test_naive_termination_test_is_unsound():
+    from repro.predicates.modalities import possibly
+    from repro.predicates.termination import TerminationPredicate, naive_all_passive
+
+    run = DistributedSystem(diffusing_work(4, fanout=2), seed=2).run()
+    poset = poset_from_run(run)
+
+    naive = naive_all_passive()
+    sound = TerminationPredicate(poset)
+
+    naive_witness = possibly(poset, naive)
+    assert naive_witness is not None
+    # find a naive witness with in-flight messages: the trap
+    from repro.predicates.modalities import satisfying_states
+
+    naive_states = satisfying_states(poset, naive)
+    trapped = [c for c in naive_states if sound.in_flight(c) > 0]
+    assert trapped, "expected an all-passive state with messages in flight"
+
+    # the sound predicate accepts only quiescent states
+    sound_witness = possibly(
+        poset, lambda cut, f: sound.check(cut, f)
+    )
+    assert sound_witness is not None
+    assert sound.in_flight(sound_witness) == 0
+    # ... and the final state is among them
+    assert sound.check(poset.lengths, poset.frontier_events(poset.lengths))
+
+
+# --------------------------------------------------------------------- #
+# Chandy–Lamport snapshots
+
+
+def test_snapshot_cut_is_consistent_token_ring():
+    for seed in range(6):
+        run, cut = chandy_lamport_snapshot(token_ring(4, rounds=2), seed=seed)
+        poset = poset_from_run(run)
+        assert poset.is_consistent(cut), (seed, cut)
+
+
+def test_snapshot_cut_is_consistent_election():
+    ids = [2, 9, 4]
+    for seed in range(6):
+        run, cut = chandy_lamport_snapshot(ring_election(3, ids), seed=seed)
+        poset = poset_from_run(run)
+        assert poset.is_consistent(cut), (seed, cut)
+
+
+def test_snapshot_is_in_enumerated_lattice():
+    """The recorded cut is one of the states ParaMount enumerates."""
+    from repro.enumeration import CollectingVisitor
+    from repro.core.paramount import ParaMount
+
+    run, cut = chandy_lamport_snapshot(token_ring(3, rounds=1), seed=4)
+    poset = poset_from_run(run)
+    visitor = CollectingVisitor()
+    ParaMount(poset).run(visitor)
+    assert cut in visitor.as_set()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=500), st.integers(min_value=2, max_value=5))
+def test_snapshot_consistency_property(seed, n):
+    run, cut = chandy_lamport_snapshot(token_ring(n, rounds=2), seed=seed)
+    poset = poset_from_run(run)
+    assert poset.is_consistent(cut)
+
+
+def test_snapshot_with_delay_mid_run():
+    for delay in (2, 4, 7):
+        for seed in range(4):
+            run, cut = chandy_lamport_snapshot(
+                token_ring(4, rounds=2), seed=seed, initiator_delay=delay
+            )
+            poset = poset_from_run(run)
+            assert poset.is_consistent(cut), (delay, seed, cut)
+            assert sum(cut) > 0  # genuinely mid-run

@@ -1,0 +1,66 @@
+"""Tests for the error hierarchy and detection reports."""
+
+import pytest
+
+from repro.detector.report import DetectionReport, RaceRecord
+from repro.errors import (
+    DeadlockError,
+    DetectorError,
+    EnumerationError,
+    EventOrderError,
+    InconsistentCutError,
+    IntervalError,
+    OutOfMemoryError,
+    PosetError,
+    ReproError,
+    SchedulerError,
+    WorkloadError,
+)
+
+
+def test_hierarchy():
+    assert issubclass(PosetError, ReproError)
+    assert issubclass(EventOrderError, PosetError)
+    assert issubclass(IntervalError, EnumerationError)
+    assert issubclass(DeadlockError, SchedulerError)
+    assert issubclass(OutOfMemoryError, ReproError)
+    for exc in (InconsistentCutError, DetectorError, WorkloadError):
+        assert issubclass(exc, ReproError)
+
+
+def test_oom_carries_fields():
+    err = OutOfMemoryError(used=5000, budget=100)
+    assert err.used == 5000
+    assert err.budget == 100
+    assert "5000" in str(err) and "100" in str(err)
+
+
+def test_catch_all_with_base():
+    with pytest.raises(ReproError):
+        raise EventOrderError("x")
+
+
+def test_report_records_first_race_per_var():
+    report = DetectionReport(detector="d", benchmark="b")
+    r1 = RaceRecord(var="x", first=(0, "write"), second=(1, "read"))
+    r2 = RaceRecord(var="x", first=(2, "write"), second=(1, "write"))
+    report.record(r1)
+    report.record(r2)
+    assert report.races["x"] is r1  # first kept
+    assert report.num_detections == 1
+
+
+def test_report_sorted_vars():
+    report = DetectionReport(detector="d", benchmark="b")
+    for var in ("zeta", "alpha", "mid"):
+        report.record(RaceRecord(var=var, first=(0, "write"), second=(1, "write")))
+    assert report.sorted_vars() == ["alpha", "mid", "zeta"]
+    assert report.num_detections == 3
+
+
+def test_report_defaults():
+    report = DetectionReport(detector="d", benchmark="b")
+    assert report.status == "ok"
+    assert report.num_detections == 0
+    assert report.sorted_vars() == []
+    assert report.error is None

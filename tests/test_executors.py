@@ -1,0 +1,72 @@
+"""Tests for the execution backends."""
+
+import threading
+
+import pytest
+
+from repro.core.executors import ProcessExecutor, SerialExecutor, ThreadExecutor
+
+
+def _make_tasks(n):
+    return [lambda i=i: i * i for i in range(n)]
+
+
+def test_serial_order_preserved():
+    results = SerialExecutor().map_tasks(_make_tasks(10))
+    assert results == [i * i for i in range(10)]
+
+
+def test_serial_is_single_worker():
+    assert SerialExecutor().num_workers == 1
+
+
+def test_thread_executor_order_preserved():
+    results = ThreadExecutor(4).map_tasks(_make_tasks(25))
+    assert results == [i * i for i in range(25)]
+
+
+def test_thread_executor_empty():
+    assert ThreadExecutor(2).map_tasks([]) == []
+
+
+def test_thread_executor_runs_concurrently():
+    """Two tasks that need each other to proceed only finish if they run
+    on different threads."""
+    barrier = threading.Barrier(2, timeout=5)
+
+    def task():
+        barrier.wait()
+        return True
+
+    assert ThreadExecutor(2).map_tasks([task, task]) == [True, True]
+
+
+def test_thread_executor_propagates_exceptions():
+    def boom():
+        raise RuntimeError("task failed")
+
+    with pytest.raises(RuntimeError):
+        ThreadExecutor(2).map_tasks([boom])
+
+
+def test_worker_count_validation():
+    with pytest.raises(ValueError):
+        ThreadExecutor(0)
+    with pytest.raises(ValueError):
+        SerialExecutor.__bases__[0].__init__(SerialExecutor(), -3)
+
+
+def test_process_executor_defaults_to_cpu_count():
+    assert ProcessExecutor().num_workers >= 1
+
+
+def test_process_executor_runs_picklable_tasks():
+    # partial over a module-level function is picklable
+    from functools import partial
+
+    tasks = [partial(_square, i) for i in range(6)]
+    assert ProcessExecutor(2).map_tasks(tasks) == [i * i for i in range(6)]
+
+
+def _square(x):
+    return x * x

@@ -1,0 +1,108 @@
+"""Smoke and shape tests for the experiment harness.
+
+The heavyweight full-suite runs live in ``benchmarks/``; here we exercise
+the pipeline on the cheap benchmarks and assert the paper's headline shapes
+(who wins, roughly by how much, and the o.o.m. pattern).
+"""
+
+import pytest
+
+from repro.experiments import figure10, figure11, figure12, table1, table2, table3
+from repro.experiments.common import clear_cache, measure_benchmark
+
+FAST_ENUM = ["d-300", "tsp"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def warm_cache():
+    for name in FAST_ENUM:
+        measure_benchmark(name)
+    yield
+    clear_cache()
+
+
+def test_table1_rows_and_render():
+    rows = table1.run(FAST_ENUM)
+    assert [r.name for r in rows] == FAST_ENUM
+    for row in rows:
+        assert row.states > 1000
+        assert row.lexical_seconds > 0
+        # parallel never slower than the 2x Graham bound of 1 worker
+        assert row.lpara_seconds[8] <= row.lpara_seconds[1]
+        assert row.bpara_seconds[8] <= row.bpara_seconds[1]
+    out = table1.render(rows)
+    assert "d-300" in out and "Lexical" in out and "B-Para(8)" in out
+
+
+def test_table1_speedup_shapes():
+    rows = {r.name: r for r in table1.run(FAST_ENUM)}
+    d300 = rows["d-300"]
+    # the paper's Figure 10/11 envelope: meaningful speedup at 8 workers
+    assert d300.lpara_speedup(8) > 4.0
+    assert d300.bpara_speedup(8) > 4.0
+    # B-Para(1) beats sequential BFS (partitioning cuts GC pressure)
+    assert d300.bpara_speedup(1) > 1.0
+
+
+def test_figure10_monotone_speedups():
+    curves = figure10.run(FAST_ENUM)
+    for curve in curves:
+        speedups = [curve.speedup(k) for k in (1, 2, 4, 8)]
+        assert all(s is not None for s in speedups)
+        assert speedups[-1] > speedups[0]
+    out = figure10.render(curves)
+    assert "Figure 10" in out
+
+
+def test_figure11_monotone_speedups():
+    curves = figure11.run(FAST_ENUM)
+    for curve in curves:
+        assert curve.speedup(8) > curve.speedup(1) * 2
+    out = figure11.render(curves)
+    assert "Figure 11" in out
+
+
+def test_figure11_single_worker_near_parity():
+    """L-Para(1) is comparable to the sequential lexical run (paper: ~20%
+    average saving; we allow a generous envelope)."""
+    (curve,) = figure11.run(["d-300"])
+    assert 0.8 <= curve.speedup(1) <= 2.0
+
+
+def test_figure12_memory_reports():
+    reports = figure12.run(FAST_ENUM)
+    for lexical, lpara, bfs in reports:
+        # Figure 12's claim: L-Para memory ≈ lexical memory
+        assert lpara.total_mb / lexical.total_mb < 1.05
+        assert lexical.total_mb > 0
+    out = figure12.render(reports)
+    assert "Figure 12" in out
+
+
+def test_table2_full_pipeline():
+    rows = table2.run(["banking", "raytracer"])
+    by_name = {r.name: r for r in rows}
+    banking = by_name["banking"]
+    assert banking.paramount.num_detections == 1
+    assert banking.rv.num_detections == 1
+    assert banking.fasttrack.num_detections == 1
+    ray = by_name["raytracer"]
+    assert ray.rv.status == "o.o.m."
+    assert ray.paramount.num_detections == 1
+    out = table2.render(rows)
+    assert "banking" in out and "o.o.m." in out
+
+
+def test_table3_static():
+    rows = table3.run()
+    assert len(rows) == 3
+    out = table3.render(rows)
+    assert "ParaMount" in out and "FastTrack" in out and "RV runtime" in out
+
+
+def test_runner_cli_table3(capsys):
+    from repro.experiments.runner import main
+
+    assert main(["table3"]) == 0
+    captured = capsys.readouterr()
+    assert "Table 3" in captured.out

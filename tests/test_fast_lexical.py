@@ -1,0 +1,89 @@
+"""Tests for the optimized lexical enumerator.
+
+The contract is strict: identical *visit sequences* to the reference
+implementation on every input, full and bounded.
+"""
+
+from hypothesis import given, settings
+
+from repro.enumeration import (
+    CollectingVisitor,
+    FastLexicalEnumerator,
+    LexicalEnumerator,
+    verify_enumerator,
+)
+from repro.util.cuts import cut_leq
+
+from tests.conftest import build_chain_poset, small_posets
+
+
+def test_figure4_sequence_identical(figure4_poset):
+    a, b = CollectingVisitor(), CollectingVisitor()
+    LexicalEnumerator(figure4_poset).enumerate(a)
+    FastLexicalEnumerator(figure4_poset).enumerate(b)
+    assert a.cuts == b.cuts
+
+
+def test_registered_in_factory(figure4_poset):
+    from repro.enumeration.base import make_enumerator
+
+    e = make_enumerator("lexical-fast", figure4_poset)
+    assert isinstance(e, FastLexicalEnumerator)
+    assert e.enumerate().states == 8
+
+
+def test_stateless_metrics(grid_poset):
+    result = FastLexicalEnumerator(grid_poset).enumerate()
+    assert result.states == 64
+    assert result.peak_live == 1
+    assert result.work > 0
+
+
+def test_empty_interval(figure4_poset):
+    result = FastLexicalEnumerator(figure4_poset).enumerate_interval(
+        (2, 0), (2, 0)
+    )
+    assert result.states == 0
+
+
+def test_works_as_paramount_subroutine(grid_poset):
+    from repro.core.paramount import ParaMount
+
+    assert ParaMount(grid_poset, subroutine="lexical-fast").run().states == 64
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_posets())
+def test_sequences_identical_random(poset):
+    a, b = CollectingVisitor(), CollectingVisitor()
+    LexicalEnumerator(poset).enumerate(a)
+    FastLexicalEnumerator(poset).enumerate(b)
+    assert a.cuts == b.cuts
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_posets())
+def test_bounded_sequences_identical(poset):
+    full = CollectingVisitor()
+    LexicalEnumerator(poset).enumerate(full)
+    if len(full.cuts) < 3:
+        return
+    lo = full.cuts[len(full.cuts) // 3]
+    hi = poset.lengths
+    a, b = CollectingVisitor(), CollectingVisitor()
+    LexicalEnumerator(poset).enumerate_interval(lo, hi, a)
+    FastLexicalEnumerator(poset).enumerate_interval(lo, hi, b)
+    assert a.cuts == b.cuts
+    for cut in b.cuts:
+        assert cut_leq(lo, cut) and cut_leq(cut, hi)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_posets())
+def test_exactly_once_and_counted(poset):
+    verify_enumerator(FastLexicalEnumerator(poset))
+
+
+def test_grid_large():
+    p = build_chain_poset(5, 3)
+    assert FastLexicalEnumerator(p).enumerate().states == 4**5

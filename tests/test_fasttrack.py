@@ -1,0 +1,203 @@
+"""Tests for the FastTrack reimplementation (Flanagan & Freund rules)."""
+
+from repro.detector.fasttrack import FastTrackDetector
+from repro.runtime import (
+    Acquire,
+    Fork,
+    Join,
+    Program,
+    Read,
+    Release,
+    Write,
+    run_program,
+)
+
+
+def _detect(main, n, shared=None, seed=0):
+    trace = run_program(Program("t", main, max_threads=n, shared=shared or {}), seed=seed)
+    return FastTrackDetector(n).run(trace)
+
+
+def test_no_race_single_thread():
+    def main(ctx):
+        yield Write("x", 1)
+        yield Read("x")
+        yield Write("x", 2)
+
+    assert _detect(main, 1).num_detections == 0
+
+
+def test_write_write_race():
+    def worker(ctx):
+        yield Write("x", ctx.tid)
+
+    def main(ctx):
+        a = yield Fork(worker)
+        b = yield Fork(worker)
+        yield Join(a)
+        yield Join(b)
+
+    report = _detect(main, 3)
+    assert report.sorted_vars() == ["x"]
+    race = report.races["x"]
+    assert race.first[1] == "write" and race.second[1] == "write"
+
+
+def test_write_read_race():
+    def reader(ctx):
+        yield Read("x")
+
+    def writer(ctx):
+        yield Write("x", 1)
+
+    def main(ctx):
+        a = yield Fork(writer)
+        b = yield Fork(reader)
+        yield Join(a)
+        yield Join(b)
+
+    assert _detect(main, 3).sorted_vars() == ["x"]
+
+
+def test_lock_protection_suppresses_race():
+    def worker(ctx):
+        yield Acquire("m")
+        v = yield Read("x")
+        yield Write("x", (v or 0) + 1)
+        yield Release("m")
+
+    def main(ctx):
+        a = yield Fork(worker)
+        b = yield Fork(worker)
+        yield Join(a)
+        yield Join(b)
+
+    for seed in range(8):
+        assert _detect(main, 3, seed=seed).num_detections == 0
+
+
+def test_fork_join_ordering_suppresses_race():
+    def worker(ctx):
+        yield Write("x", 1)
+
+    def main(ctx):
+        a = yield Fork(worker)
+        yield Join(a)
+        b = yield Fork(worker)  # ordered after a through main
+        yield Join(b)
+        yield Read("x")
+
+    assert _detect(main, 3).num_detections == 0
+
+
+def test_read_share_then_write_detects():
+    """Two ordered-with-writer-less concurrent readers inflate R to a VC;
+    a later concurrent writer must see the whole read set."""
+    def reader(ctx):
+        yield Read("x")
+
+    def writer(ctx):
+        yield Write("x", 9)
+
+    def main(ctx):
+        r1 = yield Fork(reader)
+        r2 = yield Fork(reader)
+        w = yield Fork(writer)
+        yield Join(r1)
+        yield Join(r2)
+        yield Join(w)
+
+    report = _detect(main, 4)
+    assert "x" in report.racy_vars
+
+
+def test_read_shared_same_epoch_fast_path():
+    """Repeated reads by the same thread in the shared regime are O(1) and
+    race-free."""
+    def reader(ctx):
+        yield Read("x")
+        yield Read("x")
+        yield Read("x")
+
+    def main(ctx):
+        r1 = yield Fork(reader)
+        r2 = yield Fork(reader)
+        yield Join(r1)
+        yield Join(r2)
+
+    assert _detect(main, 3).num_detections == 0
+
+
+def test_release_acquire_chain_transitive():
+    def first(ctx):
+        yield Write("x", 1)
+        yield Acquire("m")
+        yield Write("flag", 1)
+        yield Release("m")
+
+    def second(ctx):
+        while True:
+            yield Acquire("m")
+            f = yield Read("flag")
+            yield Release("m")
+            if f:
+                break
+        yield Read("x")  # ordered after first's write via the lock
+
+    def main(ctx):
+        a = yield Fork(first)
+        b = yield Fork(second)
+        yield Join(a)
+        yield Join(b)
+
+    for seed in range(8):
+        assert _detect(main, 3, shared={"flag": 0}, seed=seed).num_detections == 0
+
+
+def test_one_report_per_variable():
+    def worker(ctx):
+        for _ in range(5):
+            yield Write("x", ctx.tid)
+
+    def main(ctx):
+        a = yield Fork(worker)
+        b = yield Fork(worker)
+        yield Join(a)
+        yield Join(b)
+
+    report = _detect(main, 3)
+    assert report.num_detections == 1
+    assert len(report.races) == 1
+
+
+def test_init_write_still_reported():
+    """FastTrack treats initialization writes like any write — the source
+    of its set(correct) false alarm (paper §5.2)."""
+    def creator(ctx):
+        yield Write("n", 0, is_init=True)
+
+    def reader(ctx):
+        yield Read("n")
+
+    def main(ctx):
+        a = yield Fork(creator)
+        b = yield Fork(reader)
+        yield Join(a)
+        yield Join(b)
+
+    assert _detect(main, 3).sorted_vars() == ["n"]
+
+
+def test_benign_flag_propagated():
+    def worker(ctx):
+        yield Write("x", ctx.tid)
+
+    def main(ctx):
+        a = yield Fork(worker)
+        b = yield Fork(worker)
+        yield Join(a)
+        yield Join(b)
+
+    trace = run_program(Program("t", main, max_threads=3), seed=0)
+    report = FastTrackDetector(3).run(trace, benign_vars=frozenset({"x"}))
+    assert report.races["x"].benign

@@ -1,0 +1,40 @@
+"""Tests for the lattice rendering helpers."""
+
+from repro.analysis.hasse import hasse_edges, lattice_levels, render_lattice
+
+
+def test_levels_figure4(figure4_poset):
+    levels = lattice_levels(figure4_poset)
+    assert levels[0] == [(0, 0)]
+    assert sorted(levels[2]) == [(0, 2), (1, 1)]
+    assert sum(len(v) for v in levels.values()) == 8
+
+
+def test_levels_sorted_within_level(grid_poset):
+    levels = lattice_levels(grid_poset)
+    for cuts in levels.values():
+        assert cuts == sorted(cuts)
+
+
+def test_hasse_edges_count(figure4_poset):
+    edges = hasse_edges(figure4_poset)
+    # every edge raises exactly one component by one
+    for lo, hi in edges:
+        assert sum(hi) - sum(lo) == 1
+    # figure-4 lattice: count covers by brute force
+    assert ((0, 0), (1, 0)) in edges
+    assert ((1, 1), (2, 1)) in edges
+    assert ((2, 0), (2, 1)) not in edges  # (2,0) inconsistent
+
+
+def test_render_marks_states(figure4_poset):
+    out = render_lattice(figure4_poset, mark=lambda c: c == (1, 1), label="!")
+    assert "(1,1)!" in out
+    assert out.count("!") == 1
+    assert "level  0" in out
+
+
+def test_render_without_mark(diamond_poset):
+    out = render_lattice(diamond_poset)
+    assert "(1,1,1)" in out
+    assert len(out.splitlines()) == 5  # levels 0..4

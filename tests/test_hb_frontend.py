@@ -1,0 +1,297 @@
+"""Tests for the happened-before front-end (trace → detector events)."""
+
+from repro.detector.hb import HBFrontEnd, events_from_trace
+from repro.poset.vector_clock import clock_concurrent, clock_leq
+from repro.runtime import (
+    Acquire,
+    Fork,
+    Join,
+    Notify,
+    Program,
+    Read,
+    Release,
+    Wait,
+    Write,
+    run_program,
+)
+
+
+def _trace(main, n, shared=None, seed=0):
+    return run_program(Program("t", main, max_threads=n, shared=shared or {}), seed=seed)
+
+
+def test_unmerged_one_event_per_access():
+    def main(ctx):
+        yield Write("x", 1)
+        yield Read("x")
+        yield Write("y", 2)
+
+    trace = _trace(main, 1)
+    events = events_from_trace(trace, merge_collections=False)
+    assert len(events) == 3
+    assert [e.kind for e in events] == ["write", "read", "write"]
+    assert [e.vc for e in events] == [(1,), (2,), (3,)]
+
+
+def test_merged_collection_per_sync_segment():
+    def main(ctx):
+        yield Write("x", 1)
+        yield Read("y")
+        yield Acquire("m")
+        yield Write("z", 3)
+        yield Release("m")
+
+    trace = _trace(main, 1)
+    events = events_from_trace(trace, merge_collections=True)
+    assert len(events) == 2
+    first, second = events
+    assert {a.var for a in first.accesses} == {"x", "y"}
+    assert {a.var for a in second.accesses} == {"z"}
+
+
+def test_collection_keeps_first_write_else_first_read():
+    """Paper §4.4 / Figure 9: first write per variable, else first read."""
+    def main(ctx):
+        yield Write("v1", 1)
+        yield Read("v1")
+        yield Read("v2")
+        yield Read("v2")
+
+    trace = _trace(main, 1)
+    (collection,) = events_from_trace(trace, merge_collections=True)
+    by_var = {a.var: a for a in collection.accesses}
+    assert by_var["v1"].op == "write"
+    assert by_var["v2"].op == "read"
+
+
+def test_write_after_read_upgrades():
+    def main(ctx):
+        yield Read("v")
+        yield Write("v", 1)
+
+    trace = _trace(main, 1)
+    (collection,) = events_from_trace(trace, merge_collections=True)
+    (access,) = collection.accesses
+    assert access.op == "write"
+
+
+def test_lock_edge_orders_events():
+    def worker(ctx):
+        yield Acquire("m")
+        yield Write("x", ctx.tid)
+        yield Release("m")
+
+    def main(ctx):
+        yield Acquire("m")
+        yield Write("x", 0)
+        yield Release("m")
+        k = yield Fork(worker)
+        yield Join(k)
+
+    trace = _trace(main, 2)
+    events = events_from_trace(trace, merge_collections=False)
+    writes = [e for e in events if e.kind == "write" and e.obj == "x"]
+    assert len(writes) == 2
+    assert clock_leq(writes[0].vc, writes[1].vc) or clock_leq(
+        writes[1].vc, writes[0].vc
+    )
+
+
+def test_unsynchronized_events_concurrent():
+    def worker(ctx):
+        yield Write("x", ctx.tid)
+
+    def main(ctx):
+        a = yield Fork(worker)
+        b = yield Fork(worker)
+        yield Join(a)
+        yield Join(b)
+
+    trace = _trace(main, 3)
+    events = events_from_trace(trace, merge_collections=False)
+    writes = [e for e in events if e.obj == "x"]
+    assert clock_concurrent(writes[0].vc, writes[1].vc)
+
+
+def test_fork_edge_orders_parent_before_child():
+    def child(ctx):
+        yield Read("x")
+
+    def main(ctx):
+        yield Write("x", 1)
+        k = yield Fork(child)
+        yield Join(k)
+
+    trace = _trace(main, 2)
+    events = events_from_trace(trace, merge_collections=False)
+    parent_write = next(e for e in events if e.tid == 0 and e.kind == "write")
+    child_read = next(e for e in events if e.tid == 1)
+    assert clock_leq(parent_write.vc, child_read.vc)
+
+
+def test_join_edge_orders_child_before_parent():
+    def child(ctx):
+        yield Write("x", 1)
+
+    def main(ctx):
+        k = yield Fork(child)
+        yield Join(k)
+        yield Read("x")
+
+    trace = _trace(main, 2)
+    events = events_from_trace(trace, merge_collections=False)
+    child_write = next(e for e in events if e.tid == 1)
+    parent_read = next(e for e in events if e.tid == 0 and e.kind == "read")
+    assert clock_leq(child_write.vc, parent_read.vc)
+
+
+def test_notify_wait_edge():
+    """Figure 2's notify → wait causality."""
+    def consumer(ctx):
+        yield Acquire("mon")
+        while True:
+            flag = yield Read("flag")
+            if flag:
+                break
+            yield Wait("mon")
+        yield Release("mon")
+        yield Read("data")
+
+    def main(ctx):
+        k = yield Fork(consumer)
+        yield Write("data", 42)
+        yield Acquire("mon")
+        yield Write("flag", True)
+        yield Notify("mon")
+        yield Release("mon")
+        yield Join(k)
+
+    for seed in range(8):
+        trace = _trace(main, 2, shared={"flag": False}, seed=seed)
+        events = events_from_trace(trace, merge_collections=False)
+        producer_write = next(
+            e for e in events if e.tid == 0 and e.obj == "data"
+        )
+        consumer_read = next(
+            e for e in events if e.tid == 1 and e.obj == "data"
+        )
+        assert clock_leq(producer_write.vc, consumer_read.vc)
+
+
+def test_emitted_events_form_valid_insertion_order():
+    """Collections close before their clocks escape: emission order is a
+    linear extension, so an online ParaMount accepts it."""
+    from repro.core.online import OnlineParaMount
+
+    def worker(ctx):
+        yield Acquire("m")
+        yield Write("x", ctx.tid)
+        yield Release("m")
+        yield Write("local", ctx.tid)
+
+    def main(ctx):
+        a = yield Fork(worker)
+        b = yield Fork(worker)
+        yield Join(a)
+        yield Join(b)
+
+    for seed in range(10):
+        trace = _trace(main, 3, seed=seed)
+        om = OnlineParaMount(3)
+        fe = HBFrontEnd(3, emit=lambda e: om.insert(e), merge_collections=True)
+        for op in trace:
+            fe.process(op)
+        fe.finish()  # raises EventOrderError if the order were invalid
+        assert om.result.states > 0
+
+
+def test_weak_clocks_ignore_locks():
+    def worker(ctx):
+        yield Acquire("m")
+        yield Write("x", 1)
+        yield Release("m")
+
+    def main(ctx):
+        yield Acquire("m")
+        yield Write("x", 0)
+        yield Release("m")
+        k = yield Fork(worker)
+        yield Join(k)
+
+    trace = _trace(main, 2)
+    events = events_from_trace(trace, merge_collections=False)
+    # re-run with weak clocks
+    collected = []
+    fe = HBFrontEnd(2, collected.append, merge_collections=False, track_weak_clocks=True)
+    for op in trace:
+        fe.process(op)
+    fe.finish()
+    main_write = next(e for e in collected if e.tid == 0)
+    worker_write = next(e for e in collected if e.tid == 1)
+    # full clocks: lock-ordered; weak clocks: fork edge still orders them
+    assert clock_leq(main_write.vc, worker_write.vc)
+    assert clock_leq(main_write.weak_vc, worker_write.weak_vc)
+
+
+def test_weak_clocks_differ_for_sibling_lock_users():
+    def w1(ctx):
+        yield Write("a", 1, is_init=True)
+        yield Acquire("m")
+        yield Write("pub", 1)
+        yield Release("m")
+
+    def w2(ctx):
+        while True:
+            yield Acquire("m")
+            v = yield Read("pub")
+            yield Release("m")
+            if v:
+                break
+        yield Read("a")
+
+    def main(ctx):
+        k1 = yield Fork(w1)
+        k2 = yield Fork(w2)
+        yield Join(k1)
+        yield Join(k2)
+
+    trace = _trace(main, 3, shared={"pub": 0}, seed=1)
+    collected = []
+    fe = HBFrontEnd(3, collected.append, merge_collections=False, track_weak_clocks=True)
+    for op in trace:
+        fe.process(op)
+    fe.finish()
+    init_write = next(e for e in collected if e.obj == "a" and e.kind == "write")
+    final_read = next(e for e in collected if e.obj == "a" and e.kind == "read")
+    # ordered under full HB (lock edges), concurrent under the weak order
+    assert clock_leq(init_write.vc, final_read.vc)
+    assert clock_concurrent(init_write.weak_vc, final_read.weak_vc)
+
+
+def test_init_write_does_not_subsume_plain_read():
+    """Regression (found by the oracle): a collection whose variable was
+    init-written must still carry a later plain read — otherwise the init
+    filter hides the read's race with a concurrent writer."""
+    def reader(ctx):
+        yield Write("c", 0, is_init=True)
+        yield Read("c")  # plain read of the same variable, same collection
+
+    def writer(ctx):
+        yield Write("c", 1)
+
+    def main(ctx):
+        a = yield Fork(reader)
+        b = yield Fork(writer)
+        yield Join(a)
+        yield Join(b)
+
+    trace = _trace(main, 3)
+    events = events_from_trace(trace, merge_collections=True)
+    reader_coll = next(e for e in events if e.tid == 1)
+    ops = sorted((a.op, a.is_init) for a in reader_coll.accesses)
+    assert ops == [("read", False), ("write", True)]
+
+    from repro.detector.paramount_detector import ParaMountDetector
+
+    report = ParaMountDetector().run(trace)
+    assert report.racy_vars == {"c"}

@@ -1,0 +1,92 @@
+"""Tests for exact ideal counting."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import EnumerationError
+from repro.poset.ideals import (
+    count_ideals,
+    count_ideals_by_enumeration,
+    count_ideals_in_interval,
+)
+from repro.util.cuts import zero_cut
+
+from tests.conftest import build_chain_poset, small_posets
+
+
+def test_figure4_count(figure4_poset):
+    """The paper's Figure 4 lattice has 8 consistent states."""
+    assert count_ideals(figure4_poset) == 8
+    assert count_ideals_by_enumeration(figure4_poset) == 8
+
+
+def test_grid_count_is_product(grid_poset):
+    assert count_ideals(grid_poset) == 4**3
+    assert count_ideals_by_enumeration(grid_poset) == 4**3
+
+
+def test_diamond_count(diamond_poset):
+    # states: {}, {r}, {r,a}, {r,b}, {r,a,b}, {r,a,b,j} = 6
+    assert count_ideals(diamond_poset) == 6
+
+
+def test_single_chain():
+    p = build_chain_poset(1, 5)
+    assert count_ideals(p) == 6
+
+
+def test_interval_counts_partition(figure4_poset):
+    """Summing the counts over ParaMount's intervals gives the total."""
+    from repro.core.intervals import compute_intervals
+
+    total = 0
+    for interval in compute_intervals(figure4_poset):
+        total += count_ideals_in_interval(
+            figure4_poset, interval.lo, interval.hi
+        )
+    assert total == 8
+
+
+def test_interval_count_rejects_bad_bounds(figure4_poset):
+    with pytest.raises(EnumerationError):
+        count_ideals_in_interval(figure4_poset, (0, 0), (9, 9))
+    with pytest.raises(EnumerationError):
+        count_ideals_in_interval(figure4_poset, (0,), (1,))
+
+
+def test_empty_interval_counts_zero(figure4_poset):
+    assert count_ideals_in_interval(figure4_poset, (2, 2), (2, 2)) == 1
+    # box around an inconsistent-only region: (2,0) alone
+    assert count_ideals_in_interval(figure4_poset, (2, 0), (2, 0)) == 0
+
+
+def test_memo_limit_enforced():
+    p = build_chain_poset(6, 4)  # sparse grid: DP-hostile
+    with pytest.raises(EnumerationError):
+        count_ideals(p, memo_limit=10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_posets())
+def test_dp_matches_enumeration(poset):
+    """The two independent counters agree on random posets."""
+    assert count_ideals(poset) == count_ideals_by_enumeration(poset)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_posets())
+def test_box_counts_add_up(poset):
+    """Splitting the full box on thread 0's midpoint partitions the count."""
+    n = poset.num_threads
+    hi = poset.lengths
+    if hi[0] < 2:
+        return
+    mid = hi[0] // 2
+    total = count_ideals(poset)
+    low_box = count_ideals_in_interval(
+        poset, zero_cut(n), (mid,) + hi[1:]
+    )
+    high_box = count_ideals_in_interval(
+        poset, (mid + 1,) + (0,) * (n - 1), hi
+    )
+    assert low_box + high_box == total

@@ -1,0 +1,121 @@
+"""Tests for lattice operations on consistent cuts."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InconsistentCutError
+from repro.poset.lattice import (
+    consistent_predecessors,
+    consistent_successors,
+    minimal_consistent_extension,
+    require_consistent,
+)
+from repro.util.cuts import cut_join, cut_leq, cut_meet
+
+from tests.conftest import small_posets
+
+
+def all_consistent_cuts(poset):
+    ranges = [range(length + 1) for length in poset.lengths]
+    return [c for c in product(*ranges) if poset.is_consistent(c)]
+
+
+def test_successors_figure4(figure4_poset):
+    assert set(consistent_successors(figure4_poset, (0, 0))) == {(1, 0), (0, 1)}
+    # from (1,1) both threads can advance
+    assert set(consistent_successors(figure4_poset, (1, 1))) == {(2, 1), (1, 2)}
+    # (1,0): e1[2] blocked by e2[1]
+    assert set(consistent_successors(figure4_poset, (1, 0))) == {(1, 1)}
+    assert consistent_successors(figure4_poset, (2, 2)) == []
+
+
+def test_predecessors_figure4(figure4_poset):
+    assert set(consistent_predecessors(figure4_poset, (1, 1))) == {(0, 1), (1, 0)}
+    # (2,1): retracting thread 1 would orphan e1[2]
+    assert set(consistent_predecessors(figure4_poset, (2, 1))) == {(1, 1)}
+    assert consistent_predecessors(figure4_poset, (0, 0)) == []
+
+
+def test_require_consistent(figure4_poset):
+    assert require_consistent(figure4_poset, (1, 1)) == (1, 1)
+    with pytest.raises(InconsistentCutError):
+        require_consistent(figure4_poset, (2, 0))
+
+
+def test_minimal_extension_zero_is_zero(figure4_poset):
+    assert minimal_consistent_extension(figure4_poset, (0, 0)) == (0, 0)
+
+
+def test_minimal_extension_closes_dependencies(figure4_poset):
+    # asking for e1[2] forces e2[1]
+    assert minimal_consistent_extension(figure4_poset, (2, 0)) == (2, 1)
+
+
+def test_minimal_extension_respects_prefix_pin(figure4_poset):
+    # pin thread 0 at 2 is fine; pin at 1 while asking for... nothing to
+    # raise: closure of (1, 2) with prefix pinned is itself consistent.
+    assert minimal_consistent_extension(figure4_poset, (1, 2), fixed_prefix=1) == (1, 2)
+
+
+def test_minimal_extension_infeasible_prefix(diamond_poset):
+    # thread 1's event needs thread 0's root; pinning thread 0 at 0 fails.
+    result = minimal_consistent_extension(
+        diamond_poset, (0, 1, 0), fixed_prefix=1
+    )
+    assert result is None
+
+
+def test_minimal_extension_beyond_lengths_is_none(figure4_poset):
+    assert minimal_consistent_extension(figure4_poset, (3, 0)) is None
+
+
+def test_minimal_extension_work_meter(figure4_poset):
+    work = [0]
+    minimal_consistent_extension(figure4_poset, (2, 0), work=work)
+    assert work[0] > 0
+
+
+def test_minimal_extension_wrong_width(figure4_poset):
+    with pytest.raises(InconsistentCutError):
+        minimal_consistent_extension(figure4_poset, (1, 1, 1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_posets())
+def test_consistent_cuts_closed_under_join_meet(poset):
+    cuts = all_consistent_cuts(poset)
+    sample = cuts[:: max(1, len(cuts) // 12)]
+    for a in sample:
+        for b in sample:
+            assert poset.is_consistent(cut_join(a, b))
+            assert poset.is_consistent(cut_meet(a, b))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_posets())
+def test_minimal_extension_is_least(poset):
+    """closure(lower) is consistent, ≥ lower, and ≤ every consistent cut
+    ≥ lower."""
+    cuts = all_consistent_cuts(poset)
+    lowers = cuts[:: max(1, len(cuts) // 8)]
+    for lower in lowers:
+        m = minimal_consistent_extension(poset, lower)
+        assert m is not None
+        assert poset.is_consistent(m)
+        assert cut_leq(lower, m)
+        for c in cuts:
+            if cut_leq(lower, c):
+                assert cut_leq(m, c)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_posets())
+def test_successor_predecessor_duality(poset):
+    cuts = all_consistent_cuts(poset)
+    for cut in cuts[:: max(1, len(cuts) // 15)]:
+        for succ in consistent_successors(poset, cut):
+            assert cut in consistent_predecessors(poset, succ)
+        for pred in consistent_predecessors(poset, cut):
+            assert cut in consistent_successors(poset, pred)

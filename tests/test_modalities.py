@@ -1,0 +1,121 @@
+"""Tests for the possibly/definitely modalities."""
+
+from itertools import product
+
+from hypothesis import given, settings
+
+from repro.predicates.modalities import definitely, possibly, satisfying_states
+
+from tests.conftest import build_chain_poset, small_posets
+
+
+def brute_states(poset):
+    ranges = [range(length + 1) for length in poset.lengths]
+    return [c for c in product(*ranges) if poset.is_consistent(c)]
+
+
+def brute_possibly(poset, check):
+    return any(check(c, poset.frontier_events(c)) for c in brute_states(poset))
+
+
+def brute_definitely(poset, check):
+    """Every maximal chain of the lattice passes through a φ state."""
+    final = poset.lengths
+    n = poset.num_threads
+
+    # DFS over φ-free states; reachable final ⇒ not definite
+    def phi(cut):
+        return check(cut, poset.frontier_events(cut))
+
+    start = (0,) * n
+    if phi(start):
+        return True
+    seen = {start}
+    stack = [start]
+    while stack:
+        cut = stack.pop()
+        for tid in range(n):
+            if poset.enabled(cut, tid):
+                succ = cut[:tid] + (cut[tid] + 1,) + cut[tid + 1 :]
+                if succ in seen or phi(succ):
+                    continue
+                if succ == final:
+                    return False
+                seen.add(succ)
+                stack.append(succ)
+    return True
+
+
+def cut_sum_is(k):
+    return lambda cut, frontier: sum(cut) == k
+
+
+def test_possibly_finds_witness(figure4_poset):
+    witness = possibly(figure4_poset, cut_sum_is(2))
+    assert witness is not None and sum(witness) == 2
+
+
+def test_possibly_none_when_unsatisfiable(figure4_poset):
+    assert possibly(figure4_poset, cut_sum_is(99)) is None
+
+
+def test_definitely_level_predicate(figure4_poset):
+    # every observation passes through some state with 2 executed events
+    assert definitely(figure4_poset, cut_sum_is(2))
+
+
+def test_definitely_false_for_branch_specific_state(grid_poset):
+    # "thread 0 is exactly one ahead and others at zero" is avoidable
+    pred = lambda cut, f: cut == (1, 0, 0)  # noqa: E731
+    assert not definitely(grid_poset, pred)
+    assert possibly(grid_poset, pred) == (1, 0, 0)
+
+
+def test_definitely_on_empty_state_predicate(figure4_poset):
+    assert definitely(figure4_poset, lambda cut, f: sum(cut) == 0)
+    assert definitely(figure4_poset, lambda cut, f: cut == figure4_poset.lengths)
+
+
+def test_satisfying_states_counts(figure4_poset):
+    states = satisfying_states(figure4_poset, cut_sum_is(2))
+    # states with 2 events: (1,1), (0,2), (2,0 is inconsistent) → 2... plus?
+    assert set(states) == {(1, 1), (0, 2)}
+
+
+def test_single_chain_definitely():
+    p = build_chain_poset(1, 4)
+    assert definitely(p, cut_sum_is(2))  # a chain passes through every level
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_posets())
+def test_possibly_matches_brute_force(poset):
+    for k in (0, 1, poset.num_events // 2, poset.num_events):
+        check = cut_sum_is(k)
+        assert (possibly(poset, check) is not None) == brute_possibly(poset, check)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_posets())
+def test_definitely_matches_brute_force(poset):
+    for k in (1, poset.num_events // 2):
+        check = cut_sum_is(k)
+        assert definitely(poset, check) == brute_definitely(poset, check)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_posets())
+def test_definitely_implies_possibly(poset):
+    # level predicates are always definite; test a sparser predicate too
+    pred = lambda cut, f: sum(cut) == 2 and cut[0] >= 1  # noqa: E731
+    if definitely(poset, pred):
+        assert possibly(poset, pred) is not None
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_posets())
+def test_level_predicates_always_definite(poset):
+    """Every observation executes events one at a time, so it passes
+    through every level 0..|E| — level predicates are definite."""
+    for k in range(poset.num_events + 1):
+        assert definitely(poset, cut_sum_is(k))

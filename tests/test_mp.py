@@ -1,0 +1,55 @@
+"""Tests for the multiprocessing counting backend."""
+
+import pytest
+
+from repro.core.mp import paramount_count_multiprocessing
+from repro.core.paramount import ParaMount
+from repro.poset.ideals import count_ideals
+from repro.poset.random_posets import RandomComputationSpec, random_computation
+
+from tests.conftest import build_chain_poset, build_figure4_poset
+
+
+def test_counts_match_sequential_figure4():
+    poset = build_figure4_poset()
+    result = paramount_count_multiprocessing(poset, workers=2, chunk_size=2)
+    assert result.states == 8
+    assert len(result.intervals) == poset.num_events
+
+
+def test_counts_match_on_random_poset():
+    poset = random_computation(RandomComputationSpec(5, 30, 0.4, seed=11))
+    expected = count_ideals(poset)
+    result = paramount_count_multiprocessing(poset, workers=2, chunk_size=4)
+    assert result.states == expected
+    # per-interval stats line up with the sequential driver's
+    serial = ParaMount(poset).run()
+    assert result.interval_sizes() == serial.interval_sizes()
+
+
+def test_bfs_subroutine_multiprocessing():
+    poset = build_chain_poset(4, 2)
+    result = paramount_count_multiprocessing(
+        poset, subroutine="bfs", workers=2, chunk_size=3
+    )
+    assert result.states == 3**4
+
+
+def test_single_worker_and_large_chunks():
+    poset = build_figure4_poset()
+    result = paramount_count_multiprocessing(poset, workers=1, chunk_size=100)
+    assert result.states == 8
+
+
+def test_parameter_validation():
+    poset = build_figure4_poset()
+    with pytest.raises(ValueError):
+        paramount_count_multiprocessing(poset, workers=0)
+    with pytest.raises(ValueError):
+        paramount_count_multiprocessing(poset, chunk_size=0)
+
+
+def test_wall_time_recorded():
+    poset = build_figure4_poset()
+    result = paramount_count_multiprocessing(poset, workers=2)
+    assert result.wall_time > 0.0

@@ -1,0 +1,118 @@
+"""Tests for the online ParaMount worker (Algorithm 4)."""
+
+import threading
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.online import OnlineParaMount
+from repro.errors import EventOrderError
+from repro.poset.ideals import count_ideals
+
+from tests.conftest import small_posets
+
+
+def replay_online(poset, **kwargs):
+    """Feed a poset's events in insertion order into an online worker."""
+    states = []
+    om = OnlineParaMount(
+        poset.num_threads, on_state=lambda cut, e: states.append(cut), **kwargs
+    )
+    for event in poset.events_in_order():
+        om.insert(event)
+    return om, states
+
+
+def test_online_equals_offline_figure4(figure4_poset):
+    om, states = replay_online(figure4_poset)
+    assert om.result.states == 8
+    assert len(states) == len(set(states)) == 8
+
+
+def test_intervals_recorded(figure4_poset):
+    om, _ = replay_online(figure4_poset)
+    assert len(om.intervals) == 4
+    assert om.intervals[0].owns_empty
+    assert not any(iv.owns_empty for iv in om.intervals[1:])
+
+
+def test_gbnd_is_snapshot_of_maxima(figure4_poset):
+    """Paper Figure 8: Gbnd online = per-thread maxima at insertion."""
+    om, _ = replay_online(figure4_poset)
+    counts = [0, 0]
+    for iv in om.intervals:
+        tid, _ = iv.event
+        counts[tid] += 1
+        assert iv.hi == tuple(counts)
+
+
+def test_snapshot_poset_roundtrip(figure4_poset):
+    om, _ = replay_online(figure4_poset)
+    back = om.snapshot_poset()
+    assert back.lengths == figure4_poset.lengths
+    assert back.insertion == figure4_poset.insertion
+
+
+def test_rejects_causally_premature_event(figure4_poset):
+    om = OnlineParaMount(2)
+    events = list(figure4_poset.events_in_order())
+    # events_in_order: e2[1], e1[1], e1[2], e2[2]; insert e1[2] too early
+    with pytest.raises(EventOrderError):
+        om.insert(events[2])
+
+
+def test_per_interval_stats_returned(figure4_poset):
+    om = OnlineParaMount(2)
+    sizes = [om.insert(e).states for e in figure4_poset.events_in_order()]
+    assert sum(sizes) == 8
+    assert all(s >= 1 for s in sizes)
+
+
+def test_bfs_subroutine_online(figure4_poset):
+    om = OnlineParaMount(2, subroutine="bfs")
+    for e in figure4_poset.events_in_order():
+        om.insert(e)
+    assert om.result.states == 8
+
+
+def test_concurrent_insertion_threads(grid_poset):
+    """Synchronized online worker driven by one real thread per poset
+    thread (the paper's deployment: the executing thread enumerates)."""
+    om = OnlineParaMount(grid_poset.num_threads, synchronized=True)
+    barrier = threading.Barrier(grid_poset.num_threads)
+
+    # Independent chains: each thread can insert its own events in order
+    # without violating causality.
+    def run(tid):
+        barrier.wait()
+        for idx in range(1, grid_poset.lengths[tid] + 1):
+            om.insert(grid_poset.event(tid, idx))
+
+    threads = [
+        threading.Thread(target=run, args=(t,))
+        for t in range(grid_poset.num_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert om.result.states == 64
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_posets())
+def test_online_matches_counter(poset):
+    om, states = replay_online(poset)
+    expected = count_ideals(poset)
+    assert om.result.states == expected
+    assert len(states) == len(set(states)) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_posets())
+def test_online_matches_brute_force_set(poset):
+    _, states = replay_online(poset)
+    ranges = [range(length + 1) for length in poset.lengths]
+    expected = {c for c in product(*ranges) if poset.is_consistent(c)}
+    assert set(states) == expected

@@ -1,0 +1,208 @@
+"""Tests for the predicate implementations."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+
+from repro.detector.report import DetectionReport
+from repro.poset.event import Access, Event
+from repro.predicates.conjunctive import ConjunctivePredicate, detect_conjunctive
+from repro.predicates.data_race import DataRacePredicate, events_are_concurrent
+from repro.predicates.mutual_exclusion import MutualExclusionPredicate
+
+from tests.conftest import small_posets
+
+
+def _ev(tid, idx, vc, accesses=(), kind="collection", obj=None):
+    return Event(tid=tid, idx=idx, vc=vc, kind=kind, obj=obj, accesses=tuple(accesses))
+
+
+# --------------------------------------------------------------------- #
+# concurrency helper
+
+
+def test_events_are_concurrent_basic():
+    a = _ev(0, 1, (1, 0))
+    b = _ev(1, 1, (0, 1))
+    assert events_are_concurrent(a, b)
+
+
+def test_events_ordered_not_concurrent():
+    a = _ev(0, 1, (1, 0))
+    b = _ev(1, 1, (1, 1))  # saw a
+    assert not events_are_concurrent(a, b)
+    assert not events_are_concurrent(b, a)
+
+
+def test_same_thread_never_concurrent():
+    a = _ev(0, 1, (1, 0))
+    b = _ev(0, 2, (2, 0))
+    assert not events_are_concurrent(a, b)
+
+
+# --------------------------------------------------------------------- #
+# data-race predicate
+
+
+def _race_pair(init_a=False, init_b=False):
+    a = _ev(0, 1, (1, 0), [Access("write", "x", is_init=init_a)])
+    b = _ev(1, 1, (0, 1), [Access("read", "x", is_init=init_b)])
+    return a, b
+
+
+def test_race_reported_online_mode():
+    a, b = _race_pair()
+    pred = DataRacePredicate()
+    assert pred.check((1, 1), [a, b], new_event=a)
+    assert pred.report.racy_vars == {"x"}
+
+
+def test_race_reported_offline_mode():
+    a, b = _race_pair()
+    pred = DataRacePredicate()
+    assert pred.check((1, 1), [a, b], new_event=None)
+    assert pred.report.racy_vars == {"x"}
+
+
+def test_init_filter_suppresses():
+    a, b = _race_pair(init_a=True)
+    pred = DataRacePredicate(filter_init=True)
+    assert not pred.check((1, 1), [a, b], new_event=a)
+    assert pred.report.num_detections == 0
+
+
+def test_init_not_filtered_when_disabled():
+    a, b = _race_pair(init_a=True)
+    pred = DataRacePredicate(filter_init=False)
+    assert pred.check((1, 1), [a, b], new_event=a)
+    race = pred.report.races["x"]
+    assert race.benign  # init races are flagged benign
+
+
+def test_read_read_not_a_race():
+    a = _ev(0, 1, (1, 0), [Access("read", "x")])
+    b = _ev(1, 1, (0, 1), [Access("read", "x")])
+    pred = DataRacePredicate()
+    assert not pred.check((1, 1), [a, b], new_event=a)
+
+
+def test_hb_ordered_pair_not_a_race():
+    a = _ev(0, 1, (1, 0), [Access("write", "x")])
+    b = _ev(1, 1, (1, 1), [Access("write", "x")])
+    pred = DataRacePredicate()
+    assert not pred.check((1, 1), [a, b], new_event=b)
+
+
+def test_pair_checked_once():
+    a, b = _race_pair()
+    pred = DataRacePredicate()
+    assert pred.check((1, 1), [a, b], new_event=a)
+    # second state with the same frontier pair: no re-report, no re-check
+    assert not pred.check((1, 1), [a, b], new_event=a)
+    assert pred.report.num_detections == 1
+
+
+def test_benign_vars_flagged():
+    a, b = _race_pair()
+    report = DetectionReport(detector="t", benchmark="t")
+    pred = DataRacePredicate(benign_vars=frozenset({"x"}), report=report)
+    pred.check((1, 1), [a, b], new_event=a)
+    assert report.races["x"].benign
+
+
+def test_none_frontier_entries_skipped():
+    a, _ = _race_pair()
+    pred = DataRacePredicate()
+    assert not pred.check((1, 0), [a, None], new_event=a)
+
+
+# --------------------------------------------------------------------- #
+# conjunctive predicate
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_posets())
+def test_conjunctive_matches_enumeration(poset):
+    """Polynomial detector agrees with exhaustive evaluation."""
+    # local predicate: event index is even
+    locals_ = [
+        (lambda e: e.idx % 2 == 0) if poset.lengths[t] > 0 else None
+        for t in range(poset.num_threads)
+    ]
+    witness = detect_conjunctive(poset, locals_)
+
+    # exhaustive ground truth
+    ranges = [range(length + 1) for length in poset.lengths]
+    found = None
+    for cut in product(*ranges):
+        if not poset.is_consistent(cut):
+            continue
+        ok = True
+        for t, pred in enumerate(locals_):
+            if pred is None:
+                continue
+            if cut[t] == 0 or not pred(poset.event(t, cut[t])):
+                ok = False
+                break
+        if ok:
+            found = cut
+            break
+    assert (witness is not None) == (found is not None)
+    if witness is not None:
+        assert poset.is_consistent(witness)
+        for t, pred in enumerate(locals_):
+            if pred is not None:
+                assert witness[t] > 0 and pred(poset.event(t, witness[t]))
+
+
+def test_conjunctive_unconstrained_thread(figure4_poset):
+    witness = detect_conjunctive(figure4_poset, [lambda e: e.idx == 2, None])
+    assert witness is not None
+    assert witness[0] == 2
+
+
+def test_conjunctive_no_witness(figure4_poset):
+    assert detect_conjunctive(figure4_poset, [lambda e: e.idx > 99, None]) is None
+
+
+def test_conjunctive_state_predicate_collects_witnesses(figure4_poset):
+    from repro.core.paramount import ParaMount
+
+    pred = ConjunctivePredicate([lambda e: e.idx == 1, lambda e: e.idx == 1])
+
+    def visit(cut):
+        pred.check(cut, figure4_poset.frontier_events(cut))
+
+    ParaMount(figure4_poset).run(visit)
+    assert (1, 1) in pred.matches()
+
+
+# --------------------------------------------------------------------- #
+# mutual exclusion
+
+
+def test_mutex_violation_detected():
+    a = _ev(0, 1, (1, 0), kind="critical", obj="resource")
+    b = _ev(1, 1, (0, 1), kind="critical", obj="resource")
+    pred = MutualExclusionPredicate()
+    assert pred.check((1, 1), [a, b])
+    assert pred.matches() == [("resource", (0, 1), (1, 1))]
+
+
+def test_mutex_different_resources_ok():
+    a = _ev(0, 1, (1, 0), kind="critical", obj="r1")
+    b = _ev(1, 1, (0, 1), kind="critical", obj="r2")
+    assert not MutualExclusionPredicate().check((1, 1), [a, b])
+
+
+def test_mutex_ordered_sections_ok():
+    a = _ev(0, 1, (1, 0), kind="critical", obj="r")
+    b = _ev(1, 1, (1, 1), kind="critical", obj="r")  # ordered after a
+    assert not MutualExclusionPredicate().check((1, 1), [a, b])
+
+
+def test_mutex_non_critical_events_ignored():
+    a = _ev(0, 1, (1, 0), kind="collection")
+    b = _ev(1, 1, (0, 1), kind="critical", obj="r")
+    assert not MutualExclusionPredicate().check((1, 1), [a, b])

@@ -1,0 +1,32 @@
+"""Tests for lattice profiling."""
+
+from repro.analysis.profile import profile_poset, render_profile
+
+from tests.conftest import build_chain_poset, build_figure4_poset
+
+
+def test_profile_figure4():
+    p = build_figure4_poset()
+    profile = profile_poset(p)
+    assert profile.states == 8
+    assert profile.threads == 2
+    assert profile.events == 4
+    assert profile.levels == 5  # levels 0..4
+    assert profile.max_level_width == 2
+    assert profile.interval_sizes.count == 4
+    assert profile.load_imbalance >= 1.0
+    assert profile.modeled_speedup[1] == 1.0
+
+
+def test_profile_speedups_monotone():
+    p = build_chain_poset(4, 3)
+    profile = profile_poset(p)
+    s = profile.modeled_speedup
+    assert s[1] <= s[2] <= s[4] <= s[8]
+
+
+def test_render_contains_metrics():
+    p = build_figure4_poset()
+    out = render_profile(profile_poset(p), title="t")
+    assert "widest level" in out
+    assert "interval sizes" in out

@@ -1,0 +1,78 @@
+"""Tests for the random distributed-computation generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.poset.random_posets import (
+    RandomComputationSpec,
+    calibrated_random_computation,
+    random_computation,
+)
+from repro.poset.topological import is_linear_extension
+
+
+def test_spec_validation():
+    with pytest.raises(WorkloadError):
+        RandomComputationSpec(num_processes=0, num_events=5)
+    with pytest.raises(WorkloadError):
+        RandomComputationSpec(num_processes=3, num_events=2)
+    with pytest.raises(WorkloadError):
+        RandomComputationSpec(num_processes=2, num_events=5, message_prob=1.5)
+
+
+def test_determinism_by_seed():
+    spec = RandomComputationSpec(4, 24, 0.4, seed=9)
+    a = random_computation(spec)
+    b = random_computation(spec)
+    assert a.insertion == b.insertion
+    assert [e.vc for e in a.events()] == [e.vc for e in b.events()]
+
+
+def test_different_seeds_differ():
+    a = random_computation(RandomComputationSpec(4, 24, 0.4, seed=1))
+    b = random_computation(RandomComputationSpec(4, 24, 0.4, seed=2))
+    assert a.insertion != b.insertion or [e.vc for e in a.events()] != [
+        e.vc for e in b.events()
+    ]
+
+
+def test_event_count_and_balance():
+    p = random_computation(RandomComputationSpec(5, 23, 0.3, seed=0))
+    assert p.num_events == 23
+    # round-robin base: chains differ by at most one
+    assert max(p.lengths) - min(p.lengths) <= 1
+
+
+def test_insertion_is_linear_extension():
+    p = random_computation(RandomComputationSpec(6, 30, 0.8, seed=5))
+    assert is_linear_extension(p, p.insertion)
+
+
+def test_no_messages_gives_grid():
+    from repro.poset.ideals import count_ideals_by_enumeration
+
+    p = random_computation(RandomComputationSpec(3, 9, 0.0, seed=0))
+    assert count_ideals_by_enumeration(p) == 4**3
+
+
+def test_full_messaging_reduces_states():
+    from repro.poset.ideals import count_ideals_by_enumeration
+
+    grid = random_computation(RandomComputationSpec(3, 9, 0.0, seed=7))
+    dense = random_computation(RandomComputationSpec(3, 9, 1.0, seed=7))
+    assert count_ideals_by_enumeration(dense) < count_ideals_by_enumeration(grid)
+
+
+def test_single_process_ok():
+    p = random_computation(RandomComputationSpec(1, 5, 0.9, seed=0))
+    assert p.lengths == (5,)
+
+
+def test_calibrated_generation_hits_target():
+    p = calibrated_random_computation(
+        num_processes=4, num_events=20, target_states=500, seed=3, tolerance=1.0
+    )
+    from repro.poset.ideals import count_ideals
+
+    states = count_ideals(p)
+    assert 0 < states <= 500 * 4  # within the loose tolerance envelope

@@ -1,0 +1,195 @@
+"""Tests for the RV-runtime baseline model."""
+
+import pytest
+
+from repro.detector.rv_runtime import RVRuntimeDetector
+from repro.runtime import (
+    Acquire,
+    Fork,
+    Join,
+    Notify,
+    Program,
+    Read,
+    Release,
+    Wait,
+    Write,
+    run_program,
+)
+
+
+def _trace(main, n, shared=None, seed=0):
+    return run_program(Program("t", main, max_threads=n, shared=shared or {}), seed=seed)
+
+
+def test_detects_true_race():
+    def worker(ctx):
+        yield Write("x", ctx.tid)
+
+    def main(ctx):
+        a = yield Fork(worker)
+        b = yield Fork(worker)
+        yield Join(a)
+        yield Join(b)
+
+    report = RVRuntimeDetector().run(_trace(main, 3))
+    assert report.status == "ok"
+    assert report.sorted_vars() == ["x"]
+
+
+def test_reports_init_race_under_sliced_order():
+    """A lock-published init write is ordered under full HB but racy under
+    the sliced order — RV reports it, flagged benign."""
+    def creator(ctx):
+        yield Write("conf", 1, is_init=True)
+        yield Acquire("m")
+        yield Write("ready", True)
+        yield Release("m")
+
+    def reader(ctx):
+        while True:
+            yield Acquire("m")
+            r = yield Read("ready")
+            yield Release("m")
+            if r:
+                break
+        yield Acquire("m")
+        yield Read("conf")
+        yield Release("m")
+
+    def main(ctx):
+        a = yield Fork(creator)
+        b = yield Fork(reader)
+        yield Join(a)
+        yield Join(b)
+
+    for seed in range(6):
+        report = RVRuntimeDetector().run(
+            _trace(main, 3, shared={"ready": False}, seed=seed)
+        )
+        assert report.status == "ok"
+        assert report.sorted_vars() == ["conf"]
+        assert report.races["conf"].benign
+
+
+def test_no_false_positive_on_locked_non_init():
+    def worker(ctx):
+        yield Acquire("m")
+        v = yield Read("x")
+        yield Write("x", (v or 0) + 1)
+        yield Release("m")
+
+    def main(ctx):
+        a = yield Fork(worker)
+        b = yield Fork(worker)
+        yield Join(a)
+        yield Join(b)
+
+    for seed in range(6):
+        report = RVRuntimeDetector().run(_trace(main, 3, seed=seed))
+        assert report.num_detections == 0
+
+
+def test_wait_notify_causes_exception_status():
+    def consumer(ctx):
+        yield Acquire("mon")
+        while True:
+            f = yield Read("flag")
+            if f:
+                break
+            yield Wait("mon")
+        yield Release("mon")
+
+    def main(ctx):
+        yield Write("early", 1)
+        k = yield Fork(consumer)
+        yield Acquire("mon")
+        yield Write("flag", True)
+        yield Notify("mon")
+        yield Release("mon")
+        yield Join(k)
+
+    report = RVRuntimeDetector().run(_trace(main, 2, shared={"flag": False}))
+    assert report.status == "exception"
+    assert "wait/notify" in (report.error or "")
+
+
+def test_prefix_races_found_before_exception():
+    """Races in the pre-wait/notify prefix are reported — the paper's
+    "acquired before the exception is thrown" footnote."""
+    def racer(ctx):
+        yield Write("x", ctx.tid)
+
+    def consumer(ctx):
+        yield Acquire("mon")
+        while True:
+            f = yield Read("flag")
+            if f:
+                break
+            yield Wait("mon")
+        yield Release("mon")
+
+    def main(ctx):
+        a = yield Fork(racer)
+        b = yield Fork(racer)
+        yield Join(a)
+        yield Join(b)
+        c = yield Fork(consumer)
+        yield Acquire("mon")
+        yield Write("flag", True)
+        yield Notify("mon")
+        yield Release("mon")
+        yield Join(c)
+
+    report = RVRuntimeDetector().run(_trace(main, 4, shared={"flag": False}))
+    assert report.status == "exception"
+    assert report.sorted_vars() == ["x"]
+
+
+def test_memory_budget_oom():
+    """Long unsynchronized chains blow the BFS heap."""
+    def worker(ctx):
+        for i in range(20):
+            yield Write(f"w{ctx.tid}_{i}", i)
+
+    def main(ctx):
+        kids = []
+        for _ in range(3):
+            k = yield Fork(worker)
+            kids.append(k)
+        for k in kids:
+            yield Join(k)
+
+    report = RVRuntimeDetector(memory_budget=500).run(_trace(main, 4))
+    assert report.status == "o.o.m."
+    assert report.error
+
+
+def test_sliced_lattice_is_larger():
+    """RV enumerates the sliced lattice, a superset of the HB lattice."""
+    from repro.detector.paramount_detector import ParaMountDetector
+
+    def worker(ctx):
+        yield Acquire("m")
+        yield Write("x", ctx.tid)
+        yield Release("m")
+
+    def main(ctx):
+        a = yield Fork(worker)
+        b = yield Fork(worker)
+        yield Join(a)
+        yield Join(b)
+
+    trace = _trace(main, 3)
+    rv = RVRuntimeDetector().run(trace)
+    pm = ParaMountDetector().run(trace)
+    assert rv.states_enumerated >= pm.states_enumerated
+    assert rv.poset_events >= pm.poset_events
+
+
+def test_elapsed_recorded():
+    def main(ctx):
+        yield Write("x", 1)
+
+    report = RVRuntimeDetector().run(_trace(main, 1))
+    assert report.elapsed >= 0.0
+    assert report.states_enumerated >= 1

@@ -1,0 +1,90 @@
+"""Tests for the simulated parallel machine (cost model + scheduler)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.simulated import CostModel, ScheduleResult, simulate_schedule
+
+
+def test_gc_factor_below_threshold_is_one():
+    model = CostModel(gc_threshold=100, gc_alpha=0.5)
+    assert model.gc_factor(1) == 1.0
+    assert model.gc_factor(100) == 1.0
+
+
+def test_gc_factor_grows_logarithmically():
+    model = CostModel(gc_threshold=100, gc_alpha=0.5)
+    assert model.gc_factor(200) == pytest.approx(1.5)
+    assert model.gc_factor(400) == pytest.approx(2.0)
+
+
+def test_task_seconds_includes_overhead():
+    model = CostModel(
+        seconds_per_work_unit=1e-6, task_overhead_seconds=5e-3, gc_threshold=10**9
+    )
+    assert model.task_seconds(1000, 1) == pytest.approx(5e-3 + 1e-3)
+
+
+def test_sequential_seconds_no_overhead():
+    model = CostModel(seconds_per_work_unit=1e-6, gc_threshold=10**9)
+    assert model.sequential_seconds(1000, 1) == pytest.approx(1e-3)
+
+
+def test_single_worker_makespan_is_sum():
+    result = simulate_schedule([1.0, 2.0, 3.0], 1)
+    assert result.makespan == pytest.approx(6.0)
+    assert result.utilization == pytest.approx(1.0)
+
+
+def test_two_workers_greedy():
+    # in-order greedy: w0 gets 3.0; w1 gets 1.0 then 1.0; w1 gets 1.0 again
+    result = simulate_schedule([3.0, 1.0, 1.0, 1.0], 2)
+    assert result.makespan == pytest.approx(3.0)
+    assert result.total_busy == pytest.approx(6.0)
+
+
+def test_empty_schedule():
+    result = simulate_schedule([], 4)
+    assert result.makespan == 0.0
+    assert result.utilization == 1.0
+
+
+def test_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        simulate_schedule([1.0], 0)
+    with pytest.raises(ValueError):
+        simulate_schedule([-1.0], 2)
+
+
+def test_per_worker_busy_adds_up():
+    result = simulate_schedule([0.5] * 10, 3)
+    assert sum(result.per_worker_busy) == pytest.approx(5.0)
+    assert isinstance(result, ScheduleResult)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=8),
+)
+def test_makespan_bounds(tasks, workers):
+    """Classic list-scheduling bounds: max(avg, largest) ≤ makespan ≤ sum."""
+    result = simulate_schedule(tasks, workers)
+    total = sum(tasks)
+    assert result.makespan <= total + 1e-9
+    assert result.makespan >= max(tasks) - 1e-9
+    assert result.makespan >= total / workers - 1e-9
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=40),
+)
+def test_more_workers_never_slower(tasks):
+    prev = None
+    for k in (1, 2, 4, 8):
+        makespan = simulate_schedule(tasks, k).makespan
+        if prev is not None:
+            # greedy in-order scheduling is not perfectly monotone in
+            # theory, but must stay within the 2x Graham bound of optimum
+            assert makespan <= prev * 2 + 1e-9
+        prev = makespan

@@ -1,0 +1,103 @@
+"""Tests for conjunctive-predicate slicing."""
+
+from itertools import product
+
+from hypothesis import given, settings
+
+from repro.predicates.slicing import (
+    conjunctive_slice,
+    greatest_satisfying,
+    least_satisfying,
+)
+from repro.util.cuts import cut_join, cut_leq, cut_meet
+
+from tests.conftest import small_posets
+
+
+def brute_satisfying(poset, locals_):
+    out = []
+    ranges = [range(length + 1) for length in poset.lengths]
+    for cut in product(*ranges):
+        if not poset.is_consistent(cut):
+            continue
+        ok = True
+        for t, pred in enumerate(locals_):
+            if pred is None:
+                continue
+            if cut[t] == 0 or not pred(poset.event(t, cut[t])):
+                ok = False
+                break
+        if ok:
+            out.append(cut)
+    return out
+
+
+def even_locals(poset):
+    return [
+        (lambda e: e.idx % 2 == 0) if poset.lengths[t] > 0 else None
+        for t in range(poset.num_threads)
+    ]
+
+
+def test_figure4_slice(figure4_poset):
+    locals_ = [lambda e: e.idx == 2, None]
+    s = conjunctive_slice(figure4_poset, locals_)
+    assert s is not None
+    assert s.least == (2, 1)
+    assert s.greatest == (2, 2)
+    assert set(s.states) == {(2, 1), (2, 2)}
+    assert s.count == 2
+    assert s.box_volume() == 2
+
+
+def test_no_witness_returns_none(figure4_poset):
+    assert conjunctive_slice(figure4_poset, [lambda e: False, None]) is None
+    assert greatest_satisfying(figure4_poset, [lambda e: False, None]) is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_posets())
+def test_slice_matches_brute_force(poset):
+    locals_ = even_locals(poset)
+    brute = brute_satisfying(poset, locals_)
+    s = conjunctive_slice(poset, locals_)
+    if not brute:
+        assert s is None
+        return
+    assert s is not None
+    assert set(s.states) == set(brute)
+    assert s.least == min(brute)
+    assert s.greatest == max(brute, key=lambda c: (sum(c), c))
+    # least/greatest really are componentwise extremes
+    for cut in brute:
+        assert cut_leq(s.least, cut)
+        assert cut_leq(cut, s.greatest)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_posets())
+def test_satisfying_states_form_sublattice(poset):
+    locals_ = even_locals(poset)
+    brute = set(brute_satisfying(poset, locals_))
+    sample = sorted(brute)[:: max(1, len(brute) // 10)]
+    for a in sample:
+        for b in sample:
+            assert cut_join(a, b) in brute
+            assert cut_meet(a, b) in brute
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_posets())
+def test_extremes_consistent_and_satisfying(poset):
+    locals_ = even_locals(poset)
+    least = least_satisfying(poset, locals_)
+    greatest = greatest_satisfying(poset, locals_)
+    assert (least is None) == (greatest is None)
+    if least is None:
+        return
+    for cut in (least, greatest):
+        assert poset.is_consistent(cut)
+        for t, pred in enumerate(locals_):
+            if pred is not None:
+                assert cut[t] > 0 and pred(poset.event(t, cut[t]))
+    assert cut_leq(least, greatest)

@@ -1,0 +1,117 @@
+"""Tests for the repro-tools CLI and trace serialization."""
+
+import json
+
+import pytest
+
+from repro.runtime.trace_io import load_trace, save_trace, trace_from_dict, trace_to_dict
+from repro.tools.cli import main
+from repro.workloads.registry import DETECTION_WORKLOADS
+
+
+# --------------------------------------------------------------------- #
+# trace io
+
+
+def test_trace_roundtrip(tmp_path):
+    trace = DETECTION_WORKLOADS["banking"].trace()
+    path = tmp_path / "t.json"
+    save_trace(trace, path)
+    back = load_trace(path)
+    assert back.program_name == trace.program_name
+    assert back.num_threads == trace.num_threads
+    assert back.base_seconds == pytest.approx(trace.base_seconds)
+    assert [(o.tid, o.kind, o.obj, o.target, o.is_init) for o in back.ops] == [
+        (o.tid, o.kind, o.obj, o.target, o.is_init) for o in trace.ops
+    ]
+
+
+def test_trace_version_check():
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        trace_from_dict({"version": 99})
+
+
+def test_trace_dict_shape():
+    trace = DETECTION_WORKLOADS["sor"].trace()
+    data = trace_to_dict(trace)
+    assert data["num_threads"] == 4
+    assert json.dumps(data)  # JSON-serializable
+
+
+# --------------------------------------------------------------------- #
+# CLI
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "banking" in out and "d-300" in out
+
+
+def test_cli_run_and_detect(tmp_path, capsys):
+    trace_path = str(tmp_path / "trace.json")
+    assert main(["run", "banking", "--seed", "2", "--out", trace_path]) == 0
+    assert main(["detect", "--trace", trace_path]) == 0
+    out = capsys.readouterr().out
+    assert "detections: 1" in out
+    assert "audit" in out
+
+
+def test_cli_detect_fresh_workload(capsys):
+    assert main(["detect", "--workload", "sor", "--detector", "fasttrack"]) == 0
+    out = capsys.readouterr().out
+    assert "detections: 0" in out
+
+
+def test_cli_detect_rv_statuses(capsys):
+    assert main(["detect", "--workload", "raytracer", "--detector", "rv"]) == 0
+    out = capsys.readouterr().out
+    assert "o.o.m." in out
+
+
+def test_cli_capture_and_enumerate(tmp_path, capsys):
+    poset_path = str(tmp_path / "p.json")
+    assert main(["capture-poset", "banking", "--out", poset_path]) == 0
+    assert main(["enumerate", poset_path, "--algorithm", "squire"]) == 0
+    out = capsys.readouterr().out
+    assert "states" in out
+
+
+def test_cli_enumerate_paramount(tmp_path, capsys):
+    poset_path = str(tmp_path / "p.json")
+    main(["capture-poset", "raytracer", "--out", poset_path])
+    assert main(["enumerate", poset_path, "--paramount"]) == 0
+    out = capsys.readouterr().out
+    assert "worker(s)" in out
+
+
+def test_cli_capture_raw_is_bigger(tmp_path, capsys):
+    merged = tmp_path / "m.json"
+    raw = tmp_path / "r.json"
+    main(["capture-poset", "banking", "--out", str(merged)])
+    main(["capture-poset", "banking", "--out", str(raw), "--raw"])
+    from repro.poset.io import load_poset
+
+    assert load_poset(raw).num_events > load_poset(merged).num_events
+
+
+def test_cli_explore(capsys):
+    assert main(["explore", "banking", "--seeds", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "audit" in out
+
+
+def test_cli_unknown_workload():
+    with pytest.raises(KeyError):
+        main(["run", "not-a-workload"])
+
+
+def test_cli_profile(tmp_path, capsys):
+    poset_path = str(tmp_path / "p.json")
+    main(["capture-poset", "banking", "--out", poset_path])
+    assert main(["profile", poset_path]) == 0
+    out = capsys.readouterr().out
+    assert "global states i(P)" in out
+    assert "modeled speedup (8w)" in out

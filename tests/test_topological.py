@@ -1,0 +1,91 @@
+"""Tests for topological total orders (the →p candidates)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import PosetError
+from repro.poset.builder import PosetBuilder
+from repro.poset.topological import (
+    insertion_order,
+    is_linear_extension,
+    lexicographic_topological_order,
+    random_topological_order,
+    topological_order,
+)
+from repro.util.rng import DeterministicRng
+
+from tests.conftest import small_posets
+
+
+def test_topological_order_figure4(figure4_poset):
+    order = topological_order(figure4_poset)
+    assert is_linear_extension(figure4_poset, order)
+    assert len(order) == 4
+
+
+def test_lexicographic_order_prefers_low_threads(figure4_poset):
+    order = lexicographic_topological_order(figure4_poset)
+    assert is_linear_extension(figure4_poset, order)
+    # thread 0's first event is ready at the start and must come first
+    assert order[0] == (0, 1)
+
+
+def test_random_order_deterministic_by_seed(diamond_poset):
+    a = random_topological_order(diamond_poset, DeterministicRng(3))
+    b = random_topological_order(diamond_poset, DeterministicRng(3))
+    assert a == b
+    assert is_linear_extension(diamond_poset, a)
+
+
+def test_insertion_order_returns_recorded(figure4_poset):
+    assert insertion_order(figure4_poset) == figure4_poset.insertion
+
+
+def test_insertion_order_missing_raises():
+    from repro.poset.event import Event
+    from repro.poset.poset import Poset
+
+    p = Poset([[Event(tid=0, idx=1, vc=(1,))]])
+    with pytest.raises(PosetError):
+        insertion_order(p)
+
+
+def test_is_linear_extension_rejects_violations(figure4_poset):
+    # e1[2] before its predecessor e2[1]
+    bad = ((0, 1), (0, 2), (1, 1), (1, 2))
+    assert not is_linear_extension(figure4_poset, bad)
+
+
+def test_is_linear_extension_rejects_wrong_multiset(figure4_poset):
+    assert not is_linear_extension(figure4_poset, ((0, 1), (0, 2), (1, 1)))
+    assert not is_linear_extension(
+        figure4_poset, ((0, 1), (0, 1), (1, 1), (1, 2))
+    )
+
+
+def test_is_linear_extension_rejects_out_of_chain_order(figure4_poset):
+    bad = ((1, 2), (1, 1), (0, 1), (0, 2))
+    assert not is_linear_extension(figure4_poset, bad)
+
+
+def test_diamond_orders_respect_root_and_join(diamond_poset):
+    for order in (
+        topological_order(diamond_poset),
+        lexicographic_topological_order(diamond_poset),
+    ):
+        positions = {eid: i for i, eid in enumerate(order)}
+        assert positions[(0, 1)] < positions[(1, 1)]
+        assert positions[(0, 1)] < positions[(2, 1)]
+        assert positions[(0, 2)] > positions[(1, 1)]
+        assert positions[(0, 2)] > positions[(2, 1)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_posets())
+def test_all_orders_are_linear_extensions(poset):
+    assert is_linear_extension(poset, topological_order(poset))
+    assert is_linear_extension(poset, lexicographic_topological_order(poset))
+    assert is_linear_extension(
+        poset, random_topological_order(poset, DeterministicRng(11))
+    )
+    assert is_linear_extension(poset, poset.insertion)

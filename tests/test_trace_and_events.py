@@ -1,0 +1,75 @@
+"""Tests for Trace/TraceOp and the Event/Access structures."""
+
+from repro.poset.event import Access, Event
+from repro.runtime.trace import Trace, TraceOp
+
+
+def test_traceop_flags():
+    r = TraceOp(seq=0, tid=1, kind="read", obj="x")
+    w = TraceOp(seq=1, tid=1, kind="write", obj="x")
+    a = TraceOp(seq=2, tid=1, kind="acquire", obj="m")
+    f = TraceOp(seq=3, tid=0, kind="fork", target=1)
+    assert r.is_access and w.is_access
+    assert not a.is_access and a.is_sync
+    assert f.is_sync
+
+
+def test_trace_queries():
+    ops = [
+        TraceOp(0, 0, "thread_start"),
+        TraceOp(1, 0, "write", obj="x"),
+        TraceOp(2, 0, "acquire", obj="m"),
+        TraceOp(3, 0, "read", obj="y"),
+        TraceOp(4, 0, "release", obj="m"),
+        TraceOp(5, 0, "thread_end"),
+    ]
+    t = Trace(program_name="p", num_threads=1, ops=ops)
+    assert t.variables() == {"x", "y"}
+    assert t.locks() == {"m"}
+    assert len(t.accesses()) == 2
+    assert t.per_thread_counts() == [6]
+    assert not t.uses_wait_notify()
+    assert t.summary() == (1, 6, 2)
+    assert len(t) == 6
+    assert list(iter(t)) == ops
+
+
+def test_trace_wait_notify_flag():
+    t = Trace("p", 2, ops=[TraceOp(0, 0, "notify", obj="m")])
+    assert t.uses_wait_notify()
+
+
+def test_access_conflicts():
+    w = Access("write", "x")
+    r = Access("read", "x")
+    r2 = Access("read", "x")
+    other = Access("write", "y")
+    assert w.conflicts_with(r)
+    assert r.conflicts_with(w)
+    assert not r.conflicts_with(r2)
+    assert not w.conflicts_with(other)
+
+
+def test_event_identity_and_hb():
+    a = Event(tid=0, idx=1, vc=(1, 0))
+    b = Event(tid=1, idx=1, vc=(1, 1))
+    c = Event(tid=1, idx=1, vc=(0, 1))
+    assert a.eid == (0, 1)
+    assert a.happened_before(b)
+    assert not b.happened_before(a)
+    assert a.concurrent_with(c)
+    assert not a.concurrent_with(a)
+
+
+def test_event_same_thread_order():
+    a = Event(tid=0, idx=1, vc=(1,))
+    b = Event(tid=0, idx=2, vc=(2,))
+    assert a.happened_before(b)
+    assert not b.happened_before(a)
+    assert not a.concurrent_with(b)
+
+
+def test_event_str_smoke():
+    e = Event(tid=0, idx=3, vc=(3,), kind="write", obj="x")
+    assert "write" in str(e)
+    assert "x" in str(e)

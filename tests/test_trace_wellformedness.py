@@ -1,0 +1,151 @@
+"""Property tests: every trace the scheduler produces is well-formed.
+
+Random programs (generated with hypothesis) are scheduled under random
+seeds; the resulting traces must satisfy the structural invariants that
+the detectors and front-ends rely on:
+
+* lock discipline: acquires and releases alternate per lock, and only the
+  holder releases;
+* fork precedes the child's first operation; thread_end precedes any join
+  on that thread;
+* per-thread sequence numbers are strictly increasing in trace order;
+* the collection front-end emits a valid online insertion order (checked
+  by feeding an OnlineParaMount, which rejects causality violations).
+"""
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.online import OnlineParaMount
+from repro.detector.hb import HBFrontEnd
+from repro.runtime import (
+    Acquire,
+    Compute,
+    Fork,
+    Join,
+    Program,
+    Read,
+    Release,
+    Write,
+    run_program,
+)
+
+VARS = ["x", "y"]
+LOCKS = ["m", "k"]
+
+
+def _worker(script):
+    def body(ctx):
+        held = []
+        for kind, obj in script:
+            if kind == "read":
+                yield Read(obj)
+            elif kind == "write":
+                yield Write(obj, 1)
+            elif kind == "acquire" and obj not in held:
+                yield Acquire(obj)
+                held.append(obj)
+            elif kind == "release" and held and held[-1] == obj:
+                yield Release(obj)
+                held.pop()
+            else:
+                yield Compute(1)
+        for obj in reversed(held):
+            yield Release(obj)
+
+    return body
+
+
+@st.composite
+def traces(draw):
+    num_workers = draw(st.integers(min_value=1, max_value=3))
+    scripts = []
+    for _ in range(num_workers):
+        length = draw(st.integers(min_value=0, max_value=8))
+        script = [
+            (
+                draw(st.sampled_from(["read", "write", "acquire", "release", "compute"])),
+                draw(st.sampled_from(VARS if draw(st.booleans()) else LOCKS)),
+            )
+            for _ in range(length)
+        ]
+        scripts.append(script)
+    seed = draw(st.integers(min_value=0, max_value=9999))
+
+    def main(ctx):
+        kids = []
+        for script in scripts:
+            k = yield Fork(_worker(script))
+            kids.append(k)
+        for k in kids:
+            yield Join(k)
+
+    program = Program("prop", main, max_threads=num_workers + 1)
+    return run_program(program, seed=seed)
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces())
+def test_lock_discipline(trace):
+    holder = {}
+    for op in trace.ops:
+        if op.kind == "acquire" or op.kind == "wait":
+            assert holder.get(op.obj) is None, "lock granted while held"
+            holder[op.obj] = op.tid
+        elif op.kind == "release":
+            assert holder.get(op.obj) == op.tid, "release by non-holder"
+            holder[op.obj] = None
+    # all locks free at the end
+    assert all(v is None for v in holder.values())
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces())
+def test_lifecycle_ordering(trace):
+    started = set()
+    ended = set()
+    forked = set()
+    for op in trace.ops:
+        if op.kind == "thread_start":
+            started.add(op.tid)
+        elif op.kind == "thread_end":
+            assert op.tid in started
+            ended.add(op.tid)
+        elif op.kind == "fork":
+            forked.add(op.target)
+            assert op.target not in started or op.target == 0
+        elif op.kind == "join":
+            assert op.target in ended, "join before target ended"
+        else:
+            assert op.tid in started, "op before thread_start"
+            assert op.tid not in ended, "op after thread_end"
+    assert started == ended  # every thread terminated
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces())
+def test_seq_numbers_strictly_increasing(trace):
+    last = -1
+    per_thread = defaultdict(list)
+    for op in trace.ops:
+        assert op.seq > last
+        last = op.seq
+        per_thread[op.tid].append(op.seq)
+    for seqs in per_thread.values():
+        assert seqs == sorted(seqs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(traces())
+def test_front_end_emits_valid_online_order(trace):
+    online = OnlineParaMount(trace.num_threads)
+    fe = HBFrontEnd(trace.num_threads, emit=online.insert)
+    for op in trace.ops:
+        fe.process(op)
+    fe.finish()  # EventOrderError would fail the test
+    if fe.events_emitted:
+        assert online.result.states >= 1
+    else:
+        assert online.result.states == 0  # no accesses → empty poset

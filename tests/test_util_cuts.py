@@ -1,0 +1,118 @@
+"""Tests for cut-vector arithmetic (repro.util.cuts)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.cuts import (
+    cut_dominates,
+    cut_geq,
+    cut_join,
+    cut_leq,
+    cut_lt,
+    cut_max,
+    cut_meet,
+    cuts_comparable,
+    lex_compare,
+    validate_cut_shape,
+    zero_cut,
+)
+
+cuts3 = st.tuples(*([st.integers(min_value=0, max_value=6)] * 3))
+
+
+def test_zero_cut_shape():
+    assert zero_cut(4) == (0, 0, 0, 0)
+    assert zero_cut(1) == (0,)
+
+
+def test_leq_basic():
+    assert cut_leq((0, 0), (1, 2))
+    assert cut_leq((1, 2), (1, 2))
+    assert not cut_leq((2, 0), (1, 2))
+
+
+def test_lt_is_strict():
+    assert cut_lt((0, 1), (1, 1))
+    assert not cut_lt((1, 1), (1, 1))
+    assert not cut_lt((2, 0), (1, 1))
+
+
+def test_geq_mirrors_leq():
+    assert cut_geq((3, 3), (1, 2))
+    assert not cut_geq((0, 5), (1, 2))
+
+
+def test_join_meet_values():
+    assert cut_join((1, 4), (3, 2)) == (3, 4)
+    assert cut_meet((1, 4), (3, 2)) == (1, 2)
+
+
+def test_cut_max_empty_is_zero():
+    assert cut_max([], 3) == (0, 0, 0)
+
+
+def test_cut_max_folds_join():
+    assert cut_max([(1, 0, 2), (0, 3, 1)], 3) == (1, 3, 2)
+
+
+def test_dominates_requires_every_component():
+    assert cut_dominates((2, 2), (1, 1))
+    assert not cut_dominates((2, 1), (1, 1))
+
+
+def test_lex_compare_ordering():
+    assert lex_compare((0, 5), (1, 0)) == -1
+    assert lex_compare((1, 0), (0, 5)) == 1
+    assert lex_compare((2, 3), (2, 3)) == 0
+
+
+def test_comparable():
+    assert cuts_comparable((1, 1), (2, 2))
+    assert not cuts_comparable((0, 2), (1, 0))
+
+
+def test_validate_cut_shape_accepts_good():
+    assert validate_cut_shape([1, 2, 3], 3) == (1, 2, 3)
+
+
+def test_validate_cut_shape_rejects_wrong_width():
+    with pytest.raises(ValueError):
+        validate_cut_shape((1, 2), 3)
+
+
+def test_validate_cut_shape_rejects_negative():
+    with pytest.raises(ValueError):
+        validate_cut_shape((1, -2, 0), 3)
+
+
+@given(cuts3, cuts3)
+def test_join_is_upper_bound(a, b):
+    j = cut_join(a, b)
+    assert cut_leq(a, j) and cut_leq(b, j)
+
+
+@given(cuts3, cuts3)
+def test_meet_is_lower_bound(a, b):
+    m = cut_meet(a, b)
+    assert cut_leq(m, a) and cut_leq(m, b)
+
+
+@given(cuts3, cuts3, cuts3)
+def test_join_meet_absorption(a, b, c):
+    # lattice absorption laws
+    assert cut_join(a, cut_meet(a, b)) == a
+    assert cut_meet(a, cut_join(a, b)) == a
+    # distributivity (cuts form a distributive lattice)
+    assert cut_meet(a, cut_join(b, c)) == cut_join(cut_meet(a, b), cut_meet(a, c))
+
+
+@given(cuts3, cuts3)
+def test_lex_compare_antisymmetric(a, b):
+    assert lex_compare(a, b) == -lex_compare(b, a)
+
+
+@given(cuts3, cuts3)
+def test_leq_implies_lex_leq(a, b):
+    if cut_leq(a, b):
+        assert lex_compare(a, b) <= 0

@@ -1,0 +1,124 @@
+"""Tests for stats, tables, and timing utilities."""
+
+import time
+
+import pytest
+
+from repro.util.stats import geometric_mean, percentile, summarize
+from repro.util.tables import TextTable, ascii_series, format_float, format_int
+from repro.util.timing import Stopwatch, format_duration
+
+
+# --------------------------------------------------------------------- #
+# stats
+
+
+def test_summarize_basic():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s.count == 3
+    assert s.mean == pytest.approx(2.0)
+    assert s.minimum == 1.0
+    assert s.maximum == 3.0
+    assert s.stddev == pytest.approx((2 / 3) ** 0.5)
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_geometric_mean():
+    assert geometric_mean([1, 4]) == pytest.approx(2.0)
+    assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+
+def test_geometric_mean_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+    with pytest.raises(ValueError):
+        geometric_mean([])
+
+
+def test_percentile():
+    data = [1, 2, 3, 4, 5]
+    assert percentile(data, 0) == 1
+    assert percentile(data, 50) == 3
+    assert percentile(data, 100) == 5
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile(data, 120)
+
+
+# --------------------------------------------------------------------- #
+# tables
+
+
+def test_format_int_separators():
+    assert format_int(1234567) == "1,234,567"
+
+
+def test_format_float_modes():
+    assert format_float(3.14159, 2) == "3.14"
+    assert "e" in format_float(0.00001, 2)
+    assert format_float(0.0) == "0.00"
+
+
+def test_text_table_renders():
+    t = TextTable(["name", "count"], title="demo")
+    t.add_row(["alpha", 12000])
+    t.add_row(["beta", 5])
+    out = t.render()
+    assert "demo" in out
+    assert "12,000" in out
+    assert out.count("\n") == 4  # title, header, separator, 2 rows
+
+
+def test_text_table_bools_and_floats():
+    t = TextTable(["a", "b"])
+    t.add_row([True, 1.5])
+    assert "yes" in t.render()
+
+
+def test_text_table_rejects_wrong_arity():
+    t = TextTable(["one"])
+    with pytest.raises(ValueError):
+        t.add_row([1, 2])
+
+
+def test_ascii_series_handles_none():
+    out = ascii_series("fig", "x", [1, 2], [("s", [1.0, None])])
+    assert "fig" in out
+    assert "-" in out
+
+
+# --------------------------------------------------------------------- #
+# timing
+
+
+def test_stopwatch_measures():
+    with Stopwatch() as sw:
+        time.sleep(0.01)
+    assert sw.elapsed >= 0.009
+
+
+def test_stopwatch_pause_resume():
+    sw = Stopwatch()
+    sw.start()
+    sw.stop()
+    first = sw.elapsed
+    time.sleep(0.01)
+    assert sw.elapsed == first  # stopped: no accumulation
+    sw.start()
+    time.sleep(0.005)
+    assert sw.elapsed > first
+    sw.reset()
+    assert sw.elapsed == 0.0
+
+
+def test_format_duration_ranges():
+    assert format_duration(0.0000005).endswith("us")
+    assert format_duration(0.5).endswith("ms")
+    assert format_duration(3.0) == "3.00s"
+    assert format_duration(150) == "2m30s"
+    assert format_duration(-1.0).startswith("-")

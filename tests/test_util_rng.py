@@ -1,0 +1,95 @@
+"""Tests for deterministic RNG utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import DeterministicRng, derive_seed
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(7)
+    b = DeterministicRng(7)
+    assert [a.randint(0, 100) for _ in range(20)] == [
+        b.randint(0, 100) for _ in range(20)
+    ]
+
+
+def test_different_seeds_diverge():
+    a = DeterministicRng(1)
+    b = DeterministicRng(2)
+    assert [a.randint(0, 10**9) for _ in range(5)] != [
+        b.randint(0, 10**9) for _ in range(5)
+    ]
+
+
+def test_fork_is_deterministic():
+    a = DeterministicRng(5).fork("x", 3)
+    b = DeterministicRng(5).fork("x", 3)
+    assert a.random() == b.random()
+
+
+def test_fork_streams_independent():
+    a = DeterministicRng(5).fork("x")
+    b = DeterministicRng(5).fork("y")
+    assert [a.randint(0, 10**9) for _ in range(5)] != [
+        b.randint(0, 10**9) for _ in range(5)
+    ]
+
+
+def test_derive_seed_stable():
+    assert derive_seed(42, "alpha", 1) == derive_seed(42, "alpha", 1)
+    assert derive_seed(42, "alpha") != derive_seed(42, "beta")
+
+
+def test_shuffle_permutation():
+    rng = DeterministicRng(9)
+    data = list(range(30))
+    shuffled = list(data)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == data
+
+
+def test_sample_without_replacement():
+    rng = DeterministicRng(9)
+    picked = rng.sample(list(range(10)), 4)
+    assert len(picked) == len(set(picked)) == 4
+
+
+def test_choice_member():
+    rng = DeterministicRng(3)
+    seq = ["a", "b", "c"]
+    for _ in range(10):
+        assert rng.choice(seq) in seq
+
+
+def test_geometric_at_least_one():
+    rng = DeterministicRng(1)
+    for _ in range(200):
+        assert rng.geometric(0.5) >= 1
+
+
+def test_geometric_cap():
+    rng = DeterministicRng(1)
+    for _ in range(200):
+        assert rng.geometric(0.01, cap=5) <= 5
+
+
+def test_geometric_rejects_bad_p():
+    rng = DeterministicRng(1)
+    with pytest.raises(ValueError):
+        rng.geometric(0.0)
+    with pytest.raises(ValueError):
+        rng.geometric(1.5)
+
+
+def test_weighted_choice_respects_zero_weight():
+    rng = DeterministicRng(4)
+    for _ in range(50):
+        assert rng.weighted_choice(["a", "b"], [1.0, 0.0]) == "a"
+
+
+@given(st.integers(min_value=0, max_value=2**63), st.text(max_size=8))
+def test_derive_seed_in_range(seed, label):
+    derived = derive_seed(seed, label)
+    assert 0 <= derived < 2**64

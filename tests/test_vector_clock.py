@@ -1,0 +1,101 @@
+"""Tests for vector clocks and the paper's Algorithm 3."""
+
+import pytest
+
+from repro.poset.vector_clock import (
+    VectorClock,
+    calculate_vector_clock,
+    clock_concurrent,
+    clock_leq,
+    clock_lt,
+    merge_clocks,
+)
+
+
+def test_new_clock_is_zero():
+    vc = VectorClock(3)
+    assert vc.snapshot() == (0, 0, 0)
+    assert vc.width == 3
+    assert len(vc) == 3
+
+
+def test_explicit_values_checked():
+    vc = VectorClock(2, [3, 1])
+    assert vc.snapshot() == (3, 1)
+    with pytest.raises(ValueError):
+        VectorClock(2, [1, 2, 3])
+
+
+def test_tick_increments_owner_only():
+    vc = VectorClock(3)
+    vc.tick(1)
+    assert vc.snapshot() == (0, 1, 0)
+
+
+def test_merge_in_componentwise_max():
+    vc = VectorClock(3, [1, 5, 0])
+    vc.merge_in([2, 3, 4])
+    assert vc.snapshot() == (2, 5, 4)
+
+
+def test_merge_in_accepts_vectorclock():
+    a = VectorClock(2, [1, 0])
+    b = VectorClock(2, [0, 7])
+    a.merge_in(b)
+    assert a.snapshot() == (1, 7)
+
+
+def test_copy_from_overwrites():
+    a = VectorClock(2, [5, 5])
+    a.copy_from([1, 2])
+    assert a.snapshot() == (1, 2)
+
+
+def test_indexing():
+    vc = VectorClock(2, [4, 9])
+    assert vc[1] == 9
+    vc[0] = 6
+    assert vc.snapshot() == (6, 9)
+
+
+def test_equality_with_tuples_and_clocks():
+    assert VectorClock(2, [1, 2]) == (1, 2)
+    assert VectorClock(2, [1, 2]) == VectorClock(2, [1, 2])
+    assert VectorClock(2, [1, 2]) != VectorClock(2, [2, 1])
+
+
+def test_clocks_unhashable():
+    with pytest.raises(TypeError):
+        hash(VectorClock(2))
+
+
+def test_algorithm3_example():
+    """The paper's example: thread t acquires lock l."""
+    t_vc = VectorClock(2, [1, 0])  # thread 0 executed one event
+    l_vc = VectorClock(2, [0, 2])  # lock last released by thread 1
+    stamped = calculate_vector_clock(t_vc, l_vc, owner=0)
+    # line 1: tick owner; lines 2-3: merge; line 4: lock copies the result
+    assert stamped == (2, 2)
+    assert t_vc.snapshot() == (2, 2)
+    assert l_vc.snapshot() == (2, 2)
+
+
+def test_algorithm3_rejects_width_mismatch():
+    with pytest.raises(ValueError):
+        calculate_vector_clock(VectorClock(2), VectorClock(3), owner=0)
+
+
+def test_clock_leq_lt_concurrent():
+    assert clock_leq((1, 1), (1, 2))
+    assert clock_lt((1, 1), (1, 2))
+    assert not clock_lt((1, 1), (1, 1))
+    assert clock_concurrent((2, 0), (0, 2))
+    assert not clock_concurrent((1, 1), (2, 2))
+
+
+def test_merge_clocks_empty():
+    assert merge_clocks([], 3) == (0, 0, 0)
+
+
+def test_merge_clocks_many():
+    assert merge_clocks([(1, 0), (0, 2), (1, 1)], 2) == (1, 2)

@@ -1,0 +1,97 @@
+"""Tests for the Table 1 enumeration workloads (structure, not timing)."""
+
+import pytest
+
+from repro.poset.topological import is_linear_extension
+from repro.workloads.banking import build_bank_enumeration
+from repro.workloads.distributed import D_SPECS, build_d_poset
+from repro.workloads.registry import (
+    ENUMERATION_WORKLOADS,
+    detection_workload,
+    enumeration_workload,
+)
+
+FAST = ("d-300", "tsp")  # cheap enough to enumerate inside the test suite
+
+
+def test_registry_names():
+    assert set(ENUMERATION_WORKLOADS) == {
+        "d-300",
+        "d-500",
+        "d-10k",
+        "bank",
+        "tsp",
+        "hedc",
+        "elevator",
+    }
+
+
+def test_lookup_helpers():
+    assert enumeration_workload("bank").threads == 8
+    with pytest.raises(KeyError):
+        enumeration_workload("nope")
+    assert detection_workload("banking").name == "banking"
+    with pytest.raises(KeyError):
+        detection_workload("nope")
+
+
+@pytest.mark.parametrize("name", list(ENUMERATION_WORKLOADS))
+def test_posets_well_formed(name):
+    w = ENUMERATION_WORKLOADS[name]
+    poset = w.build_poset()
+    assert poset.num_threads == w.threads
+    assert poset.num_events > 0
+    assert poset.insertion is not None
+    assert is_linear_extension(poset, poset.insertion)
+
+
+@pytest.mark.parametrize("name", list(ENUMERATION_WORKLOADS))
+def test_posets_deterministic(name):
+    w = ENUMERATION_WORKLOADS[name]
+    a, b = w.build_poset(), w.build_poset()
+    assert a.lengths == b.lengths
+    assert a.insertion == b.insertion
+
+
+def test_bank_is_full_grid():
+    p = build_bank_enumeration(threads=4, chain_length=2)
+    from repro.poset.ideals import count_ideals
+
+    assert count_ideals(p) == 3**4
+    # no cross edges at all
+    for t in range(4):
+        for k in range(1, 3):
+            vc = p.vc(t, k)
+            assert all(v == 0 for i, v in enumerate(vc) if i != t)
+
+
+def test_d_specs_are_increasing():
+    names = ["d-300", "d-500", "d-10k"]
+    events = [D_SPECS[n].num_events for n in names]
+    assert events == sorted(events)
+    for n in names:
+        assert D_SPECS[n].num_processes == 10
+
+
+def test_build_d_poset_unknown():
+    with pytest.raises(KeyError):
+        build_d_poset("d-999")
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_workloads_enumerable(name):
+    """End-to-end: ParaMount over the real (small) Table 1 posets."""
+    from repro.core.paramount import ParaMount
+
+    poset = ENUMERATION_WORKLOADS[name].build_poset()
+    result = ParaMount(poset).run()
+    assert result.states > 1000
+    assert len(result.intervals) == poset.num_events
+
+
+def test_oom_expectations_annotated():
+    assert ENUMERATION_WORKLOADS["bank"].bfs_oom_expected
+    assert ENUMERATION_WORKLOADS["hedc"].bfs_oom_expected
+    assert ENUMERATION_WORKLOADS["elevator"].bfs_oom_expected
+    assert not ENUMERATION_WORKLOADS["d-300"].bfs_oom_expected
+    assert not ENUMERATION_WORKLOADS["tsp"].bfs_oom_expected
