@@ -55,6 +55,13 @@ class ParaMount:
     memory_budget:
         Per-task cap on live intermediate states (models a bounded heap for
         the BFS subroutine).
+    sanitizer:
+        Optional enumeration sanitizer (an object with
+        ``observe_interval(interval)`` and ``observe_state(interval, cut)``,
+        e.g. :class:`repro.staticcheck.sanitize.EnumerationSanitizer`).
+        When set, every interval's bounds and every enumerated state are
+        checked — in particular Theorem 2's disjointness (no state visited
+        twice across intervals).
     """
 
     def __init__(
@@ -64,11 +71,13 @@ class ParaMount:
         order: OrderSpec = None,
         executor: Optional[Executor] = None,
         memory_budget: Optional[int] = None,
+        sanitizer=None,
     ):
         self.poset = poset
         self.subroutine_name = subroutine
         self.executor = executor if executor is not None else SerialExecutor()
         self.memory_budget = memory_budget
+        self.sanitizer = sanitizer
         if callable(order):
             self._order: Sequence[EventId] = order(poset)
         elif order is not None:
@@ -97,10 +106,24 @@ class ParaMount:
             self.subroutine_name, self.poset, memory_budget=self.memory_budget
         )
         wrapped = self._wrap_visitor(visit)
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            for interval in self.intervals:
+                sanitizer.observe_interval(interval)
 
         def make_task(interval: Interval) -> Callable[[], IntervalStats]:
+            if sanitizer is None:
+                task_visit = wrapped
+            else:
+                # observe every enumerated state even with no user visitor,
+                # so the partition check covers the whole lattice.
+                def task_visit(cut, _iv=interval):
+                    sanitizer.observe_state(_iv, cut)
+                    if wrapped is not None:
+                        wrapped(cut)
+
             def task() -> IntervalStats:
-                return bounded_enumeration(subroutine, interval, wrapped)
+                return bounded_enumeration(subroutine, interval, task_visit)
 
             return task
 

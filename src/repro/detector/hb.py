@@ -70,9 +70,14 @@ class HBFrontEnd:
         merge_collections: bool = True,
         skip_init_accesses: bool = False,
         track_weak_clocks: bool = False,
+        sanitizer=None,
     ):
         self.n = num_threads
         self.emit = emit
+        #: Optional clock sanitizer (an object with ``observe_event(event)``,
+        #: e.g. :class:`repro.staticcheck.sanitize.ClockSanitizer`) fed every
+        #: emitted event before the downstream consumer sees it.
+        self.sanitizer = sanitizer
         self.merge_collections = merge_collections
         #: Drop initialization writes entirely (not used by the shipped
         #: detectors — ParaMount keeps them but filters at predicate time).
@@ -202,6 +207,8 @@ class HBFrontEnd:
             weak_vc=weak_vc,
         )
         self._emitted += 1
+        if self.sanitizer is not None:
+            self.sanitizer.observe_event(event)
         self.emit(event)
 
 

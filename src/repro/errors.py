@@ -19,6 +19,8 @@ __all__ = [
     "OutOfMemoryError",
     "DetectorError",
     "WorkloadError",
+    "StaticCheckError",
+    "SanitizerError",
 ]
 
 
@@ -67,7 +69,20 @@ class SchedulerError(ReproError):
 
 class DeadlockError(SchedulerError):
     """Raised when every runnable thread of a simulated program is blocked
-    (all waiting on locks, monitors, or joins that can never be released)."""
+    (all waiting on locks, monitors, or joins that can never be released).
+
+    ``wait_for`` carries the detected wait-for graph
+    (:class:`repro.runtime.waitgraph.WaitForGraph`) as structured data, in
+    the same format the static lock-order analyzer uses for its deadlock
+    warnings, so dynamic and static deadlock reports can be compared
+    directly.  It is ``None`` only for legacy constructions that pass a
+    bare message.
+    """
+
+    def __init__(self, message: str, wait_for=None):
+        super().__init__(message)
+        #: The wait-for graph at the moment of deadlock (or ``None``).
+        self.wait_for = wait_for
 
 
 class OutOfMemoryError(ReproError):
@@ -101,3 +116,17 @@ class DetectorError(ReproError):
 class WorkloadError(ReproError):
     """Raised when a workload specification is invalid (unknown name, bad
     scale parameters, ...)."""
+
+
+class StaticCheckError(ReproError):
+    """Raised by the static analyzer (:mod:`repro.staticcheck`) when a
+    program cannot be analyzed at all — e.g. a thread body whose source is
+    unavailable.  Imprecision never raises; it is recorded as
+    ``approximation`` notes on the report instead."""
+
+
+class SanitizerError(ReproError):
+    """Raised (in strict mode) by the runtime sanitizer when a pipeline
+    invariant is violated: per-thread sequence monotonicity, lock
+    discipline, vector-clock monotonicity, ``Gmin(e) ≤ Gbnd(e)``, or the
+    interval-partition disjointness of Theorem 2."""

@@ -29,8 +29,11 @@ from repro.runtime.ops import (
 from repro.runtime.program import Program, ThreadContext
 from repro.runtime.scheduler import Scheduler, run_program
 from repro.runtime.trace import Trace, TraceOp
+from repro.runtime.waitgraph import WaitEdge, WaitForGraph
 
 __all__ = [
+    "WaitEdge",
+    "WaitForGraph",
     "Read",
     "Write",
     "Acquire",

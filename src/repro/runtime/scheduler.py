@@ -26,6 +26,7 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.errors import DeadlockError, SchedulerError
+from repro.runtime.waitgraph import WaitEdge, WaitForGraph
 from repro.runtime.ops import (
     Acquire,
     Compute,
@@ -57,7 +58,16 @@ _FINISHED = "finished"
 
 
 class _ThreadState:
-    __slots__ = ("tid", "gen", "ctx", "status", "pending", "blocked_on", "resume_kind")
+    __slots__ = (
+        "tid",
+        "gen",
+        "ctx",
+        "status",
+        "pending",
+        "blocked_on",
+        "resume_kind",
+        "join_target",
+    )
 
     def __init__(self, tid: int, gen, ctx: ThreadContext):
         self.tid = tid
@@ -68,6 +78,8 @@ class _ThreadState:
         self.blocked_on: Optional[str] = None
         #: Trace kind to emit when the thread gets unblocked ("acquire"/"wait"/"join").
         self.resume_kind: Optional[str] = None
+        #: Joined thread id while blocked in a join (for wait-for graphs).
+        self.join_target: Optional[int] = None
 
 
 class _LockState:
@@ -88,6 +100,7 @@ class Scheduler:
         seed: int = 0,
         stickiness: float = 0.0,
         max_steps: int = 2_000_000,
+        sanitizer=None,
     ):
         if not 0.0 <= stickiness < 1.0:
             raise SchedulerError(f"stickiness must be in [0, 1), got {stickiness}")
@@ -96,6 +109,10 @@ class Scheduler:
         #: Probability of staying on the current thread at each step.
         self.stickiness = stickiness
         self.max_steps = max_steps
+        #: Optional trace sanitizer (an object with ``observe(op)``, e.g.
+        #: :class:`repro.staticcheck.sanitize.TraceSanitizer`) fed every
+        #: emitted operation — the opt-in runtime invariant checker.
+        self.sanitizer = sanitizer
         self._rng = DeterministicRng(seed).fork("scheduler", program.name)
 
     # ------------------------------------------------------------------ #
@@ -110,12 +127,15 @@ class Scheduler:
         joiners: Dict[int, List[int]] = {}  # finished-waits: target -> joiner tids
         seq = 0
 
+        sanitizer = self.sanitizer
+
         def emit(tid: int, kind: str, obj=None, target=None, is_init=False) -> None:
             nonlocal seq
-            trace.ops.append(
-                TraceOp(seq=seq, tid=tid, kind=kind, obj=obj, target=target, is_init=is_init)
-            )
+            op = TraceOp(seq=seq, tid=tid, kind=kind, obj=obj, target=target, is_init=is_init)
+            trace.ops.append(op)
             seq += 1
+            if sanitizer is not None:
+                sanitizer.observe(op)
 
         def spawn(body: Callable, name: str) -> int:
             tid = len(threads)
@@ -174,8 +194,11 @@ class Scheduler:
                     for t in threads
                     if t.status != _FINISHED
                 }
+                wait_for = _build_wait_for(threads, locks)
                 raise DeadlockError(
-                    f"program {program.name!r} deadlocked; blocked threads: {blocked}"
+                    f"program {program.name!r} deadlocked; blocked threads: "
+                    f"{blocked}\n{wait_for.format()}",
+                    wait_for=wait_for,
                 )
             steps += 1
             if steps > self.max_steps:
@@ -278,6 +301,7 @@ class Scheduler:
                     joiners.setdefault(op.tid, []).append(tid)
                     t.status = _BLOCKED_JOIN
                     t.blocked_on = f"thread {op.tid}"
+                    t.join_target = op.tid
                     t.resume_kind = "join"
             elif isinstance(op, Compute):
                 trace.base_seconds += op.units * _SECONDS_PER_COMPUTE_UNIT
@@ -290,6 +314,64 @@ class Scheduler:
         return trace
 
 
-def run_program(program: Program, seed: int = 0, stickiness: float = 0.0) -> Trace:
+def _thread_label(t: _ThreadState) -> str:
+    """Human-readable thread label shared with the static analyzer."""
+    return t.ctx.name or f"t{t.tid}"
+
+
+def _build_wait_for(threads, locks) -> WaitForGraph:
+    """Snapshot the wait-for graph of the blocked threads.
+
+    Edge semantics match the static lock-order analyzer's hypothetical
+    deadlock graphs: ``waiter`` is blocked on ``resource`` held (or to be
+    finished) by ``holder``; monitor waiters with no live notifier get a
+    holder-less ``wait`` edge.
+    """
+    edges = []
+    for t in threads:
+        if t.status == _BLOCKED_LOCK:
+            lst = locks.get(t.blocked_on)
+            owner = (
+                _thread_label(threads[lst.owner])
+                if lst is not None and lst.owner is not None
+                else None
+            )
+            edges.append(
+                WaitEdge(
+                    waiter=_thread_label(t),
+                    holder=owner,
+                    resource=t.blocked_on,
+                    kind="lock",
+                )
+            )
+        elif t.status == _BLOCKED_JOIN:
+            holder = (
+                _thread_label(threads[t.join_target])
+                if t.join_target is not None
+                else None
+            )
+            edges.append(
+                WaitEdge(
+                    waiter=_thread_label(t),
+                    holder=holder,
+                    resource=t.blocked_on or "thread ?",
+                    kind="join",
+                )
+            )
+        elif t.status == _BLOCKED_WAIT:
+            edges.append(
+                WaitEdge(
+                    waiter=_thread_label(t),
+                    holder=None,
+                    resource=t.blocked_on or "?",
+                    kind="wait",
+                )
+            )
+    return WaitForGraph.from_edges(edges)
+
+
+def run_program(
+    program: Program, seed: int = 0, stickiness: float = 0.0, sanitizer=None
+) -> Trace:
     """Convenience wrapper: schedule ``program`` once and return its trace."""
-    return Scheduler(program, seed=seed, stickiness=stickiness).run()
+    return Scheduler(program, seed=seed, stickiness=stickiness, sanitizer=sanitizer).run()

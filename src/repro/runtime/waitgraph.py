@@ -1,0 +1,116 @@
+"""Wait-for graphs — the shared deadlock-report format.
+
+Both deadlock reporters in the system speak this format:
+
+* the **scheduler** builds one at the moment a simulated program
+  deadlocks and attaches it to the raised
+  :class:`~repro.errors.DeadlockError` (``err.wait_for``);
+* the **static lock-order analyzer** (:mod:`repro.staticcheck.lockorder`)
+  converts every cycle of the static lock-order graph into a hypothetical
+  wait-for graph and attaches it to the emitted deadlock warning.
+
+A graph is a set of :class:`WaitEdge` records "``waiter`` cannot proceed
+until ``holder`` acts on ``resource``".  Nodes are human-readable thread
+labels (``"main"``, ``"teller0"``, ``"t3"``) so that dynamic and static
+reports can be compared by string equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["WaitEdge", "WaitForGraph"]
+
+#: Edge kinds: blocked on a lock/monitor acquisition, on a thread join, or
+#: on a monitor wait (no notifier left alive — ``holder`` is ``None``).
+KIND_LOCK = "lock"
+KIND_JOIN = "join"
+KIND_WAIT = "wait"
+
+
+@dataclass(frozen=True)
+class WaitEdge:
+    """One wait-for dependency.
+
+    ``waiter`` is blocked on ``resource`` (a lock name or ``"thread <i>"``)
+    which only ``holder`` can release/finish.  ``holder`` is ``None`` when
+    nobody can unblock the waiter (a monitor wait with no live notifier).
+    """
+
+    waiter: str
+    holder: Optional[str]
+    resource: str
+    kind: str = KIND_LOCK
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        who = self.holder if self.holder is not None else "<nobody>"
+        return f"{self.waiter} --[{self.kind} {self.resource}]--> {who}"
+
+
+@dataclass(frozen=True)
+class WaitForGraph:
+    """An immutable wait-for graph with cycle extraction."""
+
+    edges: Tuple[WaitEdge, ...] = ()
+
+    @classmethod
+    def from_edges(cls, edges: Sequence[WaitEdge]) -> "WaitForGraph":
+        return cls(edges=tuple(edges))
+
+    # ------------------------------------------------------------------ #
+
+    def nodes(self) -> List[str]:
+        """All thread labels appearing in the graph, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for e in self.edges:
+            seen.setdefault(e.waiter)
+            if e.holder is not None:
+                seen.setdefault(e.holder)
+        return list(seen)
+
+    def successors(self, node: str) -> List[WaitEdge]:
+        """Outgoing wait edges of ``node``."""
+        return [e for e in self.edges if e.waiter == node and e.holder is not None]
+
+    def cycles(self) -> List[List[WaitEdge]]:
+        """Elementary waiter→holder cycles, deduplicated up to rotation.
+
+        The graphs are tiny (one node per blocked thread), so a plain DFS
+        with an on-path set is plenty.
+        """
+        found: Dict[Tuple[Tuple[str, str, str], ...], List[WaitEdge]] = {}
+
+        def walk(path: List[WaitEdge], on_path: List[str]) -> None:
+            for edge in self.successors(on_path[-1]):
+                if edge.holder == on_path[0]:
+                    cycle = path + [edge]
+                    found[_canonical(cycle)] = cycle
+                elif edge.holder not in on_path:
+                    walk(path + [edge], on_path + [edge.holder])
+
+        for start in self.nodes():
+            walk([], [start])
+        return list(found.values())
+
+    def has_cycle(self) -> bool:
+        """Whether any circular wait exists."""
+        return bool(self.cycles())
+
+    def format(self) -> str:
+        """Multi-line human-readable rendering."""
+        if not self.edges:
+            return "wait-for graph: (empty)"
+        lines = ["wait-for graph:"]
+        lines += [f"  {e}" for e in self.edges]
+        for cycle in self.cycles():
+            ring = " -> ".join(e.waiter for e in cycle) + f" -> {cycle[0].waiter}"
+            lines.append(f"  cycle: {ring}")
+        return "\n".join(lines)
+
+
+def _canonical(cycle: List[WaitEdge]) -> Tuple[Tuple[str, str, str], ...]:
+    """Rotation-invariant key for an edge cycle."""
+    keys = [(e.waiter, e.resource, e.kind) for e in cycle]
+    rotations = [tuple(keys[i:] + keys[:i]) for i in range(len(keys))]
+    return min(rotations)

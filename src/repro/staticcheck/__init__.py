@@ -1,0 +1,66 @@
+"""Static race/deadlock analysis and runtime sanitizing for simulated programs.
+
+ParaMount detects races *dynamically* by enumerating the consistent global
+states of one observed execution; this package adds the complementary
+*static* pass over the program text plus an opt-in runtime *sanitizer*:
+
+* :mod:`~repro.staticcheck.extract` — an AST extractor that walks every
+  thread-body generator **without executing it** and produces a
+  conservative op-flow summary (variables read/written, the lockset held
+  at each access, fork/join edges; branches and loops join conservatively);
+* :mod:`~repro.staticcheck.races` — an Eraser-style lockset analyzer
+  flagging variables reachable from ≥ 2 threads under disjoint locksets
+  (initialization writes are reported separately, honoring the ParaMount
+  detector's §5.2 init filter);
+* :mod:`~repro.staticcheck.lockorder` — a lock-order graph with cycle
+  detection emitting static deadlock warnings in the scheduler's
+  wait-for-graph format;
+* :mod:`~repro.staticcheck.sanitize` — runtime invariant checkers wired
+  (opt-in) into the scheduler, the HB front-end and the ParaMount driver;
+* :mod:`~repro.staticcheck.crossval` — the harness comparing static
+  warnings against FastTrack/ParaMount dynamic findings over the workload
+  registry (the static warnings must be a superset of the dynamically
+  confirmed races).
+"""
+
+from repro.staticcheck.crossval import CrossValidation, cross_validate, cross_validate_registry
+from repro.staticcheck.extract import (
+    AccessSite,
+    LockOrderEdge,
+    ProgramSummary,
+    SummaryExtractor,
+    ThreadInstance,
+    extract_summary,
+)
+from repro.staticcheck.lockorder import analyze_lock_order
+from repro.staticcheck.races import analyze_races
+from repro.staticcheck.report import StaticReport, StaticWarning, analyze_program
+from repro.staticcheck.sanitize import (
+    ClockSanitizer,
+    EnumerationSanitizer,
+    PipelineSanitizer,
+    SanitizerViolation,
+    TraceSanitizer,
+)
+
+__all__ = [
+    "AccessSite",
+    "ClockSanitizer",
+    "CrossValidation",
+    "EnumerationSanitizer",
+    "LockOrderEdge",
+    "PipelineSanitizer",
+    "ProgramSummary",
+    "SanitizerViolation",
+    "StaticReport",
+    "StaticWarning",
+    "SummaryExtractor",
+    "ThreadInstance",
+    "TraceSanitizer",
+    "analyze_lock_order",
+    "analyze_program",
+    "analyze_races",
+    "cross_validate",
+    "cross_validate_registry",
+    "extract_summary",
+]

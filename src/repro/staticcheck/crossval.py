@@ -1,0 +1,128 @@
+"""Cross-validation: static warnings vs. dynamically confirmed races.
+
+The soundness contract of the static analyzer is *coverage*: every race a
+dynamic detector confirms on an actual execution must correspond to some
+static race warning (the converse — static warnings without a dynamic
+confirmation — is expected: static analysis over-approximates and a single
+observed schedule under-approximates).
+
+For one workload, :func:`cross_validate`:
+
+1. runs the program once under the workload's pinned schedule seed;
+2. collects the racy variables confirmed by **both** dynamic detectors —
+   the ParaMount predicate detector (init-filtered, §5.2) and FastTrack
+   (which reports init races too) — taking their union;
+3. runs the static pipeline (:func:`~repro.staticcheck.report.analyze_program`)
+   on the same program;
+4. reports ``missed`` (dynamically confirmed, not covered by any static
+   race/init-race warning — a soundness bug) and ``extra`` (statically
+   warned, not confirmed on this schedule — expected over-approximation).
+
+Dynamic results are cached per workload name: the schedules are pinned, so
+re-running detectors for every parametrized test would only burn time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.detector.fasttrack import FastTrackDetector
+from repro.detector.paramount_detector import ParaMountDetector
+from repro.staticcheck.report import StaticReport, analyze_program
+from repro.workloads.registry import DETECTION_WORKLOADS, detection_workload
+
+__all__ = ["CrossValidation", "cross_validate", "cross_validate_registry"]
+
+
+@dataclass
+class CrossValidation:
+    """Static-vs-dynamic comparison for one workload."""
+
+    workload: str
+    static_report: StaticReport
+    #: Racy variables confirmed by ParaMount (dynamic).
+    paramount_racy: frozenset
+    #: Racy variables confirmed by FastTrack.
+    fasttrack_racy: frozenset
+    #: Dynamically confirmed variables not covered statically (must be empty).
+    missed: frozenset
+    #: Statically warned variables with no dynamic confirmation here.
+    extra: Tuple[str, ...]
+
+    @property
+    def dynamic_racy(self) -> frozenset:
+        return self.paramount_racy | self.fasttrack_racy
+
+    @property
+    def ok(self) -> bool:
+        """Static warnings cover every dynamically confirmed race."""
+        return not self.missed
+
+    def format(self) -> str:
+        lines = [
+            f"{self.workload}: dynamic races {sorted(self.dynamic_racy) or '[]'} "
+            f"(ParaMount {sorted(self.paramount_racy) or '[]'}, "
+            f"FastTrack {sorted(self.fasttrack_racy) or '[]'})"
+        ]
+        statics = sorted(
+            str(w.var) for w in self.static_report.race_warnings() if w.var is not None
+        )
+        lines.append(f"  static race warnings on: {statics or '[]'}")
+        if self.missed:
+            lines.append(f"  MISSED (soundness bug): {sorted(self.missed)}")
+        else:
+            lines.append("  coverage OK: no dynamically confirmed race missed")
+        if self.extra:
+            lines.append(
+                f"  static-only (over-approximation or other schedules): "
+                f"{list(self.extra)}"
+            )
+        return "\n".join(lines)
+
+
+#: workload name -> (paramount racy vars, fasttrack racy vars)
+_DYNAMIC_CACHE: Dict[str, Tuple[frozenset, frozenset]] = {}
+
+
+def _dynamic_racy_vars(name: str) -> Tuple[frozenset, frozenset]:
+    cached = _DYNAMIC_CACHE.get(name)
+    if cached is not None:
+        return cached
+    workload = detection_workload(name)
+    trace = workload.trace()
+    pm = ParaMountDetector().run(trace, benign_vars=workload.benign_vars)
+    ft = FastTrackDetector(trace.num_threads).run(trace, benign_vars=workload.benign_vars)
+    result = (frozenset(pm.racy_vars), frozenset(ft.racy_vars))
+    _DYNAMIC_CACHE[name] = result
+    return result
+
+
+def cross_validate(name: str) -> CrossValidation:
+    """Compare static warnings with dynamic findings for one workload."""
+    workload = detection_workload(name)
+    static_report = analyze_program(workload.build())
+    pm_racy, ft_racy = _dynamic_racy_vars(name)
+    dynamic = pm_racy | ft_racy
+    missed = frozenset(v for v in dynamic if not static_report.covers_var(v))
+    confirmed = set(dynamic)
+    extra = tuple(
+        sorted(
+            str(w.var)
+            for w in static_report.race_warnings()
+            if w.var is not None and str(w.var) not in confirmed
+        )
+    )
+    return CrossValidation(
+        workload=name,
+        static_report=static_report,
+        paramount_racy=pm_racy,
+        fasttrack_racy=ft_racy,
+        missed=missed,
+        extra=extra,
+    )
+
+
+def cross_validate_registry() -> List[CrossValidation]:
+    """Cross-validate every detection workload in registry order."""
+    return [cross_validate(name) for name in DETECTION_WORKLOADS]

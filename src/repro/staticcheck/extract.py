@@ -1,0 +1,872 @@
+"""AST extraction of conservative op-flow summaries from thread bodies.
+
+A :class:`~repro.runtime.program.Program`'s thread bodies are generator
+functions yielding :mod:`repro.runtime.ops` operations.  The extractor
+walks their **source ASTs** — the bodies are never executed — and produces
+a :class:`ProgramSummary`:
+
+* every variable access with the *lockset* held at that point;
+* the set of abstract thread instances with their fork/join edges
+  (which accesses are ordered before a fork or after a join);
+* lock-order edges (lock ``b`` acquired while ``a`` is held) for the
+  deadlock analyzer.
+
+Precision strategy (everything degrades conservatively, never silently):
+
+* constant expressions, closure cells and module globals are resolved by
+  the guarded evaluator of :mod:`repro.staticcheck.values`; anything
+  touching the runtime ``ctx`` stays :data:`~repro.staticcheck.values.UNKNOWN`;
+* ``for`` loops over statically known small iterables are **unrolled**
+  (resolving e.g. per-worker f-string variable names and the
+  ``kids.append(k)`` / ``for k in kids: yield Join(k)`` idiom exactly);
+  other loops are analyzed twice and joined conservatively — locksets
+  intersect, forks replicate, joins are *not* credited (a loop may run
+  zero times);
+* ``if`` branches with statically known conditions take one side; unknown
+  conditions analyze both sides and join (lockset intersection, fork
+  union, join intersection);
+* ``yield from helper(...)`` inlines the helper's AST with the caller's
+  lock/fork state; factory calls such as ``Fork(_worker(i))`` are resolved
+  by evaluating the (assumed pure) factory to obtain the closure analyzed
+  next.
+
+Whenever resolution fails the extractor records an ``approximation`` note
+and errs toward *larger* race reports: locksets shrink, threads replicate,
+joins are forgotten.  This is what makes the race analyzer's warnings a
+superset of the dynamically confirmed races (see
+:mod:`repro.staticcheck.crossval`).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import StaticCheckError
+from repro.runtime import ops as rt_ops
+from repro.runtime.program import Program
+from repro.staticcheck.values import (
+    UNKNOWN,
+    StrPattern,
+    VarName,
+    eval_str,
+    try_eval,
+)
+
+__all__ = [
+    "AccessSite",
+    "LockOrderEdge",
+    "ProgramSummary",
+    "SummaryExtractor",
+    "ThreadInstance",
+    "extract_summary",
+]
+
+
+# --------------------------------------------------------------------- #
+# summary data model
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One static read/write site with its conservative context."""
+
+    op: str  # "read" | "write"
+    var: VarName
+    is_init: bool
+    #: Locks (concrete names) surely held at this access.
+    lockset: frozenset
+    #: False when the analysis may have lost lock information here.
+    lockset_exact: bool
+    #: Owning :class:`ThreadInstance` id.
+    instance: int
+    line: int
+    func: str
+    #: Instance ids possibly already forked when this site runs (union over
+    #: paths) — a site is ordered *before* every instance not in here.
+    forked_before: frozenset = frozenset()
+    #: Instance ids surely fully joined when this site runs (intersection
+    #: over paths) — the site is ordered *after* every instance in here.
+    joined_before: frozenset = frozenset()
+
+    def describe(self) -> str:
+        locks = ",".join(sorted(self.lockset)) or "∅"
+        init = " init" if self.is_init else ""
+        return f"{self.op}{init}({self.var}) locks={{{locks}}} @{self.func}:{self.line}"
+
+
+@dataclass
+class ThreadInstance:
+    """One abstract thread of the program (a fork site, or ``main``)."""
+
+    id: int
+    label: str
+    parent: Optional[int]
+    #: True when the site stands for ≥ 2 dynamic threads (fork in a loop).
+    replicated: bool = False
+    #: Instance ids surely fully joined (in the parent) before this fork —
+    #: this instance is ordered entirely after those instances.
+    forked_after_joins: frozenset = frozenset()
+    #: How many times the fork site was seen (≥ 2 ⇒ replicated).
+    times_forked: int = 0
+
+
+@dataclass(frozen=True)
+class LockOrderEdge:
+    """Lock ``acquired`` taken while ``held`` was held, by ``thread``."""
+
+    held: str
+    acquired: str
+    thread: str
+    line: int
+
+
+@dataclass
+class ProgramSummary:
+    """The static op-flow summary of a whole program."""
+
+    program_name: str
+    instances: List[ThreadInstance] = field(default_factory=list)
+    accesses: List[AccessSite] = field(default_factory=list)
+    lock_edges: List[LockOrderEdge] = field(default_factory=list)
+    #: (thread label, lock, line) — acquire of a lock already held.
+    self_deadlocks: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: Human-readable notes where precision was lost.
+    approximations: List[str] = field(default_factory=list)
+
+    def instance(self, iid: int) -> ThreadInstance:
+        return self.instances[iid]
+
+    def variables(self) -> Set[str]:
+        """Concretely named variables accessed anywhere."""
+        return {a.var for a in self.accesses if isinstance(a.var, str)}
+
+
+# --------------------------------------------------------------------- #
+# abstract runtime values
+
+
+@dataclass(frozen=True)
+class _Handle:
+    """Abstract value of ``yield Fork(...)``: a thread-instance handle."""
+
+    instance_id: int
+
+
+class _Frame:
+    """Mutable concurrency state threaded through one instance's analysis."""
+
+    __slots__ = (
+        "lockset",
+        "lockset_exact",
+        "fork_counts",
+        "join_counts",
+        "terminated",
+    )
+
+    def __init__(self) -> None:
+        self.lockset: Set[str] = set()
+        self.lockset_exact = True
+        self.fork_counts: Dict[int, int] = {}
+        self.join_counts: Dict[int, int] = {}
+        #: None | "return" | "break" | "continue"
+        self.terminated: Optional[str] = None
+
+    def copy(self) -> "_Frame":
+        f = _Frame()
+        f.lockset = set(self.lockset)
+        f.lockset_exact = self.lockset_exact
+        f.fork_counts = dict(self.fork_counts)
+        f.join_counts = dict(self.join_counts)
+        f.terminated = self.terminated
+        return f
+
+    def assign_from(self, other: "_Frame") -> None:
+        self.lockset = set(other.lockset)
+        self.lockset_exact = other.lockset_exact
+        self.fork_counts = dict(other.fork_counts)
+        self.join_counts = dict(other.join_counts)
+        self.terminated = other.terminated
+
+
+def _join_frames(frames: List[_Frame]) -> _Frame:
+    """Conservative join of the live (non-terminated) path states."""
+    live = [f for f in frames if f.terminated is None]
+    if not live:
+        out = frames[0].copy()
+        out.terminated = "return"
+        return out
+    out = live[0].copy()
+    for f in live[1:]:
+        if f.lockset != out.lockset:
+            out.lockset_exact = False
+        out.lockset &= f.lockset
+        out.lockset_exact = out.lockset_exact and f.lockset_exact
+        for iid, cnt in f.fork_counts.items():
+            out.fork_counts[iid] = max(out.fork_counts.get(iid, 0), cnt)
+        joined: Dict[int, int] = {}
+        for iid in set(out.join_counts) | set(f.join_counts):
+            joined[iid] = min(out.join_counts.get(iid, 0), f.join_counts.get(iid, 0))
+        out.join_counts = joined
+    return out
+
+
+def _join_locals(locals_list: List[Dict[str, Any]]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    keys = set()
+    for loc in locals_list:
+        keys |= set(loc)
+    for key in keys:
+        vals = [loc.get(key, UNKNOWN) for loc in locals_list]
+        first = vals[0]
+        if all(_same_value(v, first) for v in vals[1:]):
+            out[key] = first
+        else:
+            out[key] = UNKNOWN
+    return out
+
+
+def _same_value(a: Any, b: Any) -> bool:
+    if a is b:
+        return True
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+@dataclass
+class _AccessDraft:
+    op: str
+    var: VarName
+    is_init: bool
+    lockset: frozenset
+    lockset_exact: bool
+    instance: int
+    line: int
+    func: str
+    fork_snapshot: Dict[int, int]
+    join_snapshot: Dict[int, int]
+
+
+# --------------------------------------------------------------------- #
+# the extractor
+
+_OP_NAMES = {
+    "Read": rt_ops.Read,
+    "Write": rt_ops.Write,
+    "Acquire": rt_ops.Acquire,
+    "Release": rt_ops.Release,
+    "Wait": rt_ops.Wait,
+    "Notify": rt_ops.Notify,
+    "NotifyAll": rt_ops.NotifyAll,
+    "Fork": rt_ops.Fork,
+    "Join": rt_ops.Join,
+    "Compute": rt_ops.Compute,
+    "Sleep": rt_ops.Sleep,
+}
+
+
+class SummaryExtractor:
+    """Extracts a :class:`ProgramSummary` from a program without running it."""
+
+    def __init__(
+        self,
+        program: Program,
+        unroll_limit: int = 32,
+        max_depth: int = 16,
+        max_instances: int = 64,
+    ):
+        self.program = program
+        self.unroll_limit = unroll_limit
+        self.max_depth = max_depth
+        self.max_instances = max_instances
+        self._instances: List[ThreadInstance] = []
+        self._accesses: List[_AccessDraft] = []
+        self._instance_joins_at_fork: Dict[int, Dict[int, int]] = {}
+        self._lock_edges: Set[LockOrderEdge] = set()
+        self._self_deadlocks: List[Tuple[str, str, int]] = []
+        self._notes: List[str] = []
+        self._fork_keys: Dict[Any, int] = {}
+        self._ast_cache: Dict[Any, Optional[ast.FunctionDef]] = {}
+        self._code_stack: List[Any] = []
+        #: > 0 while analyzing a non-unrolled (approximate) loop body.
+        self._approx_loop = 0
+
+    # -------------------------------------------------------------- #
+
+    def extract(self) -> ProgramSummary:
+        root = ThreadInstance(id=0, label="main", parent=None, times_forked=1)
+        self._instances.append(root)
+        self._instance_joins_at_fork[0] = {}
+        frame = _Frame()
+        self._run_function(self.program.main, {}, frame, root)
+        return self._finalize()
+
+    def _finalize(self) -> ProgramSummary:
+        summary = ProgramSummary(program_name=self.program.name)
+        summary.instances = self._instances
+        summary.lock_edges = sorted(
+            self._lock_edges, key=lambda e: (e.held, e.acquired, e.thread, e.line)
+        )
+        summary.self_deadlocks = self._self_deadlocks
+        summary.approximations = self._notes
+        for inst in self._instances:
+            inst.replicated = inst.replicated or inst.times_forked > 1
+            joins = self._instance_joins_at_fork.get(inst.id, {})
+            inst.forked_after_joins = frozenset(
+                iid
+                for iid, cnt in joins.items()
+                if cnt >= self._instances[iid].times_forked
+            )
+        for draft in self._accesses:
+            summary.accesses.append(
+                AccessSite(
+                    op=draft.op,
+                    var=draft.var,
+                    is_init=draft.is_init,
+                    lockset=draft.lockset,
+                    lockset_exact=draft.lockset_exact,
+                    instance=draft.instance,
+                    line=draft.line,
+                    func=draft.func,
+                    forked_before=frozenset(
+                        iid for iid, cnt in draft.fork_snapshot.items() if cnt > 0
+                    ),
+                    joined_before=frozenset(
+                        iid
+                        for iid, cnt in draft.join_snapshot.items()
+                        if cnt >= self._instances[iid].times_forked
+                    ),
+                )
+            )
+        # deduplicate sites recorded twice by two-pass loop analysis
+        seen: Set[AccessSite] = set()
+        unique: List[AccessSite] = []
+        for site in summary.accesses:
+            if site not in seen:
+                seen.add(site)
+                unique.append(site)
+        summary.accesses = unique
+        return summary
+
+    # -------------------------------------------------------------- #
+    # function-level analysis
+
+    def _run_function(
+        self,
+        fn: Any,
+        bindings: Dict[str, Any],
+        frame: _Frame,
+        instance: ThreadInstance,
+    ) -> None:
+        """Inline-analyze ``fn``'s body with the given parameter bindings."""
+        node = self._function_ast(fn)
+        if node is None:
+            self._note(
+                f"{instance.label}: cannot obtain source of {getattr(fn, '__name__', fn)!r}; "
+                "its effects are unanalyzed"
+            )
+            frame.lockset.clear()
+            frame.lockset_exact = False
+            return
+        code = getattr(fn, "__code__", None)
+        if code in self._code_stack:
+            self._note(f"{instance.label}: recursive helper {fn.__name__!r} not re-inlined")
+            return
+        if len(self._code_stack) >= self.max_depth:
+            self._note(f"{instance.label}: helper inlining depth limit reached")
+            frame.lockset_exact = False
+            return
+        env = self._closure_env(fn)
+        locals_: Dict[str, Any] = dict(bindings)
+        for i, arg in enumerate(node.args.args):
+            if arg.arg not in locals_:
+                locals_[arg.arg] = UNKNOWN
+        ctx = _FnCtx(fn=fn, env=env, qualname=getattr(fn, "__qualname__", "<body>"))
+        self._code_stack.append(code)
+        try:
+            self._exec_block(node.body, frame, locals_, instance, ctx)
+        finally:
+            self._code_stack.pop()
+        if frame.terminated == "return":
+            frame.terminated = None  # a return only ends the helper
+
+    def _function_ast(self, fn: Any) -> Optional[ast.FunctionDef]:
+        code = getattr(fn, "__code__", None)
+        if code is None:
+            return None
+        if code in self._ast_cache:
+            return self._ast_cache[code]
+        result: Optional[ast.FunctionDef] = None
+        try:
+            source = textwrap.dedent(inspect.getsource(fn))
+            module = ast.parse(source)
+            for stmt in ast.walk(module):
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == fn.__name__:
+                    result = stmt
+                    break
+        except (OSError, TypeError, SyntaxError, IndentationError):
+            result = None
+        self._ast_cache[code] = result
+        return result
+
+    def _closure_env(self, fn: Any) -> Dict[str, Any]:
+        env: Dict[str, Any] = {}
+        try:
+            cv = inspect.getclosurevars(fn)
+        except (TypeError, ValueError):
+            return dict(getattr(fn, "__globals__", {}) or {})
+        env.update(cv.globals)
+        env.update(cv.nonlocals)
+        return env
+
+    # -------------------------------------------------------------- #
+    # statement walk
+
+    def _exec_block(self, stmts, frame, locals_, instance, ctx) -> None:
+        for stmt in stmts:
+            if frame.terminated is not None:
+                return
+            self._exec_stmt(stmt, frame, locals_, instance, ctx)
+
+    def _exec_stmt(self, stmt, frame, locals_, instance, ctx) -> None:
+        if isinstance(stmt, ast.Expr):
+            self._exec_expr_stmt(stmt.value, frame, locals_, instance, ctx)
+        elif isinstance(stmt, ast.Assign):
+            value = self._exec_value(stmt.value, frame, locals_, instance, ctx)
+            self._bind_targets(stmt.targets, value, locals_)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self._exec_value(stmt.value, frame, locals_, instance, ctx)
+                self._bind_targets([stmt.target], value, locals_)
+        elif isinstance(stmt, ast.AugAssign):
+            self._consume_stray_yields(stmt.value, frame, locals_, instance, ctx)
+            self._bind_targets([stmt.target], UNKNOWN, locals_)
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt, frame, locals_, instance, ctx)
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt, frame, locals_, instance, ctx)
+        elif isinstance(stmt, ast.While):
+            self._exec_while(stmt, frame, locals_, instance, ctx)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._consume_stray_yields(stmt.value, frame, locals_, instance, ctx)
+            frame.terminated = "return"
+        elif isinstance(stmt, ast.Break):
+            frame.terminated = "break"
+        elif isinstance(stmt, ast.Continue):
+            frame.terminated = "continue"
+        elif isinstance(stmt, ast.Raise):
+            frame.terminated = "return"
+        elif isinstance(stmt, (ast.Pass, ast.Global, ast.Nonlocal, ast.Import, ast.ImportFrom)):
+            pass
+        elif isinstance(stmt, ast.Assert):
+            pass
+        elif isinstance(stmt, ast.FunctionDef):
+            locals_[stmt.name] = UNKNOWN
+            self._note(f"{ctx.qualname}: nested def {stmt.name!r} not modeled")
+        elif isinstance(stmt, ast.Try):
+            before = frame.copy()
+            self._exec_block(stmt.body, frame, locals_, instance, ctx)
+            branches = [frame.copy()]
+            for handler in stmt.handlers:
+                hf = before.copy()
+                hl = dict(locals_)
+                self._exec_block(handler.body, hf, hl, instance, ctx)
+                branches.append(hf)
+            frame.assign_from(_join_frames(branches))
+            self._exec_block(stmt.finalbody, frame, locals_, instance, ctx)
+        elif isinstance(stmt, ast.With):
+            self._exec_block(stmt.body, frame, locals_, instance, ctx)
+        else:
+            self._note(f"{ctx.qualname}:{stmt.lineno}: unmodeled statement "
+                       f"{type(stmt).__name__}")
+
+    # ---- expressions that may carry yields ------------------------- #
+
+    def _exec_expr_stmt(self, expr, frame, locals_, instance, ctx) -> None:
+        if isinstance(expr, ast.Yield):
+            self._do_yield(expr, frame, locals_, instance, ctx)
+        elif isinstance(expr, ast.YieldFrom):
+            self._do_yield_from(expr, frame, locals_, instance, ctx)
+        elif (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "append"
+            and isinstance(expr.func.value, ast.Name)
+            and isinstance(locals_.get(expr.func.value.id), list)
+            and len(expr.args) == 1
+        ):
+            ok, item = try_eval(expr.args[0], {**ctx.env, **locals_})
+            locals_[expr.func.value.id].append(item if ok else UNKNOWN)
+        else:
+            self._consume_stray_yields(expr, frame, locals_, instance, ctx)
+
+    def _exec_value(self, expr, frame, locals_, instance, ctx) -> Any:
+        """Evaluate the right-hand side of an assignment."""
+        if isinstance(expr, ast.Yield):
+            return self._do_yield(expr, frame, locals_, instance, ctx)
+        if isinstance(expr, ast.YieldFrom):
+            self._do_yield_from(expr, frame, locals_, instance, ctx)
+            return UNKNOWN
+        if self._consume_stray_yields(expr, frame, locals_, instance, ctx):
+            return UNKNOWN
+        ok, value = try_eval(expr, {**ctx.env, **locals_})
+        return value if ok else UNKNOWN
+
+    def _consume_stray_yields(self, expr, frame, locals_, instance, ctx) -> bool:
+        """Apply the effects of yields buried inside a larger expression."""
+        found = False
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Yield) and node is not expr:
+                found = True
+                self._do_yield(node, frame, locals_, instance, ctx)
+            elif isinstance(node, ast.YieldFrom) and node is not expr:
+                found = True
+                self._do_yield_from(node, frame, locals_, instance, ctx)
+        return found
+
+    def _bind_targets(self, targets, value, locals_) -> None:
+        for target in targets:
+            if isinstance(target, ast.Name):
+                locals_[target.id] = value
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    self._bind_targets([elt], UNKNOWN, locals_)
+            # attribute/subscript targets: no tracked binding
+
+    # ---- control flow ---------------------------------------------- #
+
+    def _exec_if(self, stmt: ast.If, frame, locals_, instance, ctx) -> None:
+        self._consume_stray_yields(stmt.test, frame, locals_, instance, ctx)
+        ok, cond = try_eval(stmt.test, {**ctx.env, **locals_})
+        if ok:
+            branch = stmt.body if cond else stmt.orelse
+            self._exec_block(branch, frame, locals_, instance, ctx)
+            return
+        then_f, then_l = frame.copy(), dict(locals_)
+        else_f, else_l = frame.copy(), dict(locals_)
+        self._exec_block(stmt.body, then_f, then_l, instance, ctx)
+        self._exec_block(stmt.orelse, else_f, else_l, instance, ctx)
+        frame.assign_from(_join_frames([then_f, else_f]))
+        merged = _join_locals(
+            [loc for f, loc in ((then_f, then_l), (else_f, else_l)) if f.terminated is None]
+            or [then_l, else_l]
+        )
+        locals_.clear()
+        locals_.update(merged)
+
+    def _exec_for(self, stmt: ast.For, frame, locals_, instance, ctx) -> None:
+        self._consume_stray_yields(stmt.iter, frame, locals_, instance, ctx)
+        ok, iterable = try_eval(stmt.iter, {**ctx.env, **locals_})
+        values: Optional[List[Any]] = None
+        if ok:
+            try:
+                values = list(iterable)
+            except TypeError:
+                values = None
+        if values is not None and len(values) <= self.unroll_limit:
+            for value in values:
+                self._bind_targets([stmt.target], value, locals_)
+                self._exec_block(stmt.body, frame, locals_, instance, ctx)
+                if frame.terminated == "continue":
+                    frame.terminated = None
+                elif frame.terminated == "break":
+                    frame.terminated = None
+                    break
+                elif frame.terminated == "return":
+                    return
+            self._exec_block(stmt.orelse, frame, locals_, instance, ctx)
+            return
+        if values is not None:
+            self._note(
+                f"{ctx.qualname}:{stmt.lineno}: loop over {len(values)} values "
+                f"exceeds unroll limit {self.unroll_limit}; joined conservatively"
+            )
+        self._bind_targets([stmt.target], UNKNOWN, locals_)
+        self._exec_approx_loop(stmt.body, frame, locals_, instance, ctx, may_skip=True)
+        self._exec_block(stmt.orelse, frame, locals_, instance, ctx)
+
+    def _exec_while(self, stmt: ast.While, frame, locals_, instance, ctx) -> None:
+        self._consume_stray_yields(stmt.test, frame, locals_, instance, ctx)
+        ok, cond = try_eval(stmt.test, {**ctx.env, **locals_})
+        may_skip = not (ok and bool(cond))  # `while True:` never skips
+        self._exec_approx_loop(stmt.body, frame, locals_, instance, ctx, may_skip=may_skip)
+        self._exec_block(stmt.orelse, frame, locals_, instance, ctx)
+
+    def _exec_approx_loop(self, body, frame, locals_, instance, ctx, may_skip: bool) -> None:
+        """Two-pass conservative loop analysis.
+
+        Pass 1 runs from the entry state; the entry is then *widened*
+        (changed locals dropped, locksets intersected) and pass 2 re-runs
+        to record accesses under the stabilized state.  Joins inside the
+        body are not credited (the loop may run zero or fewer times than
+        the analysis sees); forks inside the body mark their instances
+        replicated.
+        """
+        self._approx_loop += 1
+        try:
+            breaks: List[_Frame] = []
+
+            def run_pass(f: _Frame, loc: Dict[str, Any]) -> Tuple[_Frame, Dict[str, Any]]:
+                self._exec_block(body, f, loc, instance, ctx)
+                if f.terminated == "break":
+                    f.terminated = None
+                    breaks.append(f.copy())
+                elif f.terminated == "continue":
+                    f.terminated = None
+                return f, loc
+
+            entry_f, entry_l = frame.copy(), dict(locals_)
+            pass1_f, pass1_l = run_pass(frame.copy(), dict(locals_))
+
+            widened_f = _join_frames([entry_f, pass1_f])
+            widened_l = _join_locals([entry_l, pass1_l])
+            pass2_f, _ = run_pass(widened_f.copy(), dict(widened_l))
+
+            exits = list(breaks) + ([pass2_f] if pass2_f.terminated is None else [])
+            if may_skip:
+                exits.append(widened_f)
+            if pass2_f.terminated == "return" and not exits:
+                frame.assign_from(pass2_f)
+                locals_.clear()
+                locals_.update(widened_l)
+                return
+            joined = _join_frames(exits) if exits else pass2_f
+            frame.assign_from(joined)
+            locals_.clear()
+            locals_.update(widened_l)
+        finally:
+            self._approx_loop -= 1
+
+    # ---- operations ------------------------------------------------ #
+
+    def _do_yield(self, node: ast.Yield, frame, locals_, instance, ctx) -> Any:
+        value = node.value
+        if value is None:
+            return UNKNOWN
+        if not isinstance(value, ast.Call):
+            self._note(f"{ctx.qualname}:{node.lineno}: yield of a non-op expression")
+            return UNKNOWN
+        op_cls = self._resolve_op_class(value.func, {**ctx.env, **locals_})
+        if op_cls is None:
+            self._note(
+                f"{ctx.qualname}:{node.lineno}: unresolvable yielded operation; "
+                "lockset knowledge dropped"
+            )
+            frame.lockset.clear()
+            frame.lockset_exact = False
+            return UNKNOWN
+        return self._apply_op(op_cls, value, node.lineno, frame, locals_, instance, ctx)
+
+    def _resolve_op_class(self, func_node, env) -> Optional[type]:
+        ok, value = try_eval(func_node, env)
+        if ok and isinstance(value, type) and issubclass(value, rt_ops.Op):
+            return value
+        if isinstance(func_node, ast.Name) and func_node.id in _OP_NAMES:
+            return _OP_NAMES[func_node.id]
+        if isinstance(func_node, ast.Attribute) and func_node.attr in _OP_NAMES:
+            return _OP_NAMES[func_node.attr]
+        return None
+
+    def _op_arg(self, call: ast.Call, position: int, keyword: str):
+        if len(call.args) > position:
+            return call.args[position]
+        for kw in call.keywords:
+            if kw.arg == keyword:
+                return kw.value
+        return None
+
+    def _apply_op(self, op_cls, call, line, frame, locals_, instance, ctx) -> Any:
+        env = {**ctx.env, **locals_}
+        if op_cls is rt_ops.Read or op_cls is rt_ops.Write:
+            var_node = self._op_arg(call, 0, "var")
+            var = eval_str(var_node, env) if var_node is not None else StrPattern()
+            is_init = False
+            if op_cls is rt_ops.Write:
+                init_node = self._op_arg(call, 2, "is_init")
+                if init_node is not None:
+                    ok, value = try_eval(init_node, env)
+                    is_init = bool(value) if ok else False
+            self._accesses.append(
+                _AccessDraft(
+                    op="read" if op_cls is rt_ops.Read else "write",
+                    var=var,
+                    is_init=is_init,
+                    lockset=frozenset(frame.lockset),
+                    lockset_exact=frame.lockset_exact,
+                    instance=instance.id,
+                    line=line,
+                    func=ctx.qualname,
+                    fork_snapshot=dict(frame.fork_counts),
+                    join_snapshot=dict(frame.join_counts),
+                )
+            )
+            return UNKNOWN
+        if op_cls is rt_ops.Acquire:
+            lock = self._lock_name(call, env)
+            if isinstance(lock, str):
+                if lock in frame.lockset:
+                    self._self_deadlocks.append((instance.label, lock, line))
+                for held in sorted(frame.lockset):
+                    self._lock_edges.add(
+                        LockOrderEdge(held=held, acquired=lock, thread=instance.label, line=line)
+                    )
+                frame.lockset.add(lock)
+            else:
+                frame.lockset_exact = False
+                self._note(f"{ctx.qualname}:{line}: dynamic lock name {lock} in Acquire")
+            return None
+        if op_cls is rt_ops.Release:
+            lock = self._lock_name(call, env)
+            if isinstance(lock, str):
+                frame.lockset.discard(lock)
+            else:
+                # an unknown release may free anything: drop all lock
+                # knowledge (sound for the race analysis).
+                frame.lockset.clear()
+                frame.lockset_exact = False
+                self._note(f"{ctx.qualname}:{line}: dynamic lock name {lock} in Release")
+            return None
+        if op_cls in (rt_ops.Wait, rt_ops.Notify, rt_ops.NotifyAll):
+            # wait releases and re-acquires the monitor atomically around
+            # the suspension; the lockset across the yield is unchanged.
+            return None
+        if op_cls is rt_ops.Fork:
+            return self._do_fork(call, line, frame, locals_, instance, ctx)
+        if op_cls is rt_ops.Join:
+            tid_node = self._op_arg(call, 0, "tid")
+            ok, value = (
+                try_eval(tid_node, env) if tid_node is not None else (False, UNKNOWN)
+            )
+            if isinstance(value, _Handle):
+                if self._approx_loop == 0:
+                    frame.join_counts[value.instance_id] = (
+                        frame.join_counts.get(value.instance_id, 0) + 1
+                    )
+            else:
+                self._note(f"{ctx.qualname}:{line}: join target not statically resolved")
+            return None
+        # Compute / Sleep and anything op-like but effect-free
+        return None
+
+    def _lock_name(self, call: ast.Call, env) -> VarName:
+        node = self._op_arg(call, 0, "lock")
+        return eval_str(node, env) if node is not None else StrPattern()
+
+    # ---- fork / yield from ----------------------------------------- #
+
+    def _do_fork(self, call, line, frame, locals_, instance, ctx) -> Any:
+        env = {**ctx.env, **locals_}
+        body_node = self._op_arg(call, 0, "body")
+        ok, body = try_eval(body_node, env) if body_node is not None else (False, UNKNOWN)
+        if not ok or not callable(body):
+            self._note(
+                f"{ctx.qualname}:{line}: fork body not statically resolved — "
+                "an unanalyzed thread exists"
+            )
+            return UNKNOWN
+        key = (line, getattr(body, "__code__", body), self._closure_key(body))
+        existing = self._fork_keys.get(key)
+        if existing is not None:
+            inst = self._instances[existing]
+            inst.times_forked += 1
+            frame.fork_counts[existing] = frame.fork_counts.get(existing, 0) + 1
+            return _Handle(existing)
+        if len(self._instances) >= self.max_instances:
+            self._note(f"{ctx.qualname}:{line}: instance limit reached; fork not analyzed")
+            return UNKNOWN
+        name_node = self._op_arg(call, 1, "name")
+        label = None
+        if name_node is not None:
+            resolved = eval_str(name_node, env)
+            label = resolved if isinstance(resolved, str) else str(resolved)
+        if not label:
+            label = getattr(body, "__name__", "thread")
+        if any(i.label == label for i in self._instances):
+            label = f"{label}#{len(self._instances)}"
+        iid = len(self._instances)
+        joins_now = {
+            k: v for k, v in frame.join_counts.items()
+        }
+        inst = ThreadInstance(id=iid, label=label, parent=instance.id, times_forked=1)
+        self._instances.append(inst)
+        self._instance_joins_at_fork[iid] = joins_now
+        self._fork_keys[key] = iid
+        frame.fork_counts[iid] = frame.fork_counts.get(iid, 0) + 1
+        child_frame = _Frame()
+        self._run_function(body, {}, child_frame, inst)
+        return _Handle(iid)
+
+    def _closure_key(self, fn: Any) -> Any:
+        cells = getattr(fn, "__closure__", None)
+        if not cells:
+            return ()
+        parts = []
+        for cell in cells:
+            try:
+                parts.append(repr(cell.cell_contents))
+            except ValueError:  # pragma: no cover - empty cell
+                parts.append("<empty>")
+        return tuple(parts)
+
+    def _do_yield_from(self, node: ast.YieldFrom, frame, locals_, instance, ctx) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            env = {**ctx.env, **locals_}
+            ok, fn = try_eval(value.func, env)
+            if ok and callable(fn) and inspect.isgeneratorfunction(fn):
+                bindings = self._bind_call(fn, value, env)
+                self._run_function(fn, bindings, frame, instance, )
+                return
+        self._note(
+            f"{ctx.qualname}:{node.lineno}: unresolved `yield from`; "
+            "lockset knowledge dropped"
+        )
+        frame.lockset.clear()
+        frame.lockset_exact = False
+
+    def _bind_call(self, fn, call: ast.Call, env) -> Dict[str, Any]:
+        bindings: Dict[str, Any] = {}
+        try:
+            params = list(inspect.signature(fn).parameters.values())
+        except (TypeError, ValueError):
+            return bindings
+        for i, arg in enumerate(call.args):
+            if i < len(params):
+                ok, value = try_eval(arg, env)
+                bindings[params[i].name] = value if ok else UNKNOWN
+        for kw in call.keywords:
+            if kw.arg is not None:
+                ok, value = try_eval(kw.value, env)
+                bindings[kw.arg] = value if ok else UNKNOWN
+        for param in params:
+            if param.name not in bindings and param.default is not inspect.Parameter.empty:
+                bindings[param.name] = param.default
+        return bindings
+
+    # -------------------------------------------------------------- #
+
+    def _note(self, message: str) -> None:
+        if message not in self._notes:
+            self._notes.append(message)
+
+
+@dataclass
+class _FnCtx:
+    """Per-function analysis context (env + diagnostics label)."""
+
+    fn: Any
+    env: Dict[str, Any]
+    qualname: str
+
+
+def extract_summary(program: Program, **kwargs) -> ProgramSummary:
+    """Extract the static op-flow summary of ``program`` (no execution)."""
+    if not callable(program.main):
+        raise StaticCheckError(f"program {program.name!r} has no callable main")
+    return SummaryExtractor(program, **kwargs).extract()

@@ -1,0 +1,109 @@
+"""Static lock-order graph with cycle detection.
+
+Every :class:`~repro.staticcheck.extract.LockOrderEdge` ``held → acquired``
+says some thread acquired ``acquired`` while holding ``held``.  A cycle
+``a → b → … → a`` means two (or more) threads can interleave their nested
+acquisitions into a circular wait — the classic static deadlock signal.
+
+Each cycle is converted into a *hypothetical*
+:class:`~repro.runtime.waitgraph.WaitForGraph` — the same structure the
+scheduler attaches to a dynamic :class:`~repro.errors.DeadlockError` — so
+static warnings and dynamic deadlock reports can be compared directly.
+
+A cycle whose witnesses all come from one non-replicated thread instance
+is discarded: a single sequential thread cannot deadlock with itself by
+ordering alone (it would have to hold both locks at once, which the
+self-deadlock check reports separately).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.runtime.waitgraph import WaitEdge, WaitForGraph
+from repro.staticcheck.extract import LockOrderEdge, ProgramSummary
+from repro.staticcheck.report import StaticWarning
+
+__all__ = ["analyze_lock_order"]
+
+
+def _lock_cycles(edges: List[LockOrderEdge]) -> List[List[LockOrderEdge]]:
+    """Elementary cycles in the lock graph, deduplicated up to rotation."""
+    by_src: Dict[str, List[LockOrderEdge]] = {}
+    for edge in edges:
+        by_src.setdefault(edge.held, []).append(edge)
+    found: Dict[Tuple[str, ...], List[LockOrderEdge]] = {}
+
+    def canonical(cycle: List[LockOrderEdge]) -> Tuple[str, ...]:
+        locks = [e.held for e in cycle]
+        return min(tuple(locks[i:] + locks[:i]) for i in range(len(locks)))
+
+    def walk(path: List[LockOrderEdge], on_path: List[str]) -> None:
+        for edge in by_src.get(on_path[-1], ()):
+            if edge.acquired == on_path[0]:
+                cycle = path + [edge]
+                found.setdefault(canonical(cycle), cycle)
+            elif edge.acquired not in on_path:
+                walk(path + [edge], on_path + [edge.acquired])
+
+    for lock in sorted(by_src):
+        walk([], [lock])
+    return list(found.values())
+
+
+def _viable(cycle: List[LockOrderEdge], summary: ProgramSummary) -> bool:
+    """A cycle needs ≥ 2 distinct threads (or one replicated instance)."""
+    labels: Set[str] = {e.thread for e in cycle}
+    if len(labels) >= 2:
+        return True
+    replicated = {i.label for i in summary.instances if i.replicated}
+    return bool(labels & replicated)
+
+
+def _hypothetical_graph(cycle: List[LockOrderEdge]) -> WaitForGraph:
+    """The wait-for graph of the interleaving the cycle makes possible:
+    each witness holds its ``held`` lock and waits on its ``acquired``
+    lock, held by the next witness around the cycle."""
+    edges = []
+    for i, e in enumerate(cycle):
+        nxt = cycle[(i + 1) % len(cycle)]
+        edges.append(
+            WaitEdge(waiter=e.thread, holder=nxt.thread, resource=e.acquired, kind="lock")
+        )
+    return WaitForGraph.from_edges(edges)
+
+
+def analyze_lock_order(summary: ProgramSummary) -> List[StaticWarning]:
+    """Emit deadlock warnings for lock-order cycles and re-acquisitions."""
+    warnings: List[StaticWarning] = []
+    for cycle in _lock_cycles(summary.lock_edges):
+        if not _viable(cycle, summary):
+            continue
+        locks = tuple(e.held for e in cycle)
+        threads = tuple(sorted({e.thread for e in cycle}))
+        ring = " -> ".join(locks + (locks[0],))
+        warnings.append(
+            StaticWarning(
+                category="deadlock",
+                message=f"lock-order cycle {ring} between threads {', '.join(threads)}",
+                locks=locks,
+                threads=threads,
+                graph=_hypothetical_graph(cycle),
+                sites=tuple(f"line {e.line}: {e.held} -> {e.acquired}" for e in cycle),
+            )
+        )
+    for thread, lock, line in summary.self_deadlocks:
+        warnings.append(
+            StaticWarning(
+                category="self-deadlock",
+                var=lock,
+                message=(
+                    f"{thread} acquires non-reentrant lock {lock!r} while "
+                    "already holding it"
+                ),
+                threads=(thread,),
+                locks=(lock,),
+                sites=(f"line {line}",),
+            )
+        )
+    return warnings

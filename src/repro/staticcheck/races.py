@@ -1,0 +1,109 @@
+"""Eraser-style static lockset race analysis over an extracted summary.
+
+Two access sites race when, conservatively:
+
+1. their variable names may alias (:func:`~repro.staticcheck.values.names_may_alias`);
+2. at least one of them is a write;
+3. their thread instances may run concurrently (see
+   :func:`_may_be_concurrent` — fork/join edges from the summary refine
+   this); and
+4. the locksets surely held at the two sites are disjoint.
+
+Honoring the ParaMount §5.2 init-write filter, a pair whose witness
+involves an ``is_init`` write is reported under the separate
+``init-race`` category: the ParaMount detector never confirms such races
+dynamically, but FastTrack can, and the static report must stay a
+superset of both (see :mod:`repro.staticcheck.crossval`).
+
+Warnings are grouped per (variable, category): one warning with one
+witness pair each, which keeps reports readable while
+:meth:`~repro.staticcheck.report.StaticReport.covers_var` still sees
+every racy variable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.staticcheck.extract import AccessSite, ProgramSummary
+from repro.staticcheck.report import StaticWarning
+from repro.staticcheck.values import names_may_alias
+
+__all__ = ["analyze_races"]
+
+
+def _may_be_concurrent(a: AccessSite, b: AccessSite, summary: ProgramSummary) -> bool:
+    """Whether the two sites can run concurrently, refined by the
+    summary's fork/join structure.  Errs toward ``True``."""
+    ia, ib = summary.instance(a.instance), summary.instance(b.instance)
+    if ia.id == ib.id:
+        # Same abstract thread: a single dynamic thread is sequential
+        # with itself; only a replicated instance (fork site in a loop)
+        # stands for several dynamic threads that can race pairwise.
+        return ia.replicated
+    # Parent/child: the parent's accesses before the fork — or after all
+    # copies are surely joined — are ordered with the child.
+    for parent_site, child in ((a, ib), (b, ia)):
+        if child.parent == parent_site.instance:
+            if child.id not in parent_site.forked_before:
+                return False  # access happens-before the fork
+            if child.id in parent_site.joined_before:
+                return False  # access happens-after the join(s)
+    # Siblings: instance Y forked only after every copy of X was joined
+    # is fully ordered after X.
+    if ib.id in ia.forked_after_joins or ia.id in ib.forked_after_joins:
+        return False
+    return True
+
+
+def analyze_races(summary: ProgramSummary) -> List[StaticWarning]:
+    """Pairwise lockset analysis of the summary's access sites."""
+    sites = summary.accesses
+    # (var-key, category) -> (witness pair, sorted thread labels)
+    found: Dict[Tuple[str, str], Tuple[AccessSite, AccessSite]] = {}
+    # A site may pair with itself: a replicated instance (fork site in a
+    # loop) stands for several dynamic threads executing the same site, so
+    # an unlocked write races with its own copy.  The generic conditions
+    # below handle it — a self-pair survives only if the site is a write,
+    # its instance is replicated, and its lockset is empty (a non-empty
+    # lockset intersects itself).
+    for i, a in enumerate(sites):
+        for b in sites[i:]:
+            if a.op == "read" and b.op == "read":
+                continue
+            if not names_may_alias(a.var, b.var):
+                continue
+            if not _may_be_concurrent(a, b, summary):
+                continue
+            if a.lockset & b.lockset:
+                continue
+            category = "init-race" if (a.is_init or b.is_init) else "race"
+            # Prefer the concrete name as the warning's variable.
+            var = a.var if isinstance(a.var, str) else b.var
+            key = (str(var), category)
+            if key not in found:
+                found[key] = (a, b, var)
+    warnings: List[StaticWarning] = []
+    for (var_key, category), (a, b, var) in sorted(found.items()):
+        la, lb = summary.instance(a.instance).label, summary.instance(b.instance).label
+        locks_a = ",".join(sorted(a.lockset)) or "∅"
+        locks_b = ",".join(sorted(b.lockset)) or "∅"
+        message = (
+            f"{a.op} by {la} holding {{{locks_a}}} vs {b.op} by {lb} "
+            f"holding {{{locks_b}}}: disjoint locksets"
+        )
+        if category == "init-race":
+            message += (
+                " (involves an initialization write: filtered by the "
+                "ParaMount detector, visible to FastTrack)"
+            )
+        warnings.append(
+            StaticWarning(
+                category=category,
+                var=var,
+                message=message,
+                threads=tuple(sorted({la, lb})),
+                sites=(f"{a.func}:{a.line}", f"{b.func}:{b.line}"),
+            )
+        )
+    return warnings

@@ -1,0 +1,155 @@
+"""Structured static-analysis warnings and the top-level driver.
+
+A :class:`StaticWarning` is one finding; a :class:`StaticReport` bundles a
+program's findings together with the extraction summary that produced
+them.  :func:`analyze_program` is the single entry point used by the CLI
+(``repro check``) and by the cross-validation harness.
+
+Warning categories:
+
+``race``
+    Eraser-style lockset race on non-initialization accesses — these are
+    the races ParaMount's dynamic detector may confirm (§5.2).
+``init-race``
+    A lockset race whose witness involves an initialization write.  The
+    ParaMount detector filters such accesses, but FastTrack does not, so
+    these are reported in their own category to keep the static report a
+    superset of *both* dynamic detectors.
+``deadlock``
+    A cycle in the static lock-order graph, carried as a hypothetical
+    :class:`~repro.runtime.waitgraph.WaitForGraph` — the same structure
+    the scheduler attaches to a dynamic
+    :class:`~repro.errors.DeadlockError`.
+``self-deadlock``
+    A thread acquiring a (non-reentrant) lock it already holds.
+``approximation``
+    The extractor lost precision somewhere; the rest of the report is
+    still sound but may over-approximate.
+``unanalyzed-thread``
+    A fork whose body could not be resolved statically: races by that
+    thread are *not* covered by this report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.runtime.program import Program
+from repro.runtime.waitgraph import WaitForGraph
+from repro.staticcheck.values import VarName, names_may_alias
+
+__all__ = ["StaticReport", "StaticWarning", "analyze_program"]
+
+
+CATEGORIES = (
+    "race",
+    "init-race",
+    "deadlock",
+    "self-deadlock",
+    "approximation",
+    "unanalyzed-thread",
+)
+
+
+@dataclass(frozen=True)
+class StaticWarning:
+    """One static finding."""
+
+    category: str
+    message: str
+    #: Variable or lock name the warning is about (None for e.g. deadlock
+    #: cycles spanning several locks).
+    var: Optional[VarName] = None
+    #: Labels of the thread instances involved.
+    threads: Tuple[str, ...] = ()
+    #: Locks involved (e.g. the cycle of a deadlock warning).
+    locks: Tuple[str, ...] = ()
+    #: For deadlock warnings: the hypothetical wait-for graph.
+    graph: Optional[WaitForGraph] = None
+    #: ``func:line`` witnesses.
+    sites: Tuple[str, ...] = ()
+
+    def format(self) -> str:
+        head = f"[{self.category}]"
+        if self.var is not None:
+            head += f" {self.var}:"
+        lines = [f"{head} {self.message}"]
+        for site in self.sites:
+            lines.append(f"    at {site}")
+        if self.graph is not None:
+            lines.append("    " + self.graph.format().replace("\n", "\n    "))
+        return "\n".join(lines)
+
+
+@dataclass
+class StaticReport:
+    """All static findings for one program."""
+
+    program_name: str
+    warnings: List[StaticWarning] = field(default_factory=list)
+    #: The extraction summary (kept for tests and diagnostics).
+    summary: object = None
+
+    def by_category(self, category: str) -> List[StaticWarning]:
+        return [w for w in self.warnings if w.category == category]
+
+    def races(self) -> List[StaticWarning]:
+        return self.by_category("race")
+
+    def init_races(self) -> List[StaticWarning]:
+        return self.by_category("init-race")
+
+    def deadlocks(self) -> List[StaticWarning]:
+        return self.by_category("deadlock") + self.by_category("self-deadlock")
+
+    def race_warnings(self) -> List[StaticWarning]:
+        """Warnings that can correspond to a dynamically confirmed race."""
+        return self.races() + self.init_races()
+
+    def covers_var(self, var: str) -> bool:
+        """Whether some race/init-race warning may concern ``var``.
+
+        Used by cross-validation: a dynamically confirmed race on ``var``
+        is *covered* when a static warning's (possibly pattern-valued)
+        variable may-aliases it.
+        """
+        return any(
+            w.var is not None and names_may_alias(w.var, var)
+            for w in self.race_warnings()
+        )
+
+    def format(self) -> str:
+        if not self.warnings:
+            return f"{self.program_name}: no static warnings"
+        lines = [f"{self.program_name}: {len(self.warnings)} static warning(s)"]
+        for warning in self.warnings:
+            lines.append(warning.format())
+        return "\n".join(lines)
+
+
+_ORDER = {c: i for i, c in enumerate(CATEGORIES)}
+
+
+def analyze_program(program: Program) -> StaticReport:
+    """Run the full static pipeline on ``program``: extract → races +
+    lock-order → combined report."""
+    # function-body imports: races/lockorder produce StaticWarning, so a
+    # module-level import here would be circular.
+    from repro.staticcheck.extract import extract_summary
+    from repro.staticcheck.lockorder import analyze_lock_order
+    from repro.staticcheck.races import analyze_races
+
+    summary = extract_summary(program)
+    warnings: List[StaticWarning] = []
+    warnings.extend(analyze_races(summary))
+    warnings.extend(analyze_lock_order(summary))
+    for note in summary.approximations:
+        category = (
+            "unanalyzed-thread"
+            if "unanalyzed thread" in note or "fork body" in note
+            else "approximation"
+        )
+        warnings.append(StaticWarning(category=category, message=note))
+    warnings.sort(key=lambda w: (_ORDER.get(w.category, len(_ORDER)), str(w.var or ""), w.message))
+    return StaticReport(program_name=program.name, warnings=warnings, summary=summary)

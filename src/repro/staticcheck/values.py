@@ -1,0 +1,189 @@
+"""Abstract values for the static extractor.
+
+The extractor never *runs* a thread body; it reasons about the expressions
+appearing in ``yield`` statements.  Three kinds of value arise:
+
+* fully known constants — resolved through a *guarded partial evaluation*
+  of the expression against the statically known bindings (closure cells,
+  module globals, unrolled loop variables).  Anything touching the runtime
+  ``ctx`` (thread id, RNG, yielded values) is by construction unresolvable
+  and degrades to :data:`UNKNOWN`;
+* partially known strings — an f-string such as ``f"acct{src}"`` with a
+  dynamic piece becomes a :class:`StrPattern` (``acct*``) that
+  conservatively may-aliases every matching concrete name;
+* :data:`UNKNOWN` — no information; treated as aliasing everything.
+
+The guarded evaluator *will* call factory helpers (e.g. resolving
+``Fork(_worker(i))`` to the closure returned by ``_worker``); the analysis
+assumes such program-construction helpers are pure, which mirrors how the
+workloads (and the paper's benchmark drivers) are written.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Any, Mapping, Tuple, Union
+
+__all__ = [
+    "UNKNOWN",
+    "Unknown",
+    "StrPattern",
+    "VarName",
+    "names_may_alias",
+    "try_eval",
+    "eval_str",
+]
+
+
+class Unknown:
+    """Singleton marker for a statically unresolvable value."""
+
+    _instance = None
+
+    def __new__(cls) -> "Unknown":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<?>"
+
+
+UNKNOWN = Unknown()
+
+
+@dataclass(frozen=True)
+class StrPattern:
+    """A partially known string: ``prefix`` + <dynamic> + ``suffix``.
+
+    ``StrPattern()`` (empty prefix and suffix) is the full wildcard that
+    may-aliases every name — the sound fallback for a fully dynamic
+    variable or lock name.
+    """
+
+    prefix: str = ""
+    suffix: str = ""
+
+    def matches(self, name: str) -> bool:
+        """Whether the concrete ``name`` could be an instance of this
+        pattern."""
+        return (
+            len(name) >= len(self.prefix) + len(self.suffix)
+            and name.startswith(self.prefix)
+            and name.endswith(self.suffix)
+        )
+
+    def may_overlap(self, other: "StrPattern") -> bool:
+        """Whether the two patterns could denote a common name.
+
+        Decidable only on the prefixes/suffixes; answers ``True`` unless
+        the fixed parts are provably incompatible.
+        """
+        p, q = self.prefix, other.prefix
+        if not (p.startswith(q) or q.startswith(p)):
+            return False
+        s, t = self.suffix, other.suffix
+        return s.endswith(t) or t.endswith(s)
+
+    def __str__(self) -> str:
+        return f"{self.prefix}*{self.suffix}"
+
+
+#: A statically derived variable/lock name.
+VarName = Union[str, StrPattern]
+
+
+def names_may_alias(a: VarName, b: VarName) -> bool:
+    """Conservative may-alias test between two derived names."""
+    if isinstance(a, str) and isinstance(b, str):
+        return a == b
+    if isinstance(a, StrPattern) and isinstance(b, str):
+        return a.matches(b)
+    if isinstance(b, StrPattern) and isinstance(a, str):
+        return b.matches(a)
+    return a.may_overlap(b)  # type: ignore[union-attr]
+
+
+# --------------------------------------------------------------------- #
+# guarded partial evaluation
+
+#: Builtins safe to use inside evaluated expressions (pure constructors
+#: and combinators only — nothing that does I/O or mutates global state).
+_SAFE_BUILTINS = {
+    name: __builtins__[name] if isinstance(__builtins__, dict) else getattr(__builtins__, name)
+    for name in (
+        "abs",
+        "bool",
+        "dict",
+        "enumerate",
+        "float",
+        "frozenset",
+        "int",
+        "len",
+        "list",
+        "max",
+        "min",
+        "range",
+        "reversed",
+        "set",
+        "sorted",
+        "str",
+        "sum",
+        "tuple",
+        "zip",
+    )
+}
+
+
+def try_eval(node: ast.expr, env: Mapping[str, Any]) -> Tuple[bool, Any]:
+    """Try to evaluate ``node`` against the known bindings in ``env``.
+
+    Returns ``(True, value)`` on success and ``(False, UNKNOWN)`` when any
+    name is unresolvable or evaluation fails for any reason.  Entries of
+    ``env`` that are themselves :data:`UNKNOWN` are treated as absent, so
+    a reference to them fails cleanly with ``NameError``.
+    """
+    namespace = {k: v for k, v in env.items() if not isinstance(v, Unknown)}
+    try:
+        expr = ast.Expression(body=node)
+        ast.fix_missing_locations(expr)
+        code = compile(expr, "<staticcheck>", "eval")
+        return True, eval(code, {"__builtins__": _SAFE_BUILTINS}, namespace)
+    except Exception:
+        return False, UNKNOWN
+
+
+def eval_str(node: ast.expr, env: Mapping[str, Any]) -> VarName:
+    """Resolve a string-valued expression to a name or a pattern.
+
+    Fully evaluable expressions give the concrete string.  f-strings with
+    dynamic pieces give a :class:`StrPattern` built from the leading and
+    trailing constant parts.  Everything else degrades to the wildcard
+    pattern.
+    """
+    ok, value = try_eval(node, env)
+    if ok and isinstance(value, str):
+        return value
+    if isinstance(node, ast.JoinedStr):
+        return _fstring_pattern(node, env)
+    return StrPattern()
+
+
+def _fstring_pattern(node: ast.JoinedStr, env: Mapping[str, Any]) -> VarName:
+    """Collapse an f-string into prefix + ``*`` + suffix around the first
+    and last unresolvable pieces."""
+    parts = []
+    for piece in node.values:
+        if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
+            parts.append(piece.value)
+            continue
+        ok, value = try_eval(piece.value if isinstance(piece, ast.FormattedValue) else piece, env)
+        parts.append(str(value) if ok else None)
+    if all(p is not None for p in parts):
+        return "".join(parts)  # type: ignore[arg-type]
+    first = next(i for i, p in enumerate(parts) if p is None)
+    last = len(parts) - 1 - next(i for i, p in enumerate(reversed(parts)) if p is None)
+    prefix = "".join(parts[:first])  # type: ignore[arg-type]
+    suffix = "".join(parts[last + 1 :])  # type: ignore[arg-type]
+    return StrPattern(prefix=prefix, suffix=suffix)

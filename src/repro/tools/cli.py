@@ -178,6 +178,40 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.staticcheck import analyze_program, cross_validate
+    from repro.workloads.registry import DETECTION_WORKLOADS, detection_workload
+
+    if args.all:
+        names = list(DETECTION_WORKLOADS)
+    elif args.workload:
+        names = [args.workload]
+    else:
+        print("error: give a workload name or --all", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for name in names:
+        workload = detection_workload(name)
+        if args.static_only:
+            report = analyze_program(workload.build())
+            print(report.format())
+        else:
+            cv = cross_validate(name)
+            print(cv.static_report.format())
+            print(cv.format())
+            if not cv.ok:
+                failures += 1
+        print()
+    if failures:
+        print(
+            f"{failures} workload(s) have dynamically confirmed races with "
+            "no static warning (soundness violation)"
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -241,6 +275,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("profile", help="profile a saved poset's lattice")
     p.add_argument("poset")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "check",
+        help="static race/deadlock analysis, cross-validated against the "
+        "dynamic detectors",
+    )
+    p.add_argument("workload", nargs="?", help="detection workload name")
+    p.add_argument("--all", action="store_true", help="check every detection workload")
+    p.add_argument(
+        "--static-only",
+        action="store_true",
+        help="skip the dynamic cross-validation run",
+    )
+    p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser("explore", help="multi-schedule race exploration")
     p.add_argument("workload")

@@ -1,0 +1,266 @@
+"""Units for the static AST extractor (repro.staticcheck.extract)."""
+
+import pytest
+
+from repro.runtime import (
+    Acquire,
+    Compute,
+    Fork,
+    Join,
+    Program,
+    Read,
+    Release,
+    Write,
+)
+from repro.staticcheck import extract_summary
+from repro.staticcheck.values import StrPattern, names_may_alias
+
+
+def _sites(summary, var):
+    return [a for a in summary.accesses if names_may_alias(a.var, var)]
+
+
+# --------------------------------------------------------------------- #
+# straight-line locksets
+
+
+def test_lockset_tracks_acquire_release():
+    def main(ctx):
+        yield Write("a", 0)
+        yield Acquire("m")
+        yield Write("a", 1)
+        yield Acquire("k")
+        yield Read("a")
+        yield Release("k")
+        yield Release("m")
+        yield Read("a")
+
+    summary = extract_summary(Program("p", main, max_threads=1))
+    locksets = [site.lockset for site in _sites(summary, "a")]
+    assert locksets == [
+        frozenset(),
+        frozenset({"m"}),
+        frozenset({"m", "k"}),
+        frozenset(),
+    ]
+    assert all(site.lockset_exact for site in summary.accesses)
+
+
+def test_is_init_flag_extracted():
+    def main(ctx):
+        yield Write("x", 0, is_init=True)
+        yield Write("x", 1)
+
+    summary = extract_summary(Program("p", main, max_threads=1))
+    assert [s.is_init for s in _sites(summary, "x")] == [True, False]
+
+
+# --------------------------------------------------------------------- #
+# branches
+
+
+def test_unknown_branch_intersects_locksets():
+    def main(ctx):
+        flip = yield Read("coin")
+        if flip:
+            yield Acquire("m")
+        else:
+            yield Compute(1)
+        yield Write("x", 1)
+
+    summary = extract_summary(Program("p", main, max_threads=1))
+    (site,) = _sites(summary, "x")
+    assert site.lockset == frozenset()  # lock only held on one path
+    assert not site.lockset_exact
+
+
+def test_statically_true_branch_is_taken_exactly():
+    safe = True
+
+    def main(ctx):
+        if safe:
+            yield Acquire("m")
+        yield Write("x", 1)
+        if safe:
+            yield Release("m")
+
+    summary = extract_summary(Program("p", main, max_threads=1))
+    (site,) = _sites(summary, "x")
+    assert site.lockset == frozenset({"m"})
+    assert site.lockset_exact
+
+
+# --------------------------------------------------------------------- #
+# loops
+
+
+def test_small_loop_unrolls_concrete_names():
+    def main(ctx):
+        for i in range(3):
+            yield Write(f"row{i}", i)
+
+    summary = extract_summary(Program("p", main, max_threads=1))
+    names = sorted(a.var for a in summary.accesses)
+    assert names == ["row0", "row1", "row2"]
+    assert all(isinstance(v, str) for v in names)
+
+
+def test_dynamic_loop_yields_pattern_names():
+    def main(ctx):
+        count = yield Read("count")
+        for i in range(count):
+            yield Write(f"slot{i}", i)
+
+    summary = extract_summary(Program("p", main, max_threads=2))
+    patterns = [a.var for a in summary.accesses if isinstance(a.var, StrPattern)]
+    assert patterns, "dynamic f-string name should degrade to a pattern"
+    assert patterns[0].matches("slot7")
+    assert not patterns[0].matches("other")
+
+
+def test_balanced_loop_lockset_survives():
+    def main(ctx):
+        while True:
+            yield Acquire("m")
+            v = yield Read("x")
+            yield Write("x", 1)
+            yield Release("m")
+            if v:
+                break
+
+    summary = extract_summary(Program("p", main, max_threads=1))
+    for site in _sites(summary, "x"):
+        assert site.lockset == frozenset({"m"})
+
+
+# --------------------------------------------------------------------- #
+# helpers via yield from
+
+
+def test_yield_from_inlines_helper_with_caller_lockset():
+    def _helper(ctx):
+        yield Write("h", 1)
+
+    def main(ctx):
+        yield Acquire("m")
+        yield from _helper(ctx)
+        yield Release("m")
+
+    summary = extract_summary(Program("p", main, max_threads=1))
+    (site,) = _sites(summary, "h")
+    assert site.lockset == frozenset({"m"})
+    assert "_helper" in site.func
+
+
+def test_factory_closure_resolved_for_fork():
+    def _worker(n):
+        def body(ctx):
+            yield Write(f"cell{n}", n)
+
+        return body
+
+    def main(ctx):
+        kids = []
+        for i in range(2):
+            k = yield Fork(_worker(i), name=f"w{i}")
+            kids.append(k)
+        for k in kids:
+            yield Join(k)
+        yield Read("cell0")
+
+    summary = extract_summary(Program("p", main, max_threads=3))
+    labels = sorted(i.label for i in summary.instances)
+    assert labels == ["main", "w0", "w1"]
+    assert sorted(a.var for a in summary.accesses if a.op == "write") == [
+        "cell0",
+        "cell1",
+    ]
+    # distinct closures at the same call site are distinct instances
+    w0 = next(i for i in summary.instances if i.label == "w0")
+    assert not w0.replicated
+
+
+# --------------------------------------------------------------------- #
+# fork/join structure
+
+
+def test_replicated_fork_site_detected():
+    def _worker(ctx):
+        yield Write("shared", 1)
+
+    def main(ctx):
+        kids = []
+        for _ in range(3):
+            k = yield Fork(_worker)
+            kids.append(k)
+        for k in kids:
+            yield Join(k)
+
+    summary = extract_summary(Program("p", main, max_threads=4))
+    worker = next(i for i in summary.instances if i.label != "main")
+    assert worker.replicated
+    assert worker.times_forked == 3
+
+
+def test_access_before_fork_and_after_join_ordering():
+    def _worker(ctx):
+        yield Write("x", 1)
+
+    def main(ctx):
+        yield Write("x", 0)  # before the fork
+        k = yield Fork(_worker)
+        yield Join(k)
+        yield Read("x")  # after the join
+
+    summary = extract_summary(Program("p", main, max_threads=2))
+    worker = next(i for i in summary.instances if i.label != "main")
+    pre, post = [a for a in summary.accesses if a.instance == 0]
+    assert worker.id not in pre.forked_before
+    assert worker.id in post.forked_before
+    assert worker.id in post.joined_before
+
+
+def test_sibling_ordered_through_join_barrier():
+    def _w1(ctx):
+        yield Write("x", 1)
+
+    def _w2(ctx):
+        yield Write("x", 2)
+
+    def main(ctx):
+        a = yield Fork(_w1)
+        yield Join(a)
+        b = yield Fork(_w2)
+        yield Join(b)
+
+    summary = extract_summary(Program("p", main, max_threads=3))
+    w1 = next(i for i in summary.instances if i.label == "_w1")
+    w2 = next(i for i in summary.instances if i.label == "_w2")
+    assert w1.id in w2.forked_after_joins
+    assert w2.id not in w1.forked_after_joins
+
+
+# --------------------------------------------------------------------- #
+# approximation notes
+
+
+def test_unresolvable_fork_body_is_noted():
+    def main(ctx):
+        body = ctx.local.get("body")
+        yield Fork(body)
+
+    summary = extract_summary(Program("p", main, max_threads=2))
+    assert any("fork body" in note for note in summary.approximations)
+
+
+def test_registry_workloads_extract_without_wildcard_locks():
+    from repro.workloads.registry import DETECTION_WORKLOADS
+
+    for name, workload in DETECTION_WORKLOADS.items():
+        summary = extract_summary(workload.build())
+        assert summary.accesses, name
+        assert len(summary.instances) >= 2, name
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,174 @@
+"""Lock-order cycle detection and the shared wait-for-graph format."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.runtime import Acquire, Fork, Join, Program, Release, Write
+from repro.runtime.scheduler import run_program
+from repro.runtime.waitgraph import WaitEdge, WaitForGraph
+from repro.staticcheck import analyze_program
+
+
+def _ab_ba_program():
+    """Two workers acquiring {a, b} in opposite orders."""
+
+    def _w1(ctx):
+        yield Acquire("a")
+        yield Acquire("b")
+        yield Write("x", 1)
+        yield Release("b")
+        yield Release("a")
+
+    def _w2(ctx):
+        yield Acquire("b")
+        yield Acquire("a")
+        yield Write("x", 2)
+        yield Release("a")
+        yield Release("b")
+
+    def main(ctx):
+        k1 = yield Fork(_w1, name="w1")
+        k2 = yield Fork(_w2, name="w2")
+        yield Join(k1)
+        yield Join(k2)
+
+    return Program("abba", main, max_threads=3)
+
+
+# --------------------------------------------------------------------- #
+# static side
+
+
+def test_opposite_order_acquisition_warns_deadlock():
+    report = analyze_program(_ab_ba_program())
+    deadlocks = report.by_category("deadlock")
+    assert len(deadlocks) == 1
+    (warning,) = deadlocks
+    assert set(warning.locks) == {"a", "b"}
+    assert set(warning.threads) == {"w1", "w2"}
+    assert warning.graph is not None
+    assert warning.graph.has_cycle()
+
+
+def test_consistent_order_is_deadlock_free():
+    def _worker(ctx):
+        yield Acquire("a")
+        yield Acquire("b")
+        yield Write("x", 1)
+        yield Release("b")
+        yield Release("a")
+
+    def main(ctx):
+        kids = []
+        for _ in range(2):
+            k = yield Fork(_worker)
+            kids.append(k)
+        for k in kids:
+            yield Join(k)
+
+    report = analyze_program(Program("p", main, max_threads=3))
+    assert not report.deadlocks()
+
+
+def test_single_thread_cycle_not_reported():
+    # One sequential thread taking a→b then (later) b→a can't deadlock.
+    def main(ctx):
+        yield Acquire("a")
+        yield Acquire("b")
+        yield Release("b")
+        yield Release("a")
+        yield Acquire("b")
+        yield Acquire("a")
+        yield Release("a")
+        yield Release("b")
+
+    report = analyze_program(Program("p", main, max_threads=1))
+    assert not report.by_category("deadlock")
+
+
+def test_self_deadlock_reported():
+    def main(ctx):
+        yield Acquire("m")
+        yield Acquire("m")
+
+    report = analyze_program(Program("p", main, max_threads=1))
+    (warning,) = report.by_category("self-deadlock")
+    assert warning.var == "m"
+
+
+# --------------------------------------------------------------------- #
+# dynamic side: DeadlockError carries the same structure
+
+
+def test_deadlock_error_carries_wait_for_graph():
+    # Force the classic interleaving: w1 holds a, w2 holds b, then each
+    # requests the other's lock.  Search seeds until it manifests.
+    program = _ab_ba_program()
+    err = None
+    for seed in range(64):
+        try:
+            run_program(program, seed=seed)
+        except DeadlockError as e:
+            err = e
+            break
+    assert err is not None, "no seed produced the deadlock"
+    graph = err.wait_for
+    assert isinstance(graph, WaitForGraph)
+    assert graph.has_cycle()
+    (cycle,) = graph.cycles()
+    assert {e.waiter for e in cycle} == {"w1", "w2"}
+    assert {e.resource for e in cycle} == {"a", "b"}
+    assert all(e.kind == "lock" for e in cycle)
+
+
+def test_static_cycle_matches_dynamic_wait_for_shape():
+    """The static hypothetical graph and the dynamic observed graph agree
+    on the cycle participants — the point of sharing one format."""
+    program = _ab_ba_program()
+    static_graph = analyze_program(program).by_category("deadlock")[0].graph
+    dynamic_graph = None
+    for seed in range(64):
+        try:
+            run_program(program, seed=seed)
+        except DeadlockError as e:
+            dynamic_graph = e.wait_for
+            break
+    assert dynamic_graph is not None
+
+    def cycle_key(graph):
+        (cycle,) = graph.cycles()
+        return {(e.waiter, e.resource) for e in cycle}
+
+    assert cycle_key(static_graph) == cycle_key(dynamic_graph)
+
+
+def test_wait_for_graph_cycle_extraction():
+    graph = WaitForGraph.from_edges(
+        [
+            WaitEdge(waiter="t1", holder="t2", resource="a"),
+            WaitEdge(waiter="t2", holder="t1", resource="b"),
+            WaitEdge(waiter="t3", holder="t1", resource="a"),  # not on a cycle
+        ]
+    )
+    assert graph.has_cycle()
+    (cycle,) = graph.cycles()
+    assert {e.waiter for e in cycle} == {"t1", "t2"}
+    assert "cycle:" in graph.format()
+
+
+def test_join_deadlock_has_join_edge():
+    def _waiter(ctx):
+        yield Acquire("m")  # never released; main blocks on join forever?
+        yield Write("x", 1)
+
+    def main(ctx):
+        yield Acquire("m")
+        k = yield Fork(_waiter, name="child")
+        yield Join(k)  # child blocked on m held by main -> deadlock
+
+    with pytest.raises(DeadlockError) as excinfo:
+        run_program(Program("jd", main, max_threads=2), seed=0)
+    graph = excinfo.value.wait_for
+    kinds = {e.kind for e in graph.edges}
+    assert kinds == {"lock", "join"}
+    assert graph.has_cycle()

@@ -1,0 +1,188 @@
+"""Units for the static lockset race analyzer (repro.staticcheck.races)."""
+
+from repro.runtime import Acquire, Fork, Join, Program, Read, Release, Write
+from repro.staticcheck import analyze_program
+
+
+def _race_vars(report):
+    return {str(w.var) for w in report.races()}
+
+
+# --------------------------------------------------------------------- #
+# true positives
+
+
+def test_unlocked_concurrent_writes_race():
+    def _worker(ctx):
+        yield Write("x", 1)
+
+    def main(ctx):
+        kids = []
+        for _ in range(2):
+            k = yield Fork(_worker)
+            kids.append(k)
+        for k in kids:
+            yield Join(k)
+
+    report = analyze_program(Program("p", main, max_threads=3))
+    assert _race_vars(report) == {"x"}
+
+
+def test_reader_without_lock_races_with_locked_writer():
+    def _writer(ctx):
+        yield Acquire("m")
+        yield Write("x", 1)
+        yield Release("m")
+
+    def _reader(ctx):
+        yield Read("x")
+
+    def main(ctx):
+        a = yield Fork(_writer)
+        b = yield Fork(_reader)
+        yield Join(a)
+        yield Join(b)
+
+    report = analyze_program(Program("p", main, max_threads=3))
+    assert _race_vars(report) == {"x"}
+
+
+def test_disjoint_locks_race():
+    def _w1(ctx):
+        yield Acquire("m")
+        yield Write("x", 1)
+        yield Release("m")
+
+    def _w2(ctx):
+        yield Acquire("k")
+        yield Write("x", 2)
+        yield Release("k")
+
+    def main(ctx):
+        a = yield Fork(_w1)
+        b = yield Fork(_w2)
+        yield Join(a)
+        yield Join(b)
+
+    report = analyze_program(Program("p", main, max_threads=3))
+    assert _race_vars(report) == {"x"}
+
+
+def test_init_write_race_reported_in_own_category():
+    def _init(ctx):
+        yield Write("x", 0, is_init=True)
+
+    def _reader(ctx):
+        yield Read("x")
+
+    def main(ctx):
+        a = yield Fork(_init)
+        b = yield Fork(_reader)
+        yield Join(a)
+        yield Join(b)
+
+    report = analyze_program(Program("p", main, max_threads=3))
+    assert not report.races()
+    assert {str(w.var) for w in report.init_races()} == {"x"}
+    assert report.covers_var("x")
+
+
+# --------------------------------------------------------------------- #
+# true negatives
+
+
+def test_common_lock_is_race_free():
+    def _worker(ctx):
+        yield Acquire("m")
+        yield Write("x", 1)
+        yield Release("m")
+
+    def main(ctx):
+        kids = []
+        for _ in range(2):
+            k = yield Fork(_worker)
+            kids.append(k)
+        for k in kids:
+            yield Join(k)
+
+    report = analyze_program(Program("p", main, max_threads=3))
+    assert not report.race_warnings()
+
+
+def test_read_read_never_races():
+    def _reader(ctx):
+        yield Read("x")
+
+    def main(ctx):
+        kids = []
+        for _ in range(2):
+            k = yield Fork(_reader)
+            kids.append(k)
+        for k in kids:
+            yield Join(k)
+
+    report = analyze_program(Program("p", main, max_threads=3))
+    assert not report.race_warnings()
+
+
+def test_fork_join_ordering_suppresses_false_positive():
+    def _worker(ctx):
+        yield Write("x", 1)
+
+    def main(ctx):
+        yield Write("x", 0)  # happens-before the fork
+        k = yield Fork(_worker)
+        yield Join(k)
+        yield Read("x")  # happens-after the join
+
+    report = analyze_program(Program("p", main, max_threads=2))
+    assert not report.race_warnings()
+
+
+def test_sequential_siblings_do_not_race():
+    def _w1(ctx):
+        yield Write("x", 1)
+
+    def _w2(ctx):
+        yield Write("x", 2)
+
+    def main(ctx):
+        a = yield Fork(_w1)
+        yield Join(a)
+        b = yield Fork(_w2)  # forked only after _w1 fully joined
+        yield Join(b)
+
+    report = analyze_program(Program("p", main, max_threads=3))
+    assert not report.race_warnings()
+
+
+def test_distinct_unrolled_variables_do_not_race():
+    def _worker(n):
+        def body(ctx):
+            yield Write(f"cell{n}", n)
+
+        return body
+
+    def main(ctx):
+        kids = []
+        for i in range(3):
+            k = yield Fork(_worker(i))
+            kids.append(k)
+        for k in kids:
+            yield Join(k)
+
+    report = analyze_program(Program("p", main, max_threads=4))
+    assert not report.race_warnings()
+
+
+def test_single_thread_never_races_with_itself():
+    def _worker(ctx):
+        yield Write("x", 1)
+        yield Read("x")
+
+    def main(ctx):
+        k = yield Fork(_worker)
+        yield Join(k)
+
+    report = analyze_program(Program("p", main, max_threads=2))
+    assert not report.race_warnings()

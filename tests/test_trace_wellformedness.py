@@ -15,10 +15,11 @@ the detectors and front-ends rely on:
 
 from collections import defaultdict
 
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core.online import OnlineParaMount
+from repro.errors import DeadlockError
 from repro.detector.hb import HBFrontEnd
 from repro.runtime import (
     Acquire,
@@ -83,7 +84,14 @@ def traces(draw):
             yield Join(k)
 
     program = Program("prop", main, max_threads=num_workers + 1)
-    return run_program(program, seed=seed)
+    try:
+        return run_program(program, seed=seed)
+    except DeadlockError:
+        # Generated workers may acquire the two locks in opposite orders
+        # and genuinely deadlock under some schedules; such runs produce
+        # no trace to check, so discard the example.  (Deadlock *reporting*
+        # is covered by the wait-for-graph tests.)
+        assume(False)
 
 
 @settings(max_examples=50, deadline=None)
