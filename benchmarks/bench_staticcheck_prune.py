@@ -1,0 +1,119 @@
+"""Static pruning — detector wall-time with and without ``--static-prune``.
+
+For each fork/join-heavy workload the ParaMount detector runs twice over
+the same trace: the baseline, and with a :class:`StaticPruner` dropping
+the variables the MHP analysis proves race-free.  Detections must be
+identical (the pruner's correctness contract), the pruner must actually
+fire on sor and raytracer (the acceptance criterion), and the measured
+wall-times plus skip counts land in
+``benchmarks/results/BENCH_staticcheck_prune.json``.
+
+Pruner construction (extraction + MHP closure) is timed separately: it is
+a one-off cost paid per *program*, amortized over every trace analyzed.
+"""
+
+import json
+import statistics
+import time
+
+import pytest
+
+from repro.detector import ParaMountDetector
+from repro.staticcheck import StaticPruner
+from repro.workloads.registry import DETECTION_WORKLOADS
+
+from conftest import RESULTS_DIR
+
+NAMES = ["sor", "raytracer", "tsp"]
+
+#: name -> {"baseline": seconds, "pruned": seconds, ...} filled by the
+#: timing benches below and flushed by the final test.
+_results: dict = {}
+
+
+def _entry(name: str) -> dict:
+    return _results.setdefault(name, {})
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_baseline_detection(benchmark, name):
+    workload = DETECTION_WORKLOADS[name]
+    trace = workload.trace()
+
+    def run():
+        return ParaMountDetector().run(trace, workload.benign_vars)
+
+    report = benchmark.pedantic(run, rounds=10, iterations=1)
+    assert report.num_detections == workload.expected.paramount
+    _entry(name).update(
+        baseline_seconds=benchmark.stats.stats.mean,
+        baseline_events=report.poset_events,
+        baseline_states=report.states_enumerated,
+        detections=sorted(report.racy_vars),
+    )
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_pruned_detection(benchmark, name):
+    workload = DETECTION_WORKLOADS[name]
+    trace = workload.trace()
+    pruner = StaticPruner.from_program(workload.build())
+
+    def run():
+        return ParaMountDetector(static_pruner=pruner).run(
+            trace, workload.benign_vars
+        )
+
+    report = benchmark.pedantic(run, rounds=10, iterations=1)
+    # Correctness contract: identical detections, with the skip counts
+    # surfaced in the report.
+    assert report.num_detections == workload.expected.paramount
+    assert sorted(report.racy_vars) == _entry(name).get(
+        "detections", sorted(report.racy_vars)
+    )
+    _entry(name).update(
+        pruned_seconds=benchmark.stats.stats.mean,
+        pruned_events=report.poset_events,
+        pruned_states=report.states_enumerated,
+        pruned_vars=sorted(report.pruned_vars),
+        pruned_accesses=report.pruned_accesses,
+    )
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_pruner_build_cost(name):
+    workload = DETECTION_WORKLOADS[name]
+    program = workload.build()
+    samples = []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        StaticPruner.from_program(program)
+        samples.append(time.perf_counter() - t0)
+    _entry(name)["pruner_build_seconds"] = statistics.median(samples)
+
+
+def test_emit_json(artifact_sink):
+    """Flush BENCH_staticcheck_prune.json and check the acceptance bars."""
+    assert set(_results) == set(NAMES)
+    for name in ("sor", "raytracer"):
+        assert len(_results[name]["pruned_vars"]) >= 1, name
+        assert _results[name]["pruned_accesses"] >= 1, name
+    payload = {
+        "benchmark": "staticcheck_prune",
+        "workloads": _results,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_staticcheck_prune.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    lines = ["static pruning benchmark (ParaMount detector):"]
+    for name in NAMES:
+        r = _results[name]
+        speedup = r["baseline_seconds"] / r["pruned_seconds"]
+        lines.append(
+            f"  {name:10s} baseline {r['baseline_seconds'] * 1e3:7.3f}ms  "
+            f"pruned {r['pruned_seconds'] * 1e3:7.3f}ms  "
+            f"(x{speedup:.2f}; {len(r['pruned_vars'])} var(s), "
+            f"{r['pruned_accesses']} access(es) skipped; "
+            f"build {r['pruner_build_seconds'] * 1e3:.3f}ms)"
+        )
+    artifact_sink("BENCH_staticcheck_prune", "\n".join(lines))

@@ -71,6 +71,7 @@ class HBFrontEnd:
         skip_init_accesses: bool = False,
         track_weak_clocks: bool = False,
         sanitizer=None,
+        pruner=None,
     ):
         self.n = num_threads
         self.emit = emit
@@ -78,6 +79,16 @@ class HBFrontEnd:
         #: e.g. :class:`repro.staticcheck.sanitize.ClockSanitizer`) fed every
         #: emitted event before the downstream consumer sees it.
         self.sanitizer = sanitizer
+        #: Optional static pruner (an object with ``should_skip(var)``, e.g.
+        #: :class:`repro.staticcheck.prune.StaticPruner`): accesses to a
+        #: variable it rules statically race-free are dropped before any
+        #: clock tick or collection bookkeeping.  Sync ops are never pruned,
+        #: so the surviving events' clocks — and hence every detection —
+        #: are unchanged.
+        self.pruner = pruner
+        #: Accesses dropped by the pruner, total and per variable.
+        self.pruned_accesses = 0
+        self.pruned_vars: Dict[str, int] = {}
         self.merge_collections = merge_collections
         #: Drop initialization writes entirely (not used by the shipped
         #: detectors — ParaMount keeps them but filters at predicate time).
@@ -103,6 +114,10 @@ class HBFrontEnd:
         tid = op.tid
         if op.is_access:
             if self.skip_init_accesses and op.is_init:
+                return
+            if self.pruner is not None and self.pruner.should_skip(op.obj):
+                self.pruned_accesses += 1
+                self.pruned_vars[op.obj] = self.pruned_vars.get(op.obj, 0) + 1
                 return
             access = Access(op=op.kind, var=op.obj, is_init=op.is_init)
             if self.merge_collections:

@@ -52,6 +52,14 @@ class ParaMountDetector:
     memory_budget:
         Optional cap on live intermediate states per interval (irrelevant
         for the stateless lexical subroutine; exercised with ``"bfs"``).
+    static_pruner:
+        Optional static skip oracle (any object with ``should_skip(var)``,
+        e.g. :class:`repro.staticcheck.prune.StaticPruner`): accesses to
+        variables it proves statically race-free are dropped before the
+        front-end ever ticks a clock for them, skipping their collection
+        bookkeeping and predicate work.  Detections are unchanged (the
+        pruner only drops provably-ordered variables); the skipped work is
+        reported via ``pruned_vars`` / ``pruned_accesses``.
     """
 
     name = "ParaMount"
@@ -61,10 +69,12 @@ class ParaMountDetector:
         subroutine: str = "lexical",
         predicate_factory: PredicateFactory = _default_predicate_factory,
         memory_budget: Optional[int] = None,
+        static_pruner=None,
     ):
         self.subroutine = subroutine
         self.predicate_factory = predicate_factory
         self.memory_budget = memory_budget
+        self.static_pruner = static_pruner
 
     def run(
         self, trace: Trace, benign_vars: frozenset = frozenset()
@@ -92,6 +102,7 @@ class ParaMountDetector:
             trace.num_threads,
             emit=lambda event: online.insert(event),
             merge_collections=True,
+            pruner=self.static_pruner,
         )
         with Stopwatch() as sw:
             for op in trace:
@@ -100,4 +111,6 @@ class ParaMountDetector:
         report.elapsed = sw.elapsed
         report.states_enumerated = online.result.states
         report.poset_events = front_end.events_emitted
+        report.pruned_vars = set(front_end.pruned_vars)
+        report.pruned_accesses = front_end.pruned_accesses
         return report

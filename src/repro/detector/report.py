@@ -48,6 +48,11 @@ class DetectionReport:
     #: Events in the detector's poset (collections for ParaMount, raw
     #: accesses for the RV baseline).
     poset_events: int = 0
+    #: Variables whose accesses the static pruner dropped before
+    #: enumeration (empty unless the detector ran with a pruner).
+    pruned_vars: Set[str] = field(default_factory=set)
+    #: Total access operations dropped by the static pruner.
+    pruned_accesses: int = 0
     #: Failure detail for o.o.m. / exception outcomes.
     error: Optional[str] = None
 

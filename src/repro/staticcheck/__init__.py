@@ -8,10 +8,17 @@ states of one observed execution; this package adds the complementary
   thread-body generator **without executing it** and produces a
   conservative op-flow summary (variables read/written, the lockset held
   at each access, fork/join edges; branches and loops join conservatively);
+* :mod:`~repro.staticcheck.mhp` — the static may-happen-in-parallel
+  analysis: fork/join segment graph + reachability closure, answering
+  whether two access sites are provably happens-before ordered in every
+  execution;
 * :mod:`~repro.staticcheck.races` — an Eraser-style lockset analyzer
   flagging variables reachable from ≥ 2 threads under disjoint locksets
   (initialization writes are reported separately, honoring the ParaMount
-  detector's §5.2 init filter);
+  detector's §5.2 init filter); concurrency decided by the MHP analysis;
+* :mod:`~repro.staticcheck.prune` — the pruning bridge: a per-variable
+  skip oracle (all site pairs statically ordered ⇒ drop the variable)
+  the dynamic detector consumes duck-typed;
 * :mod:`~repro.staticcheck.lockorder` — a lock-order graph with cycle
   detection emitting static deadlock warnings in the scheduler's
   wait-for-graph format;
@@ -33,6 +40,13 @@ from repro.staticcheck.extract import (
     extract_summary,
 )
 from repro.staticcheck.lockorder import analyze_lock_order
+from repro.staticcheck.mhp import (
+    MHPAnalysis,
+    Segment,
+    build_mhp,
+    legacy_may_be_concurrent,
+)
+from repro.staticcheck.prune import StaticPruner, build_pruner
 from repro.staticcheck.races import analyze_races
 from repro.staticcheck.report import StaticReport, StaticWarning, analyze_program
 from repro.staticcheck.sanitize import (
@@ -49,9 +63,12 @@ __all__ = [
     "CrossValidation",
     "EnumerationSanitizer",
     "LockOrderEdge",
+    "MHPAnalysis",
     "PipelineSanitizer",
     "ProgramSummary",
     "SanitizerViolation",
+    "Segment",
+    "StaticPruner",
     "StaticReport",
     "StaticWarning",
     "SummaryExtractor",
@@ -60,7 +77,10 @@ __all__ = [
     "analyze_lock_order",
     "analyze_program",
     "analyze_races",
+    "build_mhp",
+    "build_pruner",
     "cross_validate",
     "cross_validate_registry",
     "extract_summary",
+    "legacy_may_be_concurrent",
 ]

@@ -30,7 +30,7 @@ from typing import Dict, List, Tuple
 from repro.detector.fasttrack import FastTrackDetector
 from repro.detector.paramount_detector import ParaMountDetector
 from repro.staticcheck.report import StaticReport, analyze_program
-from repro.workloads.registry import DETECTION_WORKLOADS, detection_workload
+from repro.workloads.registry import ALL_DETECTION_WORKLOADS, detection_workload
 
 __all__ = ["CrossValidation", "cross_validate", "cross_validate_registry"]
 
@@ -124,5 +124,5 @@ def cross_validate(name: str) -> CrossValidation:
 
 
 def cross_validate_registry() -> List[CrossValidation]:
-    """Cross-validate every detection workload in registry order."""
-    return [cross_validate(name) for name in DETECTION_WORKLOADS]
+    """Cross-validate every detection workload (Table 2 + extras)."""
+    return [cross_validate(name) for name in ALL_DETECTION_WORKLOADS]

@@ -112,6 +112,11 @@ class ThreadInstance:
     forked_after_joins: frozenset = frozenset()
     #: How many times the fork site was seen (≥ 2 ⇒ replicated).
     times_forked: int = 0
+    #: True while every re-fork of this site happened only after all prior
+    #: copies were surely joined (a strictly sequential fork/join loop):
+    #: the dynamic copies are then pairwise HB-ordered even though the
+    #: instance is replicated.  Meaningful only when ``replicated``.
+    serial_refork: bool = True
 
 
 @dataclass(frozen=True)
@@ -774,6 +779,14 @@ class SummaryExtractor:
         existing = self._fork_keys.get(key)
         if existing is not None:
             inst = self._instances[existing]
+            # A re-fork is *serial* only when every copy forked so far is
+            # surely joined at this point (and we are not inside an
+            # approximate loop, where join credit is withheld).
+            if (
+                self._approx_loop > 0
+                or frame.join_counts.get(existing, 0) < inst.times_forked
+            ):
+                inst.serial_refork = False
             inst.times_forked += 1
             frame.fork_counts[existing] = frame.fork_counts.get(existing, 0) + 1
             return _Handle(existing)

@@ -1,0 +1,325 @@
+"""Static may-happen-in-parallel (MHP) analysis over extracted summaries.
+
+The extractor (:mod:`repro.staticcheck.extract`) records, per access site,
+conservative fork/join knowledge (which child instances may already be
+forked, which are surely joined).  This module turns that per-site
+knowledge into an explicit **static happens-before skeleton** and answers
+MHP queries by reachability closure over it — the partial-order view a
+pairwise heuristic cannot provide, because ordering composes
+*transitively* across instances (a joined child orders a later fork, which
+orders that fork's grandchildren, and so on).
+
+Construction
+------------
+
+Per thread instance ``X`` the graph has a *start* node ``S(X)`` ("no copy
+of ``X`` has begun") and an *end* node ``E(X)`` ("every copy of ``X`` has
+finished").  The instance's access sites are grouped into **segments** —
+maximal site groups sharing the same fork/join snapshot, i.e. the code
+regions delimited by the fork/join boundaries the extractor observed.
+Edges encode exactly the sound ordering facts of the summary:
+
+* ``S(X) -> seg -> E(X)`` for every segment of ``X`` (each dynamic event
+  of ``X`` runs after its own copy starts and before it ends);
+* ``S(P) -> S(X)`` when ``P`` forks ``X`` (every copy of ``X`` is forked
+  by a running copy of ``P``);
+* ``seg -> S(X)`` when ``seg``'s sites run in ``X``'s parent and on every
+  path *before* any fork of ``X`` (fork edge);
+* ``E(X) -> seg`` when ``seg``'s sites run in ``X``'s parent and on every
+  path *after* all copies of ``X`` are joined (join edge);
+* ``E(X) -> S(Y)`` when instance ``Y`` is first forked only after every
+  copy of ``X`` was joined (sibling serialization).
+
+Every edge is a sound happens-before claim (see DESIGN.md §7a for the
+argument, including the replicated-instance reading of ``S``/``E``), so
+graph reachability implies happens-before in **all** executions; two sites
+of different instances may happen in parallel only when neither segment
+reaches the other.
+
+Same-instance pairs need no graph: a single dynamic thread is sequential
+with itself, and a *replicated* instance (a fork site standing for several
+dynamic threads) is pairwise-ordered exactly when the extractor proved the
+re-forks serial (``ThreadInstance.serial_refork`` — the fork/join-loop
+idiom).
+
+Two query flavors, deliberately distinct:
+
+* :meth:`MHPAnalysis.ordered` — provable happens-before in every run.
+  This is what the race analyzer and the detector-side pruner use.
+* :meth:`MHPAnalysis.may_happen_in_parallel` — additionally treats sites
+  whose locksets surely share a lock as non-parallel (monitors force
+  serialization in *some* order).  Mutual exclusion is not ordering, so
+  this must never feed a decision that needs happens-before; it exists
+  for clients asking the literal "can these run simultaneously?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.staticcheck.extract import AccessSite, ProgramSummary
+
+__all__ = [
+    "MHPAnalysis",
+    "Segment",
+    "build_mhp",
+    "legacy_may_be_concurrent",
+]
+
+#: Segment grouping key: (instance id, forked_before, joined_before).
+_SegKey = Tuple[int, frozenset, frozenset]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal group of one instance's access sites sharing a fork/join
+    snapshot — a code region between fork/join boundaries."""
+
+    id: int
+    instance: int
+    #: Child instance ids possibly forked when the region runs.
+    forked_before: frozenset
+    #: Child instance ids surely fully joined when the region runs.
+    joined_before: frozenset
+    #: Number of access sites grouped into this segment.
+    num_sites: int
+
+
+class MHPAnalysis:
+    """Reachability-closed static happens-before graph of one summary."""
+
+    def __init__(self, summary: ProgramSummary):
+        self.summary = summary
+        #: Segment key -> graph node id.
+        self._seg_ids: Dict[_SegKey, int] = {}
+        self._seg_sites: Dict[_SegKey, int] = {}
+        #: Per instance id: (start node id, end node id).
+        self._se: Dict[int, Tuple[int, int]] = {}
+        self._succ: List[Set[int]] = []
+        self._reach: List[int] = []
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    def _new_node(self) -> int:
+        self._succ.append(set())
+        return len(self._succ) - 1
+
+    def _seg_node(self, key: _SegKey) -> int:
+        node = self._seg_ids.get(key)
+        if node is None:
+            node = self._seg_ids[key] = self._new_node()
+            self._seg_sites[key] = 0
+        return node
+
+    def _build(self) -> None:
+        summary = self.summary
+        for inst in summary.instances:
+            self._se[inst.id] = (self._new_node(), self._new_node())
+        for site in summary.accesses:
+            key = (site.instance, site.forked_before, site.joined_before)
+            self._seg_node(key)
+            self._seg_sites[key] += 1
+        for inst in summary.instances:
+            start, end = self._se[inst.id]
+            self._succ[start].add(end)
+            if inst.parent is not None:
+                parent_start, _ = self._se[inst.parent]
+                self._succ[parent_start].add(start)
+            for other in inst.forked_after_joins:
+                _, other_end = self._se[other]
+                self._succ[other_end].add(start)
+        for (instance, forked_before, joined_before), node in self._seg_ids.items():
+            start, end = self._se[instance]
+            self._succ[start].add(node)
+            self._succ[node].add(end)
+            for inst in summary.instances:
+                if inst.parent != instance:
+                    continue
+                child_start, child_end = self._se[inst.id]
+                if inst.id not in forked_before:
+                    self._succ[node].add(child_start)  # fork edge
+                if inst.id in joined_before:
+                    self._succ[child_end].add(node)  # join edge
+        self._close()
+
+    def _close(self) -> None:
+        """Transitive closure as per-node reachability bitmasks.
+
+        The graphs are tiny (a handful of nodes per instance), so an
+        iterative DFS per node is plenty; bitmasks make the pairwise
+        queries O(1)."""
+        n = len(self._succ)
+        self._reach = [0] * n
+        for root in range(n):
+            seen = 0
+            stack = list(self._succ[root])
+            while stack:
+                node = stack.pop()
+                bit = 1 << node
+                if seen & bit:
+                    continue
+                seen |= bit
+                stack.extend(self._succ[node])
+            self._reach[root] = seen
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    @property
+    def segments(self) -> List[Segment]:
+        """The segment nodes, in creation order."""
+        return [
+            Segment(
+                id=node,
+                instance=key[0],
+                forked_before=key[1],
+                joined_before=key[2],
+                num_sites=self._seg_sites[key],
+            )
+            for key, node in self._seg_ids.items()
+        ]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succ)
+
+    def _node_of(self, site: AccessSite):
+        key = (site.instance, site.forked_before, site.joined_before)
+        return self._seg_ids.get(key)
+
+    def _reaches(self, a: int, b: int) -> bool:
+        return bool(self._reach[a] & (1 << b))
+
+    def ordered(self, a: AccessSite, b: AccessSite) -> bool:
+        """Whether the two sites are happens-before ordered (one way or
+        the other) in **every** execution."""
+        if a.instance == b.instance:
+            inst = self.summary.instance(a.instance)
+            # One dynamic thread is sequential with itself; a replicated
+            # instance stands for several dynamic threads, pairwise
+            # ordered only when the re-forks were proven serial.
+            return (not inst.replicated) or inst.serial_refork
+        na, nb = self._node_of(a), self._node_of(b)
+        if na is None or nb is None:
+            # A site not drawn from this summary (e.g. built by hand in a
+            # test): only whole-instance ordering can be claimed soundly.
+            return self.instance_ordered(a.instance, b.instance)
+        return self._reaches(na, nb) or self._reaches(nb, na)
+
+    def may_happen_in_parallel(self, a: AccessSite, b: AccessSite) -> bool:
+        """The literal MHP question: can the two sites execute
+        *simultaneously* in some run?  Ordering rules it out, and so does
+        a surely-shared lock (the monitor serializes the two regions,
+        though in schedule-dependent order)."""
+        if self.ordered(a, b):
+            return False
+        return not (a.lockset & b.lockset)
+
+    def instance_ordered(self, xa: int, xb: int) -> bool:
+        """Whether *every* site pair across the two instances is ordered
+        (instance-granularity convenience for reports)."""
+        if xa == xb:
+            inst = self.summary.instance(xa)
+            return (not inst.replicated) or inst.serial_refork
+        (sa, ea), (sb, eb) = self._se[xa], self._se[xb]
+        return self._reaches(ea, sb) or self._reaches(eb, sa)
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+
+    def describe(self) -> str:
+        """Human-readable rendering of the segment graph (CLI ``--mhp``)."""
+        summary = self.summary
+        segments = self.segments
+        lines = [
+            f"MHP segment graph of {summary.program_name!r}: "
+            f"{len(summary.instances)} instance(s), {len(segments)} "
+            f"segment(s), {self.num_edges} edge(s)"
+        ]
+        by_instance: Dict[int, List[Segment]] = {}
+        for seg in segments:
+            by_instance.setdefault(seg.instance, []).append(seg)
+        for inst in summary.instances:
+            tag = ""
+            if inst.replicated:
+                tag = (
+                    " [replicated, serial re-fork]"
+                    if inst.serial_refork
+                    else " [replicated]"
+                )
+            lines.append(f"  {inst.label}{tag}:")
+            for seg in by_instance.get(inst.id, []):
+                forked = ",".join(
+                    summary.instance(i).label for i in sorted(seg.forked_before)
+                ) or "-"
+                joined = ",".join(
+                    summary.instance(i).label for i in sorted(seg.joined_before)
+                ) or "-"
+                lines.append(
+                    f"    segment#{seg.id}: {seg.num_sites} site(s), "
+                    f"forked={{{forked}}} joined={{{joined}}}"
+                )
+            if inst.id not in by_instance:
+                lines.append("    (no access sites)")
+        ordered_pairs = concurrent_pairs = 0
+        sites = summary.accesses
+        for i, a in enumerate(sites):
+            for b in sites[i + 1 :]:
+                if self.ordered(a, b):
+                    ordered_pairs += 1
+                else:
+                    concurrent_pairs += 1
+        lines.append(
+            f"  site pairs: {ordered_pairs} ordered, "
+            f"{concurrent_pairs} possibly concurrent"
+        )
+        return "\n".join(lines)
+
+
+def build_mhp(summary: ProgramSummary) -> MHPAnalysis:
+    """Construct the MHP analysis for an extracted summary."""
+    return MHPAnalysis(summary)
+
+
+# --------------------------------------------------------------------- #
+# the pre-MHP heuristic, kept as a reference point
+
+def legacy_may_be_concurrent(
+    a: AccessSite, b: AccessSite, summary: ProgramSummary
+) -> bool:
+    """The coarse pairwise fork/join heuristic that MHP replaced.
+
+    Kept verbatim so tests (and curious users) can measure the precision
+    gap: the heuristic sees direct parent/child and direct sibling
+    ordering but no transitive composition, and treats every replicated
+    instance as self-concurrent.  Both it and MHP err toward "concurrent",
+    but MHP strictly refines it: whenever the heuristic answers ``False``
+    (ordered), :meth:`MHPAnalysis.ordered` answers ``True`` as well, so
+    MHP-based race warnings are always a subset of the heuristic's.
+    """
+    ia, ib = summary.instance(a.instance), summary.instance(b.instance)
+    if ia.id == ib.id:
+        # Same abstract thread: a single dynamic thread is sequential
+        # with itself; only a replicated instance (fork site in a loop)
+        # stands for several dynamic threads that can race pairwise.
+        return ia.replicated
+    # Parent/child: the parent's accesses before the fork — or after all
+    # copies are surely joined — are ordered with the child.
+    for parent_site, child in ((a, ib), (b, ia)):
+        if child.parent == parent_site.instance:
+            if child.id not in parent_site.forked_before:
+                return False  # access happens-before the fork
+            if child.id in parent_site.joined_before:
+                return False  # access happens-after the join(s)
+    # Siblings: instance Y forked only after every copy of X was joined
+    # is fully ordered after X.
+    if ib.id in ia.forked_after_joins or ia.id in ib.forked_after_joins:
+        return False
+    return True

@@ -4,9 +4,11 @@ Two access sites race when, conservatively:
 
 1. their variable names may alias (:func:`~repro.staticcheck.values.names_may_alias`);
 2. at least one of them is a write;
-3. their thread instances may run concurrently (see
-   :func:`_may_be_concurrent` — fork/join edges from the summary refine
-   this); and
+3. they are **not** provably happens-before ordered — decided by the
+   static MHP analysis (:class:`~repro.staticcheck.mhp.MHPAnalysis`),
+   whose reachability closure over the fork/join segment graph strictly
+   refines the old pairwise heuristic (kept as
+   :func:`~repro.staticcheck.mhp.legacy_may_be_concurrent`); and
 4. the locksets surely held at the two sites are disjoint.
 
 Honoring the ParaMount §5.2 init-write filter, a pair whose witness
@@ -23,57 +25,44 @@ every racy variable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.staticcheck.extract import AccessSite, ProgramSummary
+from repro.staticcheck.mhp import MHPAnalysis
 from repro.staticcheck.report import StaticWarning
-from repro.staticcheck.values import names_may_alias
+from repro.staticcheck.values import VarName, names_may_alias
 
 __all__ = ["analyze_races"]
 
-
-def _may_be_concurrent(a: AccessSite, b: AccessSite, summary: ProgramSummary) -> bool:
-    """Whether the two sites can run concurrently, refined by the
-    summary's fork/join structure.  Errs toward ``True``."""
-    ia, ib = summary.instance(a.instance), summary.instance(b.instance)
-    if ia.id == ib.id:
-        # Same abstract thread: a single dynamic thread is sequential
-        # with itself; only a replicated instance (fork site in a loop)
-        # stands for several dynamic threads that can race pairwise.
-        return ia.replicated
-    # Parent/child: the parent's accesses before the fork — or after all
-    # copies are surely joined — are ordered with the child.
-    for parent_site, child in ((a, ib), (b, ia)):
-        if child.parent == parent_site.instance:
-            if child.id not in parent_site.forked_before:
-                return False  # access happens-before the fork
-            if child.id in parent_site.joined_before:
-                return False  # access happens-after the join(s)
-    # Siblings: instance Y forked only after every copy of X was joined
-    # is fully ordered after X.
-    if ib.id in ia.forked_after_joins or ia.id in ib.forked_after_joins:
-        return False
-    return True
+#: (variable key, category) -> (witness a, witness b, variable name).
+_Witness = Tuple[AccessSite, AccessSite, VarName]
 
 
-def analyze_races(summary: ProgramSummary) -> List[StaticWarning]:
-    """Pairwise lockset analysis of the summary's access sites."""
+def analyze_races(
+    summary: ProgramSummary, mhp: Optional[MHPAnalysis] = None
+) -> List[StaticWarning]:
+    """Pairwise lockset analysis of the summary's access sites.
+
+    ``mhp`` may be passed in to reuse an already-built analysis (the
+    report driver and the pruner share one); by default it is built here.
+    """
+    if mhp is None:
+        mhp = MHPAnalysis(summary)
     sites = summary.accesses
-    # (var-key, category) -> (witness pair, sorted thread labels)
-    found: Dict[Tuple[str, str], Tuple[AccessSite, AccessSite]] = {}
+    found: Dict[Tuple[str, str], _Witness] = {}
     # A site may pair with itself: a replicated instance (fork site in a
     # loop) stands for several dynamic threads executing the same site, so
     # an unlocked write races with its own copy.  The generic conditions
     # below handle it — a self-pair survives only if the site is a write,
-    # its instance is replicated, and its lockset is empty (a non-empty
-    # lockset intersects itself).
+    # its instance is replicated with non-serial re-forks (MHP), and its
+    # lockset is empty (a non-empty lockset intersects itself).
     for i, a in enumerate(sites):
         for b in sites[i:]:
             if a.op == "read" and b.op == "read":
                 continue
             if not names_may_alias(a.var, b.var):
                 continue
-            if not _may_be_concurrent(a, b, summary):
+            if mhp.ordered(a, b):
                 continue
             if a.lockset & b.lockset:
                 continue

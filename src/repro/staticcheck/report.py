@@ -33,11 +33,14 @@ Warning categories:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.runtime.program import Program
 from repro.runtime.waitgraph import WaitForGraph
 from repro.staticcheck.values import VarName, names_may_alias
+
+if TYPE_CHECKING:  # import cycle at runtime (extract imports report users)
+    from repro.staticcheck.extract import ProgramSummary
 
 __all__ = ["StaticReport", "StaticWarning", "analyze_program"]
 
@@ -89,7 +92,7 @@ class StaticReport:
     program_name: str
     warnings: List[StaticWarning] = field(default_factory=list)
     #: The extraction summary (kept for tests and diagnostics).
-    summary: object = None
+    summary: Optional["ProgramSummary"] = None
 
     def by_category(self, category: str) -> List[StaticWarning]:
         return [w for w in self.warnings if w.category == category]

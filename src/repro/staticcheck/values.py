@@ -22,8 +22,9 @@ workloads (and the paper's benchmark drivers) are written.
 from __future__ import annotations
 
 import ast
+import builtins
 from dataclasses import dataclass
-from typing import Any, Mapping, Tuple, Union
+from typing import Any, Dict, Mapping, Tuple, Union
 
 __all__ = [
     "UNKNOWN",
@@ -110,8 +111,8 @@ def names_may_alias(a: VarName, b: VarName) -> bool:
 
 #: Builtins safe to use inside evaluated expressions (pure constructors
 #: and combinators only — nothing that does I/O or mutates global state).
-_SAFE_BUILTINS = {
-    name: __builtins__[name] if isinstance(__builtins__, dict) else getattr(__builtins__, name)
+_SAFE_BUILTINS: Dict[str, Any] = {
+    name: getattr(builtins, name)
     for name in (
         "abs",
         "bool",

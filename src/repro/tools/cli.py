@@ -12,10 +12,17 @@ __all__ = ["main"]
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    from repro.workloads.registry import DETECTION_WORKLOADS, ENUMERATION_WORKLOADS
+    from repro.workloads.registry import (
+        DETECTION_WORKLOADS,
+        ENUMERATION_WORKLOADS,
+        EXTRA_DETECTION_WORKLOADS,
+    )
 
     print("Detection workloads (Table 2):")
     for name, w in DETECTION_WORKLOADS.items():
+        print(f"  {name:15s} {w.description}")
+    print("\nDetection workloads (extra, MHP-structured):")
+    for name, w in EXTRA_DETECTION_WORKLOADS.items():
         print(f"  {name:15s} {w.description}")
     print("\nEnumeration workloads (Table 1):")
     for name, w in ENUMERATION_WORKLOADS.items():
@@ -61,8 +68,29 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         trace = workload.trace()
         benign = workload.benign_vars
 
+    pruner = None
+    if args.static_prune:
+        if args.detector != "paramount":
+            print("error: --static-prune requires --detector paramount", file=sys.stderr)
+            return 2
+        from repro.staticcheck.prune import StaticPruner
+        from repro.workloads.registry import ALL_DETECTION_WORKLOADS
+
+        if trace.program_name not in ALL_DETECTION_WORKLOADS:
+            print(
+                f"error: --static-prune needs the program source; trace "
+                f"program {trace.program_name!r} is not a known workload",
+                file=sys.stderr,
+            )
+            return 2
+        program = ALL_DETECTION_WORKLOADS[trace.program_name].build()
+        pruner = StaticPruner.from_program(program)
+        print(pruner.describe())
+
     if args.detector == "paramount":
-        report = ParaMountDetector(subroutine=args.subroutine).run(trace, benign)
+        report = ParaMountDetector(
+            subroutine=args.subroutine, static_pruner=pruner
+        ).run(trace, benign)
     elif args.detector == "rv":
         report = RVRuntimeDetector().run(trace, benign)
     else:
@@ -76,6 +104,11 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         print(f"states:     {report.states_enumerated}")
     if report.poset_events:
         print(f"events:     {report.poset_events}")
+    if report.pruned_vars or report.pruned_accesses:
+        print(
+            f"pruned:     {len(report.pruned_vars)} variable(s), "
+            f"{report.pruned_accesses} access(es) skipped statically"
+        )
     print(f"detections: {report.num_detections}")
     for var in report.sorted_vars():
         race = report.races[var]
@@ -180,26 +213,34 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.staticcheck import analyze_program, cross_validate
-    from repro.workloads.registry import DETECTION_WORKLOADS, detection_workload
+    from repro.workloads.registry import ALL_DETECTION_WORKLOADS, detection_workload
 
     if args.all:
-        names = list(DETECTION_WORKLOADS)
-    elif args.workload:
-        names = [args.workload]
+        names = list(ALL_DETECTION_WORKLOADS)
+    elif args.workloads:
+        names = list(args.workloads)
     else:
-        print("error: give a workload name or --all", file=sys.stderr)
+        print("error: give one or more workload names or --all", file=sys.stderr)
         return 2
 
     failures = 0
+    warnings_emitted = 0
     for name in names:
         workload = detection_workload(name)
+        if args.mhp:
+            from repro.staticcheck import build_mhp
+            from repro.staticcheck.extract import extract_summary
+
+            print(build_mhp(extract_summary(workload.build())).describe())
         if args.static_only:
             report = analyze_program(workload.build())
             print(report.format())
+            warnings_emitted += len(report.warnings)
         else:
             cv = cross_validate(name)
             print(cv.static_report.format())
             print(cv.format())
+            warnings_emitted += len(cv.static_report.warnings)
             if not cv.ok:
                 failures += 1
         print()
@@ -208,6 +249,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
             f"{failures} workload(s) have dynamically confirmed races with "
             "no static warning (soundness violation)"
         )
+        return 1
+    if args.strict and warnings_emitted:
+        print(f"strict mode: {warnings_emitted} static warning(s) emitted")
         return 1
     return 0
 
@@ -246,6 +290,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="lexical",
         help="ParaMount's bounded subroutine",
     )
+    p.add_argument(
+        "--static-prune",
+        action="store_true",
+        help="skip variables the static MHP analysis proves race-free "
+        "(paramount only; workload must be in the registry)",
+    )
     p.set_defaults(func=_cmd_detect)
 
     p = sub.add_parser("capture-poset", help="capture a workload's poset")
@@ -281,12 +331,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="static race/deadlock analysis, cross-validated against the "
         "dynamic detectors",
     )
-    p.add_argument("workload", nargs="?", help="detection workload name")
+    p.add_argument("workloads", nargs="*", help="detection workload name(s)")
     p.add_argument("--all", action="store_true", help="check every detection workload")
     p.add_argument(
         "--static-only",
         action="store_true",
         help="skip the dynamic cross-validation run",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any static warning is emitted (for CI)",
+    )
+    p.add_argument(
+        "--mhp",
+        action="store_true",
+        help="also print the static MHP segment graph per workload",
     )
     p.set_defaults(func=_cmd_check)
 

@@ -1,0 +1,148 @@
+"""Fork/join-structured detection workloads beyond Table 2.
+
+The paper's benchmarks all use a flat fork/join shape (main forks every
+worker directly), which a pairwise parent/child heuristic already orders
+well.  These two programs exercise the structures that need a real
+may-happen-in-parallel closure (:mod:`repro.staticcheck.mhp`):
+
+``pipeline``
+    Nested forks: main runs ``stage0`` to completion, then forks a
+    coordinator that forks two concurrent stages.  ``stage0``'s unlocked
+    write of ``Buf.a`` is happens-before ordered with ``stage1``'s read
+    only *transitively* (join(stage0) → fork(coord) → fork(stage1)); the
+    pre-MHP heuristic cannot see across the coordinator and reports a
+    spurious static race on ``Buf.a``.  The two stages then race for real
+    on ``Buf.result`` (one detection for every dynamic tool).
+
+``phased``
+    A serial fork/join loop: main forks the same phase body three times,
+    joining each copy before forking the next.  The phase instance is
+    *replicated* (one fork site, several dynamic threads), which the old
+    heuristic flags as self-racing on ``Phase.acc``; the MHP analysis
+    proves the re-forks serial and drops the warning.  Two tail threads
+    then race for real on ``Phase.out``.
+
+Neither program uses monitors, so the RV baseline completes and confirms
+the same single real race (its sliced order sees fork/join edges, which
+is all the ordering these programs rely on).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.ops import Compute, Fork, Join, Read, Write
+from repro.runtime.program import Program, ThreadContext
+from repro.workloads.base import DetectionExpectation, DetectionWorkload
+
+__all__ = [
+    "build_pipeline",
+    "build_phased",
+    "WORKLOAD_PIPELINE",
+    "WORKLOAD_PHASED",
+]
+
+
+# --------------------------------------------------------------------- #
+# pipeline: nested forks behind a join
+
+
+def _stage0(ctx: ThreadContext):
+    yield Compute(2)  # produce the buffer
+    yield Write("Buf.a", 41)
+
+
+def _stage1(ctx: ThreadContext):
+    # Ordered behind _stage0 only through main's join and the coordinator
+    # fork — a transitive chain, invisible to a pairwise heuristic.
+    a = yield Read("Buf.a")
+    yield Compute(3)
+    yield Write("Buf.result", (a or 0) + 1)  # BUG: races with stage2
+
+
+def _stage2(ctx: ThreadContext):
+    yield Compute(3)
+    yield Write("Buf.result", -1)  # BUG: races with stage1
+
+
+def _coordinator(ctx: ThreadContext):
+    s1 = yield Fork(_stage1, name="stage1")
+    s2 = yield Fork(_stage2, name="stage2")
+    yield Join(s1)
+    yield Join(s2)
+
+
+def _pipeline_main(ctx: ThreadContext):
+    s0 = yield Fork(_stage0, name="stage0")
+    yield Join(s0)
+    c = yield Fork(_coordinator, name="coord")
+    yield Join(c)
+    yield Read("Buf.result")
+
+
+def build_pipeline() -> Program:
+    """The nested-fork pipeline program (5 threads)."""
+    return Program(
+        name="pipeline",
+        main=_pipeline_main,
+        max_threads=5,
+        shared={},
+        description="staged pipeline with nested forks and a result race",
+    )
+
+
+WORKLOAD_PIPELINE = DetectionWorkload(
+    name="pipeline",
+    build=build_pipeline,
+    expected=DetectionExpectation(
+        paramount=1, fasttrack=1, rv_detections=1, rv_status="ok"
+    ),
+    seed=4,
+    description="nested forks; Buf.result raced by two stages",
+)
+
+
+# --------------------------------------------------------------------- #
+# phased: a serial fork/join loop plus a real tail race
+
+
+def _phase_worker(ctx: ThreadContext):
+    acc = yield Read("Phase.acc")
+    yield Compute(2)
+    yield Write("Phase.acc", (acc or 0) + 1)
+
+
+def _tail(ctx: ThreadContext):
+    yield Compute(1)
+    yield Write("Phase.out", ctx.tid)  # BUG: races with the other tail
+
+
+def _phased_main(ctx: ThreadContext):
+    for _ in range(3):
+        k = yield Fork(_phase_worker, name="phase")
+        yield Join(k)  # each copy joined before the next is forked
+    t1 = yield Fork(_tail, name="tail1")
+    t2 = yield Fork(_tail, name="tail2")
+    yield Join(t1)
+    yield Join(t2)
+    yield Read("Phase.acc")
+
+
+def build_phased() -> Program:
+    """The serial-phases program (6 threads over its lifetime)."""
+    return Program(
+        name="phased",
+        main=_phased_main,
+        max_threads=6,
+        shared={},
+        description="serial fork/join phases with a racy tail pair",
+    )
+
+
+WORKLOAD_PHASED = DetectionWorkload(
+    name="phased",
+    build=build_phased,
+    expected=DetectionExpectation(
+        paramount=1, fasttrack=1, rv_detections=1, rv_status="ok"
+    ),
+    seed=4,
+    description="fork/join loop (no race) plus Phase.out raced by two tails",
+)

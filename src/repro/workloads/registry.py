@@ -10,7 +10,17 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.workloads import arraylist, banking, elevator, hedc, raytracer, sets, sor, tsp
+from repro.workloads import (
+    arraylist,
+    banking,
+    elevator,
+    hedc,
+    pipeline,
+    raytracer,
+    sets,
+    sor,
+    tsp,
+)
 from repro.workloads.base import (
     DetectionWorkload,
     EnumerationWorkload,
@@ -19,8 +29,10 @@ from repro.workloads.base import (
 from repro.workloads.distributed import build_d_poset
 
 __all__ = [
+    "ALL_DETECTION_WORKLOADS",
     "DETECTION_WORKLOADS",
     "ENUMERATION_WORKLOADS",
+    "EXTRA_DETECTION_WORKLOADS",
     "detection_workload",
     "enumeration_workload",
 ]
@@ -40,6 +52,23 @@ DETECTION_WORKLOADS: Dict[str, DetectionWorkload] = {
         raytracer.WORKLOAD,
         hedc.WORKLOAD,
     )
+}
+
+#: Detection workloads beyond Table 2: fork/join structures (nested forks,
+#: serial fork/join loops) added to exercise the MHP analysis.  They take
+#: part in cross-validation and the CLI but not in the Table 2 figures.
+EXTRA_DETECTION_WORKLOADS: Dict[str, DetectionWorkload] = {
+    w.name: w
+    for w in (
+        pipeline.WORKLOAD_PIPELINE,
+        pipeline.WORKLOAD_PHASED,
+    )
+}
+
+#: Table 2 plus the extras — every workload the detectors can run on.
+ALL_DETECTION_WORKLOADS: Dict[str, DetectionWorkload] = {
+    **DETECTION_WORKLOADS,
+    **EXTRA_DETECTION_WORKLOADS,
 }
 
 
@@ -124,13 +153,13 @@ ENUMERATION_WORKLOADS: Dict[str, EnumerationWorkload] = {
 
 
 def detection_workload(name: str) -> DetectionWorkload:
-    """Look up a Table 2 workload by name."""
+    """Look up a detection workload (Table 2 or extra) by name."""
     try:
-        return DETECTION_WORKLOADS[name]
+        return ALL_DETECTION_WORKLOADS[name]
     except KeyError:
         raise KeyError(
             f"unknown detection workload {name!r}; "
-            f"expected one of {sorted(DETECTION_WORKLOADS)}"
+            f"expected one of {sorted(ALL_DETECTION_WORKLOADS)}"
         ) from None
 
 

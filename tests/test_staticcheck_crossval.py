@@ -10,9 +10,9 @@ import pytest
 
 from repro.staticcheck import cross_validate
 from repro.tools.cli import main as cli_main
-from repro.workloads.registry import DETECTION_WORKLOADS
+from repro.workloads.registry import ALL_DETECTION_WORKLOADS
 
-WORKLOADS = list(DETECTION_WORKLOADS)
+WORKLOADS = list(ALL_DETECTION_WORKLOADS)
 
 
 @pytest.mark.parametrize("name", WORKLOADS)
@@ -30,7 +30,7 @@ def test_expected_detection_counts_statically_covered(name):
     whose expected ParaMount/FastTrack count is positive must have static
     race warnings, and an expected-clean workload must produce no plain
     race warnings (init races aside)."""
-    workload = DETECTION_WORKLOADS[name]
+    workload = ALL_DETECTION_WORKLOADS[name]
     cv = cross_validate(name)
     expects_dynamic = workload.expected.paramount or workload.expected.fasttrack
     if expects_dynamic:
@@ -68,6 +68,32 @@ def test_cli_check_requires_target(capsys):
     assert cli_main(["check"]) == 2
 
 
+def test_cli_check_multiple_workloads(capsys):
+    assert cli_main(["check", "sor", "elevator", "--static-only"]) == 0
+    out = capsys.readouterr().out
+    assert "sor" in out and "elevator" in out
+
+
+def test_cli_check_strict_clean_workloads_exit_zero(capsys):
+    # The CI invocation: warning-free workloads under --strict pass.
+    assert cli_main(
+        ["check", "sor", "elevator", "arraylist2", "--strict", "--static-only"]
+    ) == 0
+
+
+def test_cli_check_strict_fails_on_warnings(capsys):
+    assert cli_main(["check", "banking", "--strict", "--static-only"]) == 1
+    out = capsys.readouterr().out
+    assert "strict mode" in out
+
+
+def test_cli_check_mhp_prints_segment_graph(capsys):
+    assert cli_main(["check", "pipeline", "--mhp", "--static-only"]) == 0
+    out = capsys.readouterr().out
+    assert "MHP segment graph" in out
+    assert "segment#" in out
+
+
 def test_ruff_lint_gate():
     """Run the configured ruff lint over the package when the binary is
     available; skip (don't fail) in environments without ruff."""
@@ -76,6 +102,21 @@ def test_ruff_lint_gate():
         pytest.skip("ruff not installed in this environment")
     proc = subprocess.run(
         [ruff, "check", "src/repro", "tests"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_mypy_type_gate():
+    """Run the configured mypy pass over the static analysis package when
+    the binary is available; skip (don't fail) in environments without
+    mypy."""
+    mypy = shutil.which("mypy")
+    if mypy is None:
+        pytest.skip("mypy not installed in this environment")
+    proc = subprocess.run(
+        [mypy, "src/repro/staticcheck"],
         capture_output=True,
         text=True,
     )

@@ -1,0 +1,245 @@
+"""The static MHP analysis: segment graph, reachability queries, the
+refinement contract against the legacy heuristic, and the precision wins
+on the fork/join-structured workloads."""
+
+import sys
+
+import pytest
+
+from repro.runtime.ops import Fork, Join, Read, Write
+from repro.runtime.program import Program
+from repro.staticcheck import (
+    analyze_races,
+    build_mhp,
+    extract_summary,
+    legacy_may_be_concurrent,
+)
+from repro.staticcheck.values import names_may_alias
+from repro.workloads.registry import ALL_DETECTION_WORKLOADS
+
+
+def _mhp_of(program):
+    summary = extract_summary(program)
+    return summary, build_mhp(summary)
+
+
+def _sites(summary, var):
+    return [s for s in summary.accesses if names_may_alias(s.var, var)]
+
+
+# --------------------------------------------------------------------- #
+# ordering facts on hand-built programs
+
+
+def _nested_fork_program():
+    """main → stage0, join, then coord → {stage1, stage2}: stage0 vs
+    stage1 is ordered only through a transitive chain."""
+
+    def stage0(ctx):
+        yield Write("Buf.a", 1)
+
+    def stage1(ctx):
+        yield Read("Buf.a")
+        yield Write("Buf.r", 2)
+
+    def stage2(ctx):
+        yield Write("Buf.r", 3)
+
+    def coord(ctx):
+        a = yield Fork(stage1, name="stage1")
+        b = yield Fork(stage2, name="stage2")
+        yield Join(a)
+        yield Join(b)
+
+    def main(ctx):
+        s = yield Fork(stage0, name="stage0")
+        yield Join(s)
+        c = yield Fork(coord, name="coord")
+        yield Join(c)
+
+    return Program(name="nested", main=main, max_threads=5, shared={})
+
+
+def test_transitive_join_fork_ordering():
+    summary, mhp = _mhp_of(_nested_fork_program())
+    (w_a,) = [s for s in summary.accesses if s.var == "Buf.a" and s.op == "write"]
+    (r_a,) = [s for s in summary.accesses if s.var == "Buf.a" and s.op == "read"]
+    # The MHP closure composes join(stage0) → fork(coord) → fork(stage1).
+    assert mhp.ordered(w_a, r_a)
+    # The legacy heuristic cannot: stage0 and stage1 are neither
+    # parent/child nor direct siblings.
+    assert legacy_may_be_concurrent(w_a, r_a, summary)
+
+
+def test_true_concurrency_is_preserved():
+    summary, mhp = _mhp_of(_nested_fork_program())
+    writes_r = [s for s in summary.accesses if s.var == "Buf.r"]
+    a, b = writes_r
+    assert not mhp.ordered(a, b)
+    assert mhp.may_happen_in_parallel(a, b)
+
+
+def test_race_warnings_drop_the_transitively_ordered_pair():
+    summary, _ = _mhp_of(_nested_fork_program())
+    warned = {str(w.var) for w in analyze_races(summary)}
+    assert warned == {"Buf.r"}
+
+
+def _serial_refork_program():
+    """A fork/join loop (replicated instance, serial re-forks) plus a
+    genuinely self-racing replicated fork."""
+
+    def worker(ctx):
+        yield Write("P.acc", 1)
+
+    def racer(ctx):
+        yield Write("P.out", 2)
+
+    def main(ctx):
+        for _ in range(3):
+            k = yield Fork(worker, name="w")
+            yield Join(k)
+        handles = []
+        for _ in range(2):
+            h = yield Fork(racer, name="r")
+            handles.append(h)
+        for h in handles:
+            yield Join(h)
+
+    return Program(name="serialloop", main=main, max_threads=6, shared={})
+
+
+def test_serial_refork_orders_replicated_self_pairs():
+    summary, mhp = _mhp_of(_serial_refork_program())
+    (acc,) = [s for s in summary.accesses if s.var == "P.acc"]
+    (out,) = [s for s in summary.accesses if s.var == "P.out"]
+    w = summary.instance(acc.instance)
+    r = summary.instance(out.instance)
+    assert w.replicated and w.serial_refork
+    assert r.replicated and not r.serial_refork
+    assert mhp.ordered(acc, acc)
+    assert not mhp.ordered(out, out)
+    # Legacy treats every replicated instance as self-concurrent.
+    assert legacy_may_be_concurrent(acc, acc, summary)
+
+
+def test_serial_refork_drops_the_loop_false_positive():
+    summary, _ = _mhp_of(_serial_refork_program())
+    warned = {str(w.var) for w in analyze_races(summary)}
+    assert warned == {"P.out"}
+
+
+def test_mhp_respects_common_locks_but_ordered_does_not():
+    from repro.runtime.ops import Acquire, Release
+
+    def left(ctx):
+        yield Acquire("L")
+        yield Write("X.v", 1)
+        yield Release("L")
+
+    def right(ctx):
+        yield Acquire("L")
+        yield Write("X.v", 2)
+        yield Release("L")
+
+    def main(ctx):
+        h1 = yield Fork(left, name="left")
+        h2 = yield Fork(right, name="right")
+        yield Join(h1)
+        yield Join(h2)
+
+    program = Program(name="locked", main=main, max_threads=3, shared={})
+    summary, mhp = _mhp_of(program)
+    sa, sb = [s for s in summary.accesses if s.var == "X.v"]
+    # Mutual exclusion is not ordering …
+    assert not mhp.ordered(sa, sb)
+    # … but it does rule out simultaneous execution.
+    assert not mhp.may_happen_in_parallel(sa, sb)
+
+
+def test_segment_graph_shape():
+    summary, mhp = _mhp_of(_nested_fork_program())
+    segments = mhp.segments
+    assert sum(seg.num_sites for seg in segments) == len(summary.accesses)
+    assert mhp.num_nodes >= 2 * len(summary.instances)
+    text = mhp.describe()
+    assert "MHP segment graph" in text
+    assert "site pairs" in text
+
+
+# --------------------------------------------------------------------- #
+# the refinement contract over every registered workload
+
+
+@pytest.mark.parametrize("name", list(ALL_DETECTION_WORKLOADS))
+def test_mhp_refines_legacy_heuristic(name):
+    """Whenever the legacy heuristic proves a pair ordered, MHP does too —
+    so MHP race warnings can only shrink, never grow."""
+    summary = extract_summary(ALL_DETECTION_WORKLOADS[name].build())
+    mhp = build_mhp(summary)
+    sites = summary.accesses
+    for i, a in enumerate(sites):
+        for b in sites[i:]:
+            if not legacy_may_be_concurrent(a, b, summary):
+                assert mhp.ordered(a, b), (
+                    f"{name}: legacy orders {a.func}:{a.line} vs "
+                    f"{b.func}:{b.line} but MHP does not"
+                )
+
+
+def _legacy_warned_vars(summary):
+    found = set()
+    sites = summary.accesses
+    for i, a in enumerate(sites):
+        for b in sites[i:]:
+            if a.op == "read" and b.op == "read":
+                continue
+            if not names_may_alias(a.var, b.var):
+                continue
+            if not legacy_may_be_concurrent(a, b, summary):
+                continue
+            if a.lockset & b.lockset:
+                continue
+            category = "init-race" if (a.is_init or b.is_init) else "race"
+            var = a.var if isinstance(a.var, str) else b.var
+            found.add((category, str(var)))
+    return found
+
+
+@pytest.mark.parametrize("name", list(ALL_DETECTION_WORKLOADS))
+def test_mhp_warnings_subset_of_legacy(name):
+    summary = extract_summary(ALL_DETECTION_WORKLOADS[name].build())
+    mhp_warned = {(w.category, str(w.var)) for w in analyze_races(summary)}
+    assert mhp_warned <= _legacy_warned_vars(summary)
+
+
+@pytest.mark.parametrize("name", ["pipeline", "phased"])
+def test_mhp_strictly_sharper_on_structured_workloads(name):
+    """The acceptance criterion: on ≥ 2 workloads the MHP warnings are a
+    *strict* subset of the legacy heuristic's (false positives removed)."""
+    summary = extract_summary(ALL_DETECTION_WORKLOADS[name].build())
+    mhp_warned = {(w.category, str(w.var)) for w in analyze_races(summary)}
+    legacy_warned = _legacy_warned_vars(summary)
+    assert mhp_warned < legacy_warned, (name, mhp_warned, legacy_warned)
+
+
+def test_handmade_site_falls_back_to_instance_ordering():
+    """A site not drawn from the summary only gets instance-granularity
+    ordering (never the unsound segment fallback)."""
+    import dataclasses
+
+    summary, mhp = _mhp_of(_nested_fork_program())
+    (w_a,) = [s for s in summary.accesses if s.var == "Buf.a" and s.op == "write"]
+    (r_a,) = [s for s in summary.accesses if s.var == "Buf.a" and s.op == "read"]
+    foreign = dataclasses.replace(w_a, forked_before=frozenset({99}))
+    assert mhp._node_of(foreign) is None
+    # stage0 fully precedes stage1 as whole instances, so even the
+    # fallback proves this pair; a pair within one parent's segments
+    # would not be claimed.
+    assert mhp.ordered(foreign, r_a) == mhp.instance_ordered(
+        foreign.instance, r_a.instance
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,150 @@
+"""The static pruning bridge: skipping statically-ordered variables must
+never change a detection, must actually fire on the fork/join-heavy
+workloads, and must refuse to act on incomplete summaries."""
+
+import dataclasses
+import sys
+
+import pytest
+
+from repro.detector import ParaMountDetector
+from repro.runtime.ops import Fork, Join, Write
+from repro.runtime.program import Program
+from repro.staticcheck import StaticPruner, build_pruner, extract_summary
+from repro.tools.cli import main as cli_main
+from repro.workloads.registry import ALL_DETECTION_WORKLOADS, DETECTION_WORKLOADS
+
+ALL = list(ALL_DETECTION_WORKLOADS)
+
+
+def _run_pair(workload):
+    trace = workload.trace()
+    base = ParaMountDetector().run(trace, workload.benign_vars)
+    pruner = StaticPruner.from_program(workload.build())
+    pruned = ParaMountDetector(static_pruner=pruner).run(trace, workload.benign_vars)
+    return base, pruned
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_pruned_run_reports_identical_races(name):
+    """The tentpole's correctness contract: same detections, same counts,
+    same status — on every workload, Table 2 and extras alike."""
+    base, pruned = _run_pair(ALL_DETECTION_WORKLOADS[name])
+    assert pruned.status == base.status
+    assert pruned.racy_vars == base.racy_vars
+    assert pruned.num_detections == base.num_detections
+    for var, race in base.races.items():
+        assert pruned.races[var].benign == race.benign
+
+
+@pytest.mark.parametrize("name", ALL)
+@pytest.mark.parametrize("seed", [0, 3, 7])
+def test_pruned_run_identical_across_schedules(name, seed):
+    w = dataclasses.replace(ALL_DETECTION_WORKLOADS[name], seed=seed)
+    base, pruned = _run_pair(w)
+    assert pruned.racy_vars == base.racy_vars
+    assert pruned.status == base.status
+
+
+@pytest.mark.parametrize("name", ["sor", "raytracer"])
+def test_pruner_fires_on_fork_join_workloads(name):
+    """The acceptance criterion: ≥ 1 statically-ordered variable skipped
+    on sor and raytracer, visible in the detector report."""
+    _, pruned = _run_pair(DETECTION_WORKLOADS[name])
+    assert len(pruned.pruned_vars) >= 1
+    assert pruned.pruned_accesses >= 1
+
+
+def test_sor_prunes_the_disjoint_rows():
+    _, pruned = _run_pair(DETECTION_WORKLOADS["sor"])
+    assert pruned.pruned_vars == {f"Grid.row{i}" for i in range(6)}
+    # The barrier bookkeeping is lock-protected, not ordered: never pruned.
+    assert not any(v.startswith("Barrier.") for v in pruned.pruned_vars)
+
+
+def test_raytracer_prunes_every_image_row():
+    _, pruned = _run_pair(DETECTION_WORKLOADS["raytracer"])
+    assert all(v.startswith("Image.row") for v in pruned.pruned_vars)
+    assert len(pruned.pruned_vars) >= 10
+    # The racy checksum survives, and is still detected.
+    assert "Scene.checksum" not in pruned.pruned_vars
+    assert "Scene.checksum" in pruned.racy_vars
+
+
+def test_pruning_reduces_front_end_work():
+    base, pruned = _run_pair(DETECTION_WORKLOADS["sor"])
+    assert pruned.poset_events < base.poset_events
+    assert pruned.states_enumerated < base.states_enumerated
+
+
+def test_report_without_pruner_has_empty_prune_fields():
+    base, _ = _run_pair(DETECTION_WORKLOADS["sor"])
+    assert base.pruned_vars == set()
+    assert base.pruned_accesses == 0
+
+
+# --------------------------------------------------------------------- #
+# the trust boundary
+
+
+def test_incomplete_summary_prunes_nothing():
+    """Any extractor approximation note disables pruning wholesale."""
+
+    def opaque(ctx):
+        yield Write("X.hidden", 1)
+
+    def main(ctx):
+        h = yield Fork(opaque, name="opaque")
+        yield Join(h)
+        yield Write("X.seen", 2)
+
+    program = Program(name="opaque-prog", main=main, max_threads=2, shared={})
+    summary = extract_summary(program)
+    summary.approximations.append("synthetic: something was not analyzed")
+    pruner = StaticPruner(summary)
+    assert not pruner.trusted
+    assert pruner.prunable_static_vars() == []
+    assert not pruner.should_skip("X.seen")
+    assert "pruning disabled" in pruner.describe()
+
+
+def test_statically_unseen_variable_is_never_skipped():
+    pruner = build_pruner(DETECTION_WORKLOADS["sor"].build())
+    assert pruner.trusted
+    assert not pruner.should_skip("Ghost.var")
+
+
+def test_concurrent_variable_is_never_skipped():
+    pruner = build_pruner(DETECTION_WORKLOADS["raytracer"].build())
+    assert not pruner.should_skip("Scene.checksum")
+    assert pruner.should_skip("Image.row0")
+
+
+def test_describe_lists_prunable_vars():
+    pruner = build_pruner(DETECTION_WORKLOADS["sor"].build())
+    text = pruner.describe()
+    assert "prunable" in text
+    assert "Grid.row0" in text
+
+
+# --------------------------------------------------------------------- #
+# CLI
+
+
+def test_cli_detect_static_prune(capsys):
+    assert cli_main(["detect", "--workload", "sor", "--static-prune"]) == 0
+    out = capsys.readouterr().out
+    assert "static pruner" in out
+    assert "pruned:" in out
+    assert "6 variable(s)" in out
+
+
+def test_cli_detect_static_prune_requires_paramount(capsys):
+    rc = cli_main(
+        ["detect", "--workload", "sor", "--static-prune", "--detector", "rv"]
+    )
+    assert rc == 2
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,198 @@
+"""The shared wait-for graph format: cycle extraction and rendering,
+attachment to dynamic ``DeadlockError``s, and agreement between the
+scheduler's dynamic graph and the static lock-order analyzer's
+hypothetical one on a known lock-order-cycle program."""
+
+import sys
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.runtime.ops import Acquire, Fork, Join, Read, Release, Write
+from repro.runtime.program import Program
+from repro.runtime.scheduler import run_program
+from repro.runtime.waitgraph import KIND_JOIN, KIND_LOCK, WaitEdge, WaitForGraph
+from repro.staticcheck import analyze_program
+
+
+# --------------------------------------------------------------------- #
+# graph mechanics
+
+
+def test_empty_graph():
+    g = WaitForGraph.from_edges([])
+    assert g.nodes() == []
+    assert g.cycles() == []
+    assert not g.has_cycle()
+    assert g.format() == "wait-for graph: (empty)"
+
+
+def test_two_node_cycle_extraction():
+    g = WaitForGraph.from_edges(
+        [
+            WaitEdge(waiter="left", holder="right", resource="B"),
+            WaitEdge(waiter="right", holder="left", resource="A"),
+        ]
+    )
+    cycles = g.cycles()
+    assert len(cycles) == 1
+    assert {e.waiter for e in cycles[0]} == {"left", "right"}
+
+
+def test_cycles_deduplicated_up_to_rotation():
+    # The same 3-cycle is discoverable from each of its three nodes; it
+    # must be reported once.
+    g = WaitForGraph.from_edges(
+        [
+            WaitEdge(waiter="a", holder="b", resource="L1"),
+            WaitEdge(waiter="b", holder="c", resource="L2"),
+            WaitEdge(waiter="c", holder="a", resource="L3"),
+        ]
+    )
+    assert len(g.cycles()) == 1
+
+
+def test_acyclic_chain_has_no_cycle():
+    g = WaitForGraph.from_edges(
+        [
+            WaitEdge(waiter="a", holder="b", resource="L1"),
+            WaitEdge(waiter="b", holder="c", resource="L2"),
+        ]
+    )
+    assert not g.has_cycle()
+    assert g.nodes() == ["a", "b", "c"]
+
+
+def test_nobody_holder_breaks_the_walk():
+    g = WaitForGraph.from_edges(
+        [
+            WaitEdge(waiter="a", holder=None, resource="cond", kind="wait"),
+            WaitEdge(waiter="b", holder="a", resource="L"),
+        ]
+    )
+    assert g.successors("a") == []
+    assert not g.has_cycle()
+
+
+def test_format_renders_edges_and_cycles():
+    g = WaitForGraph.from_edges(
+        [
+            WaitEdge(waiter="left", holder="right", resource="B"),
+            WaitEdge(waiter="right", holder="left", resource="A"),
+        ]
+    )
+    text = g.format()
+    assert "wait-for graph:" in text
+    assert "left --[lock B]--> right" in text
+    assert "cycle: " in text
+    # The ring closes back on its first waiter.
+    assert any(
+        line.strip().startswith("cycle:") and line.strip().endswith(("left", "right"))
+        for line in text.splitlines()
+    )
+
+
+# --------------------------------------------------------------------- #
+# a deterministic AB/BA deadlock program
+
+# The two threads handshake through spin loops before taking their second
+# lock, so *every* schedule deadlocks — no seed luck involved.
+
+
+def _left(ctx):
+    yield Acquire("A")
+    yield Write("H.left_ready", 1)
+    ready = 0
+    while not ready:
+        ready = yield Read("H.right_ready")
+    yield Acquire("B")
+    yield Release("B")
+    yield Release("A")
+
+
+def _right(ctx):
+    yield Acquire("B")
+    yield Write("H.right_ready", 1)
+    ready = 0
+    while not ready:
+        ready = yield Read("H.left_ready")
+    yield Acquire("A")
+    yield Release("A")
+    yield Release("B")
+
+
+def _main(ctx):
+    l = yield Fork(_left, name="left")
+    r = yield Fork(_right, name="right")
+    yield Join(l)
+    yield Join(r)
+
+
+def _deadlock_program():
+    return Program(
+        name="abba",
+        main=_main,
+        max_threads=3,
+        shared={"H.left_ready": 0, "H.right_ready": 0},
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 5])
+def test_deadlock_error_carries_wait_for_graph(seed):
+    with pytest.raises(DeadlockError) as exc:
+        run_program(_deadlock_program(), seed=seed)
+    err = exc.value
+    assert isinstance(err.wait_for, WaitForGraph)
+    assert err.wait_for.has_cycle()
+    # The graph is also rendered into the error message.
+    assert "wait-for graph:" in str(err)
+    assert "cycle:" in str(err)
+
+
+def test_dynamic_wait_for_edges():
+    with pytest.raises(DeadlockError) as exc:
+        run_program(_deadlock_program(), seed=0)
+    g = exc.value.wait_for
+    lock_edges = {
+        (e.waiter, e.holder, e.resource)
+        for e in g.edges
+        if e.kind == KIND_LOCK
+    }
+    assert lock_edges == {
+        ("left", "right", "B"),
+        ("right", "left", "A"),
+    }
+    # main is blocked joining a deadlocked child.
+    assert any(e.kind == KIND_JOIN and e.waiter == "main" for e in g.edges)
+
+
+def test_static_and_dynamic_wait_for_graphs_agree():
+    """The static lock-order analyzer predicts the same circular wait the
+    scheduler observes: same thread labels, same lock resources, same
+    cycle (compared via the rotation-canonical form both sides use)."""
+    program = _deadlock_program()
+    report = analyze_program(program)
+    deadlock_warnings = [w for w in report.warnings if w.category == "deadlock"]
+    assert len(deadlock_warnings) == 1
+    static_graph = deadlock_warnings[0].graph
+    assert static_graph is not None and static_graph.has_cycle()
+
+    with pytest.raises(DeadlockError) as exc:
+        run_program(program, seed=0)
+    dynamic_graph = exc.value.wait_for
+
+    def canonical_cycles(graph):
+        out = set()
+        for cycle in graph.cycles():
+            keys = [(e.waiter, e.holder, e.resource) for e in cycle]
+            out.add(min(tuple(keys[i:] + keys[:i]) for i in range(len(keys))))
+        return out
+
+    static_cycles = canonical_cycles(static_graph)
+    dynamic_cycles = canonical_cycles(dynamic_graph)
+    assert static_cycles  # the AB/BA cycle, statically predicted
+    assert static_cycles <= dynamic_cycles  # and dynamically confirmed
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q"]))
