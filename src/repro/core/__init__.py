@@ -20,11 +20,17 @@ from repro.core.bounded import bounded_enumeration
 from repro.core.executors import (
     Executor,
     ProcessExecutor,
+    RetryPolicy,
     SerialExecutor,
     ThreadExecutor,
 )
 from repro.core.intervals import Interval, compute_intervals, interval_of_cut
-from repro.core.metrics import IntervalStats, ParaMountResult
+from repro.core.metrics import (
+    DegradationEvent,
+    IntervalStats,
+    ParaMountResult,
+    TaskFailure,
+)
 from repro.core.online import OnlineParaMount
 from repro.core.paramount import ParaMount
 from repro.core.simulated import CostModel, simulate_schedule
@@ -40,8 +46,11 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "RetryPolicy",
     "CostModel",
     "simulate_schedule",
     "IntervalStats",
     "ParaMountResult",
+    "TaskFailure",
+    "DegradationEvent",
 ]

@@ -15,18 +15,78 @@ order (Algorithm 1).  We provide:
 
 All executors preserve task order in the returned list, so per-interval
 statistics line up with the ``→p`` order regardless of backend.
+
+Failure model (see DESIGN.md §"Fault model and recovery"): exceptions
+raised *by* a task propagate unchanged; infrastructure failures — a hung
+gather, a dead worker process, an unpicklable payload — surface as typed
+:class:`~repro.errors.ExecutorError` subclasses so callers can retry or
+degrade.  :class:`RetryPolicy` is the shared bounded-retry/backoff
+schedule used by :class:`repro.resilience.ResilientExecutor` and
+:func:`repro.core.mp.paramount_count_multiprocessing`.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import os
+import pickle
 from abc import ABC, abstractmethod
-from typing import Callable, List, Sequence, TypeVar
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, TypeVar
 
-__all__ = ["Executor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor"]
+from repro.errors import (
+    BrokenPoolError,
+    ExecutorTimeoutError,
+    TaskNotPicklableError,
+)
+from repro.util.rng import DeterministicRng, derive_seed
+
+__all__ = [
+    "Executor",
+    "RetryPolicy",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+]
 
 T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    ``max_attempts`` counts *total* tries of one task (1 = no retry).  The
+    delay before retry ``k`` (1-based) is
+    ``min(base_delay · backoff^(k-1), max_delay)``, stretched by up to
+    ``jitter`` (a fraction) drawn from :mod:`repro.util.rng` so that
+    concurrent retriers seeded identically still produce reproducible —
+    yet decorrelated — schedules.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.01
+    backoff: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be ≥ 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be ≥ 0")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be ≥ 1, got {self.backoff}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff delay in seconds before retry number ``attempt`` (≥ 1)."""
+        d = min(self.base_delay * self.backoff ** max(attempt - 1, 0), self.max_delay)
+        if self.jitter and d > 0:
+            rng = DeterministicRng(derive_seed(self.seed, "retry", attempt))
+            d *= 1.0 + self.jitter * rng.random()
+        return d
 
 
 class Executor(ABC):
@@ -64,18 +124,42 @@ class ThreadExecutor(Executor):
     Visitors invoked from tasks run concurrently: callers must pass
     thread-safe visitors (the detector's predicate evaluators take a lock
     or use thread-local accumulation).
+
+    ``task_timeout`` bounds the wait for each task's *result* during the
+    gather; exceeding it cancels the remaining futures and raises
+    :class:`~repro.errors.ExecutorTimeoutError` carrying the offending
+    task index.  A thread already running its task cannot be interrupted —
+    its result is simply discarded, which is safe because interval tasks
+    are idempotent.
     """
 
     name = "threads"
 
+    def __init__(self, num_workers: int = 1, task_timeout: Optional[float] = None):
+        super().__init__(num_workers=num_workers)
+        #: Per-task gather timeout in seconds (``None`` = wait forever).
+        self.task_timeout = task_timeout
+
     def map_tasks(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
         if not tasks:
             return []
-        with concurrent.futures.ThreadPoolExecutor(
-            max_workers=self.num_workers
-        ) as pool:
-            futures = [pool.submit(task) for task in tasks]
-            return [f.result() for f in futures]
+        pool = concurrent.futures.ThreadPoolExecutor(max_workers=self.num_workers)
+        futures = [pool.submit(task) for task in tasks]
+        results: List[T] = []
+        try:
+            for index, future in enumerate(futures):
+                try:
+                    results.append(future.result(timeout=self.task_timeout))
+                except concurrent.futures.TimeoutError:
+                    for pending in futures:
+                        pending.cancel()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise ExecutorTimeoutError(
+                        index, self.task_timeout or 0.0, executor=self.name
+                    ) from None
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return results
 
 
 class ProcessExecutor(Executor):
@@ -85,18 +169,58 @@ class ProcessExecutor(Executor):
     cannot cross the process boundary, so this backend suits counting and
     self-contained predicate evaluation (the task returns its findings).
     Worker count defaults to the machine's CPU count.
+
+    Infrastructure failures are translated into typed errors:
+    a dead worker (crash, OOM kill, failed initializer) raises
+    :class:`~repro.errors.BrokenPoolError`; an unpicklable task raises
+    :class:`~repro.errors.TaskNotPicklableError`; a gather timeout raises
+    :class:`~repro.errors.ExecutorTimeoutError`.  Exceptions raised *by*
+    tasks propagate unchanged.
     """
 
     name = "processes"
 
-    def __init__(self, num_workers: int = 0):
+    def __init__(self, num_workers: int = 0, task_timeout: Optional[float] = None):
         super().__init__(num_workers=num_workers or os.cpu_count() or 1)
+        #: Per-task gather timeout in seconds (``None`` = wait forever).
+        self.task_timeout = task_timeout
 
     def map_tasks(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
         if not tasks:
             return []
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=self.num_workers
-        ) as pool:
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.num_workers)
+        results: List[T] = []
+        abandoned = False
+        try:
             futures = [pool.submit(task) for task in tasks]
-            return [f.result() for f in futures]
+            for index, future in enumerate(futures):
+                try:
+                    results.append(future.result(timeout=self.task_timeout))
+                except concurrent.futures.TimeoutError:
+                    abandoned = True
+                    raise ExecutorTimeoutError(
+                        index, self.task_timeout or 0.0, executor=self.name
+                    ) from None
+                except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                    # CPython reports unpicklable payloads inconsistently:
+                    # PicklingError, or AttributeError/TypeError with a
+                    # "Can't pickle ..." message from the queue feeder.
+                    if (
+                        isinstance(exc, pickle.PicklingError)
+                        or "pickle" in str(exc).lower()
+                    ):
+                        raise TaskNotPicklableError(index, exc) from exc
+                    raise
+                except BrokenProcessPool as exc:
+                    abandoned = True
+                    raise BrokenPoolError(
+                        f"the process pool broke while awaiting task {index} "
+                        f"(a worker died: crashed, OOM-killed, or failed in "
+                        f"its initializer); resubmit the unfinished tasks on "
+                        f"a fresh pool or degrade to threads/serial"
+                    ) from exc
+        finally:
+            # A hung or dead pool must not block shutdown; a healthy one
+            # may be reaped synchronously.
+            pool.shutdown(wait=not abandoned, cancel_futures=abandoned)
+        return results

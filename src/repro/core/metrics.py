@@ -10,11 +10,16 @@ state counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.types import Cut, EventId
 
-__all__ = ["IntervalStats", "ParaMountResult"]
+__all__ = [
+    "IntervalStats",
+    "TaskFailure",
+    "DegradationEvent",
+    "ParaMountResult",
+]
 
 
 @dataclass(frozen=True)
@@ -27,6 +32,40 @@ class IntervalStats:
     states: int
     work: int
     peak_live: int
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Provenance of one interval task that failed permanently.
+
+    Recorded (never raised) when a task exhausted its
+    :class:`~repro.core.executors.RetryPolicy`: the run completes with the
+    failure on the record, so a partial result is still usable and the
+    missing intervals are identifiable — by Theorem 2 the lost states are
+    exactly the failed intervals' states, nothing else.
+    """
+
+    task_index: int
+    attempts: int
+    error: str
+    executor: str = ""
+    #: The interval's event, filled in by the ParaMount driver.
+    event: Optional[EventId] = None
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One step down a graceful-degradation ladder.
+
+    ``kind`` is ``"executor"`` (e.g. a broken process pool stepping
+    ``processes → threads → serial``) or ``"subroutine"`` (a BFS interval
+    exceeding its memory budget falling back to bounded lexical).
+    """
+
+    kind: str
+    from_name: str
+    to_name: str
+    reason: str
 
 
 @dataclass
@@ -46,6 +85,14 @@ class ParaMountResult:
     order_work: int = 0
     wall_time: float = 0.0
     intervals: List[IntervalStats] = field(default_factory=list)
+    #: Intervals whose task failed permanently (retries exhausted).
+    failures: List[TaskFailure] = field(default_factory=list)
+    #: Graceful-degradation steps taken during the run.
+    degradations: List[DegradationEvent] = field(default_factory=list)
+    #: Task re-submissions performed by a resilient executor.
+    retries: int = 0
+    #: Intervals restored from a checkpoint journal instead of re-enumerated.
+    resumed_intervals: int = 0
 
     def add_interval(self, stats: IntervalStats) -> None:
         """Fold one interval's stats into the aggregate."""
@@ -78,3 +125,13 @@ class ParaMountResult:
     def summary_row(self) -> Tuple[int, int, int, float]:
         """(states, work, peak_live, wall_time) for table rendering."""
         return (self.states, self.work, self.peak_live, self.wall_time)
+
+    @property
+    def complete(self) -> bool:
+        """True when every interval was enumerated (no permanent failures)."""
+        return not self.failures
+
+    @property
+    def degraded(self) -> bool:
+        """True when any degradation ladder was descended during the run."""
+        return bool(self.degradations)

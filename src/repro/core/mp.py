@@ -13,6 +13,19 @@ ParaMount's intervals are embarrassingly parallel, so on a multicore host
   self-contained predicate evaluation, exactly like the
   :class:`~repro.core.executors.ProcessExecutor` contract.
 
+The backend is crash-survivable: chunks are idempotent (Theorem 2), so a
+dead worker (``BrokenProcessPool``), a hung chunk (``chunk_timeout``), or
+a chunk that raises is retried with exponential backoff on a **rebuilt**
+pool up to :class:`~repro.core.executors.RetryPolicy` attempts; a chunk
+that still fails is degraded to in-parent serial enumeration, and only a
+failure that survives even that lands as a
+:class:`~repro.core.metrics.TaskFailure` on the result.  A
+:class:`~repro.resilience.FaultSpec` injects deterministic worker crashes
+(a literal ``os._exit``), hangs, slowdowns, poisoned chunks, and
+initializer failures for testing; a
+:class:`~repro.resilience.CheckpointJournal` records finished intervals
+from the parent so a killed run resumes where it left off.
+
 On a single-core container this runs correctly but no faster — the modeled
 machine (:mod:`repro.core.simulated`) remains the speedup-measurement
 instrument; this module is the deployment path for real multicore hosts.
@@ -21,11 +34,21 @@ instrument; this module is the deployment path for real multicore hosts.
 from __future__ import annotations
 
 import concurrent.futures
+import os
+import time
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.executors import RetryPolicy
 from repro.core.intervals import Interval, compute_intervals
-from repro.core.metrics import IntervalStats, ParaMountResult
+from repro.core.metrics import (
+    DegradationEvent,
+    IntervalStats,
+    ParaMountResult,
+    TaskFailure,
+)
 from repro.enumeration.base import make_enumerator
+from repro.errors import InjectedFaultError
 from repro.poset.io import poset_from_dict, poset_to_dict
 from repro.poset.poset import Poset
 from repro.types import EventId
@@ -37,29 +60,67 @@ __all__ = ["paramount_count_multiprocessing"]
 _WORKER_POSET: Optional[Poset] = None
 _WORKER_SUBROUTINE: str = "lexical"
 _WORKER_BUDGET: Optional[int] = None
+_WORKER_FAULTS = None
 
 
-def _init_worker(poset_data: Dict, subroutine: str, memory_budget: Optional[int]) -> None:
-    """Pool initializer: deserialize the poset once per worker process."""
-    global _WORKER_POSET, _WORKER_SUBROUTINE, _WORKER_BUDGET
+def _init_worker(
+    poset_data: Dict,
+    subroutine: str,
+    memory_budget: Optional[int],
+    fault_spec=None,
+    pool_round: int = 0,
+) -> None:
+    """Pool initializer: deserialize the poset once per worker process.
+
+    With a fault spec whose ``init_crash_rounds`` exceeds ``pool_round``,
+    the initializer raises — concurrent.futures then marks the whole pool
+    broken, exactly like a real initializer bug or an import-time OOM.
+    """
+    global _WORKER_POSET, _WORKER_SUBROUTINE, _WORKER_BUDGET, _WORKER_FAULTS
+    if fault_spec is not None and pool_round < fault_spec.init_crash_rounds:
+        raise InjectedFaultError("crash", "initializer", pool_round)
     _WORKER_POSET = poset_from_dict(poset_data)
     _WORKER_SUBROUTINE = subroutine
     _WORKER_BUDGET = memory_budget
+    _WORKER_FAULTS = fault_spec
 
 
-def _count_chunk(
+def _enumerate_chunk(
+    poset: Poset,
+    subroutine: str,
+    memory_budget: Optional[int],
     chunk: Sequence[Tuple[EventId, tuple, tuple]],
 ) -> List[Tuple[EventId, int, int, int]]:
-    """Enumerate a chunk of intervals in the worker; return their stats."""
-    assert _WORKER_POSET is not None, "worker initializer did not run"
-    enumerator = make_enumerator(
-        _WORKER_SUBROUTINE, _WORKER_POSET, memory_budget=_WORKER_BUDGET
-    )
+    enumerator = make_enumerator(subroutine, poset, memory_budget=memory_budget)
     out: List[Tuple[EventId, int, int, int]] = []
     for event, lo, hi in chunk:
         result = enumerator.enumerate_interval(lo, hi)
         out.append((event, result.states, result.work, result.peak_live))
     return out
+
+
+def _count_chunk(
+    chunk_index: int,
+    attempt: int,
+    chunk: Sequence[Tuple[EventId, tuple, tuple]],
+) -> List[Tuple[EventId, int, int, int]]:
+    """Enumerate a chunk of intervals in the worker; return their stats.
+
+    Consults the installed fault plan first: a ``crash`` is a literal
+    ``os._exit`` (breaking the real pool), a ``hang``/``slow`` sleeps, and
+    a poisoned chunk raises on every attempt.
+    """
+    assert _WORKER_POSET is not None, "worker initializer did not run"
+    if _WORKER_FAULTS is not None:
+        from repro.resilience.faults import FAULT_CRASH, apply_fault
+
+        kind = _WORKER_FAULTS.decide(("mp", chunk_index), attempt)
+        if kind == FAULT_CRASH:
+            os._exit(1)  # an abrupt worker death, not a Python exception
+        apply_fault(kind, _WORKER_FAULTS, ("mp", chunk_index), attempt)
+    return _enumerate_chunk(
+        _WORKER_POSET, _WORKER_SUBROUTINE, _WORKER_BUDGET, chunk
+    )
 
 
 def paramount_count_multiprocessing(
@@ -69,44 +130,199 @@ def paramount_count_multiprocessing(
     chunk_size: int = 16,
     memory_budget: Optional[int] = None,
     order: Optional[Sequence[EventId]] = None,
+    retry: Optional[RetryPolicy] = None,
+    chunk_timeout: Optional[float] = None,
+    fault_spec=None,
+    checkpoint=None,
 ) -> ParaMountResult:
     """Count all consistent global states with a real process pool.
 
     Returns the same :class:`~repro.core.metrics.ParaMountResult` shape as
     :meth:`ParaMount.run`, with per-interval stats in ``→p`` order; the
     total equals the sequential count (the partition theorem is
-    backend-independent).
+    backend-independent).  Worker failures are retried per ``retry`` and
+    finally degraded to in-parent serial enumeration — every retry,
+    degradation, and permanent failure is recorded on the result.
     """
     if workers < 1:
         raise ValueError(f"workers must be ≥ 1, got {workers}")
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be ≥ 1, got {chunk_size}")
+    retry = retry if retry is not None else RetryPolicy()
     intervals: List[Interval] = compute_intervals(poset, order)
     by_event = {iv.event: iv for iv in intervals}
-    payload = [(iv.event, iv.lo, iv.hi) for iv in intervals]
+
+    completed: Dict[EventId, IntervalStats] = {}
+    if checkpoint is not None:
+        from repro.resilience.checkpoint import poset_digest
+
+        completed = checkpoint.load(poset_digest(poset), subroutine, intervals)
+    payload = [
+        (iv.event, iv.lo, iv.hi)
+        for iv in intervals
+        if iv.event not in completed
+    ]
     chunks = [
         payload[i : i + chunk_size] for i in range(0, len(payload), chunk_size)
     ]
+
     result = ParaMountResult()
     result.order_work = poset.num_events * poset.num_threads
+    result.resumed_intervals = len(completed)
+    poset_data = poset_to_dict(poset)
+    stats_by_event: Dict[EventId, IntervalStats] = dict(completed)
+
+    def absorb(rows: List[Tuple[EventId, int, int, int]]) -> None:
+        for event, states, work, peak in rows:
+            interval = by_event[event]
+            stats = IntervalStats(
+                event=event,
+                lo=interval.lo,
+                hi=interval.hi,
+                states=states,
+                work=work,
+                peak_live=peak,
+            )
+            stats_by_event[event] = stats
+            if checkpoint is not None:
+                checkpoint.record(stats)
+
     with Stopwatch() as sw:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(poset_to_dict(poset), subroutine, memory_budget),
-        ) as pool:
-            for chunk_stats in pool.map(_count_chunk, chunks):
-                for event, states, work, peak in chunk_stats:
-                    interval = by_event[event]
-                    result.add_interval(
-                        IntervalStats(
-                            event=event,
-                            lo=interval.lo,
-                            hi=interval.hi,
-                            states=states,
-                            work=work,
-                            peak_live=peak,
-                        )
-                    )
+        _run_chunks(
+            chunks,
+            poset_data,
+            poset,
+            subroutine,
+            workers,
+            memory_budget,
+            retry,
+            chunk_timeout,
+            fault_spec,
+            absorb,
+            result,
+        )
+    for interval in intervals:  # aggregate in →p order
+        stats = stats_by_event.get(interval.event)
+        if stats is not None:
+            result.add_interval(stats)
     result.wall_time = sw.elapsed
     return result
+
+
+def _run_chunks(
+    chunks,
+    poset_data,
+    poset,
+    subroutine,
+    workers,
+    memory_budget,
+    retry,
+    chunk_timeout,
+    fault_spec,
+    absorb,
+    result,
+) -> None:
+    """Drive all chunks through the pool with retry/rebuild/degrade."""
+    pending = {index: 0 for index in range(len(chunks))}  # chunk -> attempts
+    pool = None
+    pool_round = 0
+
+    def make_pool():
+        nonlocal pool_round
+        p = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(poset_data, subroutine, memory_budget, fault_spec, pool_round),
+        )
+        pool_round += 1
+        return p
+
+    def abandon_pool(p) -> None:
+        # A broken or hung pool must not block the parent; workers that
+        # are mid-hang exit on their own once their sleep elapses.
+        p.shutdown(wait=False, cancel_futures=True)
+
+    try:
+        round_number = 0
+        while pending:
+            if pool is None:
+                pool = make_pool()
+            failed: Dict[int, str] = {}
+            pool_broke = False
+            submitted: Dict[int, concurrent.futures.Future] = {}
+            try:
+                for index, attempt in pending.items():
+                    submitted[index] = pool.submit(
+                        _count_chunk, index, attempt, chunks[index]
+                    )
+            except BrokenProcessPool:
+                # The pool can be discovered broken at submit time (e.g. an
+                # initializer crash surfaced between rounds).
+                for index in pending:
+                    if index not in submitted:
+                        failed[index] = "process pool broke at submission"
+                pool_broke = True
+            for index, future in submitted.items():
+                if pool_broke:
+                    # Sibling futures of a broken pool fail immediately;
+                    # collect them without waiting out the timeout again.
+                    if index not in failed:
+                        failed[index] = "process pool broke"
+                    continue
+                try:
+                    absorb(future.result(timeout=chunk_timeout))
+                    del pending[index]
+                except concurrent.futures.TimeoutError:
+                    failed[index] = (
+                        f"chunk {index} exceeded the {chunk_timeout:g}s timeout"
+                    )
+                    pool_broke = True  # abandon: a hung worker poisons slots
+                except BrokenProcessPool:
+                    failed[index] = (
+                        f"process pool broke under chunk {index} "
+                        f"(worker died or initializer failed)"
+                    )
+                    pool_broke = True
+                except Exception as exc:
+                    failed[index] = f"{type(exc).__name__}: {exc}"
+            if pool_broke:
+                abandon_pool(pool)
+                pool = None
+            if not failed:
+                continue
+            round_number += 1
+            result.retries += len(failed)
+            time.sleep(retry.delay(min(round_number, 8)))
+            for index, reason in failed.items():
+                pending[index] += 1
+                if pending[index] < retry.max_attempts:
+                    continue
+                # Retries exhausted: degrade this chunk to in-parent serial
+                # enumeration (the bottom of the executor ladder).
+                del pending[index]
+                result.degradations.append(
+                    DegradationEvent(
+                        kind="executor",
+                        from_name="processes",
+                        to_name="serial",
+                        reason=f"chunk {index}: {reason}",
+                    )
+                )
+                try:
+                    absorb(
+                        _enumerate_chunk(
+                            poset, subroutine, memory_budget, chunks[index]
+                        )
+                    )
+                except Exception as exc:
+                    result.failures.append(
+                        TaskFailure(
+                            task_index=index,
+                            attempts=retry.max_attempts,
+                            error=f"{type(exc).__name__}: {exc}",
+                            executor="processes",
+                        )
+                    )
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)

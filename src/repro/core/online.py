@@ -24,6 +24,7 @@ from typing import Callable, List, Optional
 from repro.core.bounded import bounded_enumeration, make_bounded_subroutine
 from repro.core.intervals import Interval
 from repro.core.metrics import IntervalStats, ParaMountResult
+from repro.errors import ReproError
 from repro.poset.builder import PosetBuilder
 from repro.poset.event import Event
 from repro.poset.poset import Poset
@@ -57,6 +58,14 @@ class OnlineParaMount:
         may be called from concurrently running threads.
     memory_budget:
         Per-interval cap on live intermediate states.
+    strict:
+        In strict mode (the default, today's behavior) a malformed
+        insertion — an event whose arrival order is not a linear extension
+        of happened-before, a clock of the wrong width, or any other
+        :class:`~repro.errors.ReproError` — propagates to the caller.
+        With ``strict=False`` the offending event is *quarantined* instead:
+        :meth:`insert` returns ``None``, the healthy stream continues, and
+        the structured report is available as :attr:`quarantine`.
     """
 
     def __init__(
@@ -66,6 +75,7 @@ class OnlineParaMount:
         on_state: Optional[OnlineVisitor] = None,
         synchronized: bool = False,
         memory_budget: Optional[int] = None,
+        strict: bool = True,
     ):
         self.builder = PosetBuilder(num_threads)
         self._view = self.builder.view()
@@ -77,21 +87,43 @@ class OnlineParaMount:
         self._visit_lock = threading.Lock() if synchronized else None
         self._result = ParaMountResult()
         self._intervals: List[Interval] = []
+        self.strict = strict
+        self._inserted = 0
+        from repro.resilience.quarantine import QuarantineReport
+
+        self.quarantine = QuarantineReport()
 
     @property
     def num_threads(self) -> int:
         """Width of the monitored computation."""
         return self.builder.num_threads
 
-    def insert(self, event: Event) -> IntervalStats:
+    def insert(self, event: Event) -> Optional[IntervalStats]:
         """Insert one event and enumerate its interval ``I(e)``.
 
         Returns the interval's statistics.  May be called concurrently from
         many threads when constructed with ``synchronized=True`` — the
         paper's detector calls it from the thread that just executed the
         event ("no additional threads are spawned for ParaMount", §5.2).
+
+        In non-strict mode a malformed event is quarantined and ``None``
+        is returned; the poset, intervals, and totals are untouched, so
+        the detector keeps running on the healthy prefix of every thread.
         """
-        gbnd = self.builder.append_stamped(event)  # Algorithm 4 lines 1–5
+        index = self._inserted
+        self._inserted += 1
+        try:
+            gbnd = self.builder.append_stamped(event)  # Algorithm 4 lines 1–5
+        except ReproError as exc:
+            if self.strict:
+                raise
+            self.quarantine.add(
+                index,
+                "online-event",
+                str(exc),
+                payload=(event.eid, event.vc),
+            )
+            return None
         owns_empty = sum(gbnd) == 1  # first event in →p owns the empty state
         interval = Interval(
             event=event.eid,

@@ -14,17 +14,29 @@ Given a poset, ParaMount:
 Because the intervals partition the lattice (Theorem 2), the union of the
 workers' outputs is exactly the set of consistent global states, each
 visited exactly once — regardless of executor, worker count, or subroutine.
+
+The same disjointness makes every interval task *idempotent*, which is
+what the resilience plumbing rides on: a
+:class:`~repro.resilience.ResilientExecutor` may retry or degrade tasks
+(its failure/degradation log is drained into the result), a checkpoint
+journal (:class:`~repro.resilience.CheckpointJournal`) lets a killed run
+resume enumerating only its unfinished intervals, and a BFS interval that
+exceeds its memory budget can fall back to the bounded lexical subroutine
+(``degrade_on_oom``) instead of aborting the run.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, List, Optional, Sequence, Union
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.bounded import bounded_enumeration, make_bounded_subroutine
 from repro.core.executors import Executor, SerialExecutor, ThreadExecutor
 from repro.core.intervals import Interval, compute_intervals
-from repro.core.metrics import IntervalStats, ParaMountResult
+from repro.core.metrics import DegradationEvent, IntervalStats, ParaMountResult
+from repro.errors import OutOfMemoryError
 from repro.poset.poset import Poset
 from repro.poset.topological import topological_order
 from repro.types import CutVisitor, EventId
@@ -33,6 +45,9 @@ from repro.util.timing import Stopwatch
 __all__ = ["ParaMount"]
 
 OrderSpec = Union[None, Sequence[EventId], Callable[[Poset], Sequence[EventId]]]
+
+#: Subroutines that keep O(n) live state — the degradation targets.
+_LEXICAL_SUBROUTINES = ("lexical", "lexical-fast")
 
 
 class ParaMount:
@@ -51,7 +66,11 @@ class ParaMount:
         or a callable ``poset -> order``.
     executor:
         Backend executing interval tasks (default
-        :class:`~repro.core.executors.SerialExecutor`).
+        :class:`~repro.core.executors.SerialExecutor`).  An executor
+        exposing ``drain_log()`` (e.g.
+        :class:`~repro.resilience.ResilientExecutor`) may return ``None``
+        for permanently failed tasks; the run then completes with the
+        failures recorded in the result instead of raising.
     memory_budget:
         Per-task cap on live intermediate states (models a bounded heap for
         the BFS subroutine).
@@ -62,6 +81,19 @@ class ParaMount:
         When set, every interval's bounds and every enumerated state are
         checked — in particular Theorem 2's disjointness (no state visited
         twice across intervals).
+    checkpoint:
+        Optional interval checkpoint journal — a
+        :class:`~repro.resilience.CheckpointJournal` or a path.  Completed
+        intervals are appended as they finish; on a later run with the
+        same journal, only unfinished intervals are re-enumerated (their
+        states are *not* re-visited, so a user visitor sees only the fresh
+        intervals' states on a resumed run).
+    degrade_on_oom:
+        When true, an interval whose BFS/DFS enumeration exceeds
+        ``memory_budget`` is re-enumerated with the bounded lexical
+        subroutine (O(n) live state) instead of raising
+        :class:`~repro.errors.OutOfMemoryError`; each fallback is recorded
+        as a ``"subroutine"`` degradation in the result.
     """
 
     def __init__(
@@ -72,12 +104,20 @@ class ParaMount:
         executor: Optional[Executor] = None,
         memory_budget: Optional[int] = None,
         sanitizer=None,
+        checkpoint=None,
+        degrade_on_oom: bool = False,
     ):
         self.poset = poset
         self.subroutine_name = subroutine
         self.executor = executor if executor is not None else SerialExecutor()
         self.memory_budget = memory_budget
         self.sanitizer = sanitizer
+        self.degrade_on_oom = degrade_on_oom
+        if isinstance(checkpoint, (str, Path)):
+            from repro.resilience.checkpoint import CheckpointJournal
+
+            checkpoint = CheckpointJournal(checkpoint)
+        self.checkpoint = checkpoint
         if callable(order):
             self._order: Sequence[EventId] = order(poset)
         elif order is not None:
@@ -111,6 +151,12 @@ class ParaMount:
             for interval in self.intervals:
                 sanitizer.observe_interval(interval)
 
+        completed = self._load_checkpoint()
+        pending = [iv for iv in self.intervals if iv.event not in completed]
+        journal = self.checkpoint
+        degradations: List[DegradationEvent] = []
+        log_lock = threading.Lock()
+
         def make_task(interval: Interval) -> Callable[[], IntervalStats]:
             if sanitizer is None:
                 task_visit = wrapped
@@ -123,7 +169,31 @@ class ParaMount:
                         wrapped(cut)
 
             def task() -> IntervalStats:
-                return bounded_enumeration(subroutine, interval, task_visit)
+                try:
+                    stats = bounded_enumeration(subroutine, interval, task_visit)
+                except OutOfMemoryError as exc:
+                    if (
+                        not self.degrade_on_oom
+                        or self.subroutine_name in _LEXICAL_SUBROUTINES
+                    ):
+                        raise
+                    # Bounded lexical keeps O(n) live state: always fits.
+                    fallback = make_bounded_subroutine(
+                        "lexical", self.poset, memory_budget=self.memory_budget
+                    )
+                    stats = bounded_enumeration(fallback, interval, task_visit)
+                    with log_lock:
+                        degradations.append(
+                            DegradationEvent(
+                                kind="subroutine",
+                                from_name=self.subroutine_name,
+                                to_name="lexical",
+                                reason=f"interval {interval.event}: {exc}",
+                            )
+                        )
+                if journal is not None:
+                    journal.record(stats)
+                return stats
 
             return task
 
@@ -131,14 +201,52 @@ class ParaMount:
         # O(n·|E|) to build →p and all interval bounds (§3.4).
         result.order_work = self.poset.num_events * self.poset.num_threads
         with Stopwatch() as sw:
-            stats = self.executor.map_tasks([make_task(iv) for iv in self.intervals])
-        for s in stats:
-            result.add_interval(s)
+            raw = self.executor.map_tasks([make_task(iv) for iv in pending])
+        by_event: Dict[EventId, IntervalStats] = dict(completed)
+        for interval, stats in zip(pending, raw):
+            if stats is not None:
+                by_event[interval.event] = stats
+        for interval in self.intervals:  # aggregate in →p order
+            stats = by_event.get(interval.event)
+            if stats is not None:
+                result.add_interval(stats)
         result.wall_time = sw.elapsed
+        result.resumed_intervals = len(completed)
+        result.degradations.extend(degradations)
+        self._drain_executor_log(result, pending)
         return result
 
+    # ------------------------------------------------------------------ #
+
+    def _load_checkpoint(self) -> Dict[EventId, IntervalStats]:
+        if self.checkpoint is None:
+            return {}
+        from repro.resilience.checkpoint import poset_digest
+
+        return self.checkpoint.load(
+            poset_digest(self.poset), self.subroutine_name, self.intervals
+        )
+
+    def _drain_executor_log(
+        self, result: ParaMountResult, pending: Sequence[Interval]
+    ) -> None:
+        """Fold a resilient executor's provenance into the result."""
+        drain = getattr(self.executor, "drain_log", None)
+        if not callable(drain):
+            return
+        failures, degradations, retries = drain()
+        result.retries += retries
+        result.degradations.extend(degradations)
+        for failure in failures:
+            event = None
+            if 0 <= failure.task_index < len(pending):
+                event = pending[failure.task_index].event
+            result.failures.append(replace(failure, event=event))
+
     def _wrap_visitor(self, visit: Optional[CutVisitor]) -> Optional[CutVisitor]:
-        if visit is None or not isinstance(self.executor, ThreadExecutor):
+        if visit is None or isinstance(self.executor, SerialExecutor):
+            return visit
+        if not self._executor_is_concurrent():
             return visit
         lock = threading.Lock()
 
@@ -147,3 +255,15 @@ class ParaMount:
                 visit(cut)
 
         return locked_visit
+
+    def _executor_is_concurrent(self) -> bool:
+        """True when tasks may run on multiple in-process threads."""
+        if isinstance(self.executor, ThreadExecutor):
+            return True
+        ladder = getattr(self.executor, "ladder", None)
+        if ladder is not None:
+            return any(isinstance(e, ThreadExecutor) for e in ladder)
+        inner = getattr(self.executor, "inner", None)
+        if inner is not None:
+            return isinstance(inner, ThreadExecutor)
+        return False

@@ -21,6 +21,12 @@ __all__ = [
     "WorkloadError",
     "StaticCheckError",
     "SanitizerError",
+    "ExecutorError",
+    "ExecutorTimeoutError",
+    "BrokenPoolError",
+    "TaskNotPicklableError",
+    "InjectedFaultError",
+    "CheckpointError",
 ]
 
 
@@ -104,6 +110,13 @@ class OutOfMemoryError(ReproError):
         #: The configured budget that was exceeded.
         self.budget = budget
 
+    def __reduce__(self):
+        # Raised inside process-pool workers (a BFS interval over budget)
+        # and pickled back to the parent; the default exception reduction
+        # replays __init__ with the formatted message only, which would
+        # kill the pool instead of reporting the OOM.
+        return (OutOfMemoryError, (self.used, self.budget))
+
 
 class DetectorError(ReproError):
     """Raised by predicate detectors for unrecoverable internal failures.
@@ -130,3 +143,95 @@ class SanitizerError(ReproError):
     invariant is violated: per-thread sequence monotonicity, lock
     discipline, vector-clock monotonicity, ``Gmin(e) ≤ Gbnd(e)``, or the
     interval-partition disjointness of Theorem 2."""
+
+
+class ExecutorError(ReproError):
+    """Raised by execution backends for infrastructure failures — as
+    opposed to exceptions raised *by* a task, which propagate unchanged.
+
+    Theorem 2 makes every interval task idempotent, so all of these are
+    safely retryable by re-running the affected tasks (see
+    :mod:`repro.resilience`); ``BrokenPoolError`` additionally requires a
+    fresh pool, and ``TaskNotPicklableError`` requires a different backend.
+    """
+
+
+class ExecutorTimeoutError(ExecutorError):
+    """Raised when gathering a task's result exceeded the configured
+    per-task timeout (a hung or pathologically slow worker).
+
+    ``task_index`` is the position, in the submitted batch, of the task
+    whose result did not arrive in time; the remaining futures have been
+    cancelled (already-running tasks cannot be interrupted, but their
+    results are discarded — harmless, since interval tasks are idempotent).
+    """
+
+    def __init__(self, task_index: int, timeout: float, executor: str = ""):
+        where = f" on {executor!r}" if executor else ""
+        super().__init__(
+            f"task {task_index} exceeded the {timeout:g}s gather timeout"
+            f"{where}; remaining tasks were cancelled"
+        )
+        #: Index of the offending task within the submitted batch.
+        self.task_index = task_index
+        #: The timeout that was exceeded, in seconds.
+        self.timeout = timeout
+
+
+class BrokenPoolError(ExecutorError):
+    """Raised when a process pool died underneath its tasks — a worker was
+    OOM-killed, crashed the interpreter, or failed in its initializer.
+
+    The pending results are lost but every interval task is idempotent, so
+    the correct response is to resubmit the unfinished tasks on a fresh
+    pool, or to degrade to a thread/serial backend
+    (:class:`repro.resilience.ResilientExecutor` does both).
+    """
+
+
+class TaskNotPicklableError(ExecutorError):
+    """Raised when a task cannot cross the process boundary.
+
+    Retrying cannot help; switching backends can — the same task runs fine
+    on :class:`~repro.core.executors.ThreadExecutor` or
+    :class:`~repro.core.executors.SerialExecutor`.
+    """
+
+    def __init__(self, task_index: int, cause: Exception):
+        super().__init__(
+            f"task {task_index} is not picklable ({cause}); ProcessExecutor "
+            f"needs top-level callables — wrap per-task state with "
+            f"functools.partial over a module-level function, or run on "
+            f"ThreadExecutor/SerialExecutor instead"
+        )
+        #: Index of the unpicklable task within the submitted batch.
+        self.task_index = task_index
+
+
+class InjectedFaultError(ExecutorError):
+    """Raised by the fault-injection harness (:mod:`repro.resilience.faults`)
+    for a deterministically injected crash or poisoned task."""
+
+    def __init__(self, kind: str, key: object, attempt: int):
+        super().__init__(
+            f"injected {kind} fault on task {key!r} (attempt {attempt})"
+        )
+        #: ``"crash"`` or ``"poison"``.
+        self.kind = kind
+        #: Stable identity of the faulted task.
+        self.key = key
+        #: Zero-based attempt number the fault was injected on.
+        self.attempt = attempt
+
+    def __reduce__(self):
+        # Pickled across the process-pool result queue; the default
+        # exception reduction would replay __init__ with the formatted
+        # message only and crash the pool's management thread.
+        return (InjectedFaultError, (self.kind, self.key, self.attempt))
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint journal cannot be resumed from: its poset
+    digest or subroutine does not match the current run, or a completed
+    record's interval bounds diverge from the recomputed partition (which
+    would mean the journal belongs to a different total order)."""

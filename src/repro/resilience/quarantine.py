@@ -1,0 +1,77 @@
+"""Structured quarantine of malformed stream records.
+
+Real-world traces are dirty: truncated files, out-of-order sequence
+numbers, events violating the happened-before insertion invariant,
+records from a newer writer.  In strict mode the readers raise
+mid-stream, exactly as before; in lenient mode each offending record is
+*quarantined* — skipped and logged here with its position, category, and
+reason — so one bad op does not abort an hours-long ingestion.  The
+report is the hand-off artifact: a monitoring pipeline can alert on it,
+and tests assert on its contents.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["QuarantinedRecord", "QuarantineReport"]
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One rejected record of an input stream."""
+
+    #: Position in the stream (op index, or event ordinal for online feeds).
+    index: int
+    #: Short category: ``"malformed-op"``, ``"non-hb-insertion"``, ...
+    kind: str
+    #: Human-readable reason the record was rejected.
+    reason: str
+    #: Compact repr of the offending payload, for the report.
+    payload: str = ""
+
+
+@dataclass
+class QuarantineReport:
+    """Accumulates every quarantined record of one ingestion."""
+
+    records: List[QuarantinedRecord] = field(default_factory=list)
+
+    def add(
+        self, index: int, kind: str, reason: str, payload: object = None
+    ) -> QuarantinedRecord:
+        """Quarantine one record; returns the stored entry."""
+        rec = QuarantinedRecord(
+            index=index,
+            kind=kind,
+            reason=reason,
+            payload="" if payload is None else repr(payload)[:200],
+        )
+        self.records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def by_kind(self) -> Dict[str, int]:
+        """Count of quarantined records per category."""
+        return dict(Counter(rec.kind for rec in self.records))
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        if not self.records:
+            return "quarantine: empty (stream was clean)"
+        kinds = ", ".join(
+            f"{kind}×{count}" for kind, count in sorted(self.by_kind().items())
+        )
+        lines = [f"quarantine: {len(self.records)} record(s) rejected ({kinds})"]
+        for rec in self.records[:20]:
+            lines.append(f"  [{rec.index}] {rec.kind}: {rec.reason}")
+        if len(self.records) > 20:
+            lines.append(f"  ... and {len(self.records) - 20} more")
+        return "\n".join(lines)

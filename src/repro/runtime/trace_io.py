@@ -6,20 +6,32 @@ command line (:mod:`repro.tools`).  The format is one JSON object with the
 operation list; values are intentionally restricted to what detectors need
 (operation kind, thread, object, target, init flag), not the program's
 data values.
+
+Ingestion runs in one of two modes.  **Strict** (the default, today's
+behavior) raises :class:`~repro.errors.ReproError` on the first malformed
+operation.  **Lenient** (``strict=False``) quarantines malformed records —
+missing fields, wrong types, out-of-range thread ids, unknown operation
+kinds, non-monotonic sequence numbers — into a
+:class:`~repro.resilience.QuarantineReport` and keeps the healthy rest of
+the stream, so one corrupt line in a multi-megabyte capture does not cost
+the whole trace.  An unknown *format version* is never leniently skipped:
+the reader cannot know what the fields mean, so both modes reject it with
+a clear error naming the supported version.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.errors import ReproError
-from repro.runtime.trace import Trace, TraceOp
+from repro.runtime.trace import ACCESS_KINDS, SYNC_KINDS, Trace, TraceOp
 
 __all__ = ["trace_to_dict", "trace_from_dict", "save_trace", "load_trace"]
 
 _FORMAT_VERSION = 1
+_KNOWN_KINDS = SYNC_KINDS | ACCESS_KINDS
 
 
 def trace_to_dict(trace: Trace) -> Dict[str, Any]:
@@ -43,15 +55,64 @@ def trace_to_dict(trace: Trace) -> Dict[str, Any]:
     }
 
 
-def trace_from_dict(data: Dict[str, Any]) -> Trace:
-    """Deserialize a trace from :func:`trace_to_dict`'s format."""
-    if data.get("version") != _FORMAT_VERSION:
-        raise ReproError(f"unsupported trace format version {data.get('version')!r}")
-    return Trace(
-        program_name=data["program_name"],
-        num_threads=data["num_threads"],
-        base_seconds=data.get("base_seconds", 0.0),
-        ops=[
+def _check_op(rec: Any, num_threads: int, prev_seq: int) -> Optional[str]:
+    """Reason the record is malformed, or ``None`` when it is healthy."""
+    if not isinstance(rec, dict):
+        return f"operation record is {type(rec).__name__}, expected an object"
+    for req in ("seq", "tid", "kind"):
+        if req not in rec:
+            return f"missing required field {req!r}"
+    if not isinstance(rec["seq"], int) or isinstance(rec["seq"], bool):
+        return f"seq must be an integer, got {rec['seq']!r}"
+    if not isinstance(rec["tid"], int) or isinstance(rec["tid"], bool):
+        return f"tid must be an integer, got {rec['tid']!r}"
+    if not 0 <= rec["tid"] < num_threads:
+        return (
+            f"tid {rec['tid']} out of range for a "
+            f"{num_threads}-thread trace"
+        )
+    if rec["kind"] not in _KNOWN_KINDS:
+        return f"unknown operation kind {rec['kind']!r}"
+    if rec["seq"] <= prev_seq:
+        return (
+            f"sequence number {rec['seq']} is not greater than the "
+            f"previous op's {prev_seq} — the observed total order is broken"
+        )
+    return None
+
+
+def trace_from_dict(
+    data: Dict[str, Any],
+    *,
+    strict: bool = True,
+    quarantine=None,
+) -> Trace:
+    """Deserialize a trace from :func:`trace_to_dict`'s format.
+
+    With ``strict=False``, malformed operations are skipped and reported
+    to ``quarantine`` (a :class:`~repro.resilience.QuarantineReport`)
+    instead of aborting the parse.  A version mismatch always raises.
+    """
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported trace format version {version!r}: this reader "
+            f"understands version {_FORMAT_VERSION} only — re-capture the "
+            f"trace or convert it before replaying"
+        )
+    num_threads = data["num_threads"]
+    ops = []
+    prev_seq = -1
+    for index, rec in enumerate(data["ops"]):
+        reason = _check_op(rec, num_threads, prev_seq)
+        if reason is not None:
+            if strict:
+                raise ReproError(f"malformed trace op #{index}: {reason}")
+            if quarantine is not None:
+                quarantine.add(index, "trace-op", reason, payload=rec)
+            continue
+        prev_seq = rec["seq"]
+        ops.append(
             TraceOp(
                 seq=rec["seq"],
                 tid=rec["tid"],
@@ -60,8 +121,12 @@ def trace_from_dict(data: Dict[str, Any]) -> Trace:
                 target=rec.get("target"),
                 is_init=rec.get("is_init", False),
             )
-            for rec in data["ops"]
-        ],
+        )
+    return Trace(
+        program_name=data["program_name"],
+        num_threads=num_threads,
+        base_seconds=data.get("base_seconds", 0.0),
+        ops=ops,
     )
 
 
@@ -70,6 +135,10 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
     Path(path).write_text(json.dumps(trace_to_dict(trace)))
 
 
-def load_trace(path: Union[str, Path]) -> Trace:
+def load_trace(
+    path: Union[str, Path], *, strict: bool = True, quarantine=None
+) -> Trace:
     """Load a trace previously written by :func:`save_trace`."""
-    return trace_from_dict(json.loads(Path(path).read_text()))
+    return trace_from_dict(
+        json.loads(Path(path).read_text()), strict=strict, quarantine=quarantine
+    )

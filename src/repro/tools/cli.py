@@ -150,20 +150,69 @@ def _cmd_capture_poset(args: argparse.Namespace) -> int:
 
 
 def _cmd_enumerate(args: argparse.Namespace) -> int:
+    from repro.core.executors import RetryPolicy
     from repro.core.paramount import ParaMount
     from repro.core.simulated import CostModel, simulate_schedule
     from repro.poset.io import load_poset
 
     poset = load_poset(args.poset)
     print(f"poset: n={poset.num_threads}, {poset.num_events} events")
+    resilient = bool(args.resume or args.faults or args.workers)
+    if resilient and not args.paramount:
+        print("error: --resume/--faults/--workers require --paramount", file=sys.stderr)
+        return 2
     if args.paramount:
-        pm = ParaMount(poset, subroutine=args.algorithm)
+        executor = None
+        if resilient:
+            from repro.resilience import (
+                FaultInjectingExecutor,
+                FaultSpec,
+                ResilientExecutor,
+                default_ladder,
+            )
+
+            ladder = default_ladder(
+                args.workers or 1, task_timeout=args.task_timeout
+            )
+            if args.faults:
+                spec = FaultSpec.parse(args.faults)
+                print(f"injecting faults: {args.faults}")
+                ladder = [FaultInjectingExecutor(ladder[0], spec)] + ladder[1:]
+            executor = ResilientExecutor(
+                ladder=ladder, retry=RetryPolicy(max_attempts=args.retries)
+            )
+        pm = ParaMount(
+            poset,
+            subroutine=args.algorithm,
+            executor=executor,
+            checkpoint=args.resume,
+        )
         result = pm.run()
         print(
             f"ParaMount({args.algorithm}): {result.states} states over "
             f"{len(result.intervals)} intervals "
             f"(wall {format_duration(result.wall_time)})"
         )
+        if args.resume:
+            print(
+                f"  checkpoint: {result.resumed_intervals} interval(s) "
+                f"restored from {args.resume}, "
+                f"{len(result.intervals) - result.resumed_intervals} enumerated"
+            )
+        if result.retries:
+            print(f"  retries: {result.retries} task resubmission(s)")
+        for d in result.degradations:
+            print(f"  degraded [{d.kind}]: {d.from_name} -> {d.to_name} ({d.reason})")
+        for f in result.failures:
+            print(
+                f"  FAILED interval {f.event} after {f.attempts} attempt(s) "
+                f"on {f.executor}: {f.error}"
+            )
+        if not result.complete:
+            print(
+                f"  result is a LOWER BOUND: {len(result.failures)} "
+                f"interval(s) lost (Theorem 2: nothing else is affected)"
+            )
         model = CostModel()
         tasks = [model.task_seconds(s.work, s.peak_live) for s in result.intervals]
         for k in (1, 2, 4, 8):
@@ -319,6 +368,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--paramount",
         action="store_true",
         help="partition with ParaMount and model 1/2/4/8 workers",
+    )
+    p.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        help="checkpoint journal path: record finished intervals, and "
+        "resume a previously killed run from it (requires --paramount)",
+    )
+    p.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="inject deterministic faults, e.g. "
+        "'seed=1,crash=0.1,slow=0.2,poison=3;7' (requires --paramount)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run interval tasks on a resilient thread ladder with this "
+        "many workers (requires --paramount)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="retry budget per interval task (default 3)",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-task gather timeout in seconds for the resilient ladder",
     )
     p.set_defaults(func=_cmd_enumerate)
 

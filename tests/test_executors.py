@@ -1,10 +1,17 @@
 """Tests for the execution backends."""
 
 import threading
+import time
 
 import pytest
 
-from repro.core.executors import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.core.executors import (
+    ProcessExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from repro.errors import ExecutorTimeoutError, TaskNotPicklableError
 
 
 def _make_tasks(n):
@@ -70,3 +77,73 @@ def test_process_executor_runs_picklable_tasks():
 
 def _square(x):
     return x * x
+
+
+def test_thread_executor_timeout_is_typed_and_names_the_task():
+    """A hung task trips the gather timeout: the remaining futures are
+    cancelled and the error carries the offending task's index."""
+    started = threading.Event()
+    ran_after = []
+
+    def fast():
+        return "fast"
+
+    def hung():
+        started.set()
+        time.sleep(2.0)
+        return "late"
+
+    def never():
+        ran_after.append(True)
+        return "never"
+
+    ex = ThreadExecutor(1, task_timeout=0.1)
+    with pytest.raises(ExecutorTimeoutError) as info:
+        ex.map_tasks([fast, hung, never])
+    assert info.value.task_index == 1
+    assert info.value.timeout == pytest.approx(0.1)
+    assert "task 1" in str(info.value)
+    assert started.is_set()
+    assert not ran_after  # the queued task behind the hang was cancelled
+
+
+def test_thread_executor_without_timeout_waits():
+    ex = ThreadExecutor(2)
+    assert ex.task_timeout is None
+    assert ex.map_tasks([lambda: 1, lambda: 2]) == [1, 2]
+
+
+def test_process_executor_rejects_unpicklable_tasks_with_guidance():
+    with pytest.raises(TaskNotPicklableError) as info:
+        ProcessExecutor(2).map_tasks([lambda: 1])
+    message = str(info.value)
+    assert "functools.partial" in message
+    assert "ThreadExecutor" in message
+    assert info.value.task_index == 0
+
+
+def test_retry_policy_delay_schedule():
+    policy = RetryPolicy(
+        max_attempts=5, base_delay=0.1, backoff=2.0, max_delay=0.5, jitter=0.0
+    )
+    assert policy.delay(1) == pytest.approx(0.1)
+    assert policy.delay(2) == pytest.approx(0.2)
+    assert policy.delay(3) == pytest.approx(0.4)
+    assert policy.delay(4) == pytest.approx(0.5)  # capped
+    assert policy.delay(9) == pytest.approx(0.5)
+
+
+def test_retry_policy_jitter_is_deterministic_and_bounded():
+    policy = RetryPolicy(base_delay=0.1, jitter=0.25, seed=7)
+    d = policy.delay(2)
+    assert d == RetryPolicy(base_delay=0.1, jitter=0.25, seed=7).delay(2)
+    assert 0.2 <= d <= 0.25  # base·backoff ≤ d ≤ (1+jitter)·that
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1.0)

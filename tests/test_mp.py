@@ -1,13 +1,24 @@
 """Tests for the multiprocessing counting backend."""
 
+import os
+
 import pytest
 
+from repro.core.executors import RetryPolicy
 from repro.core.mp import paramount_count_multiprocessing
 from repro.core.paramount import ParaMount
 from repro.poset.ideals import count_ideals
 from repro.poset.random_posets import RandomComputationSpec, random_computation
+from repro.resilience import FaultSpec
 
 from tests.conftest import build_chain_poset, build_figure4_poset
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
+
+#: Fast retry schedule for the fault-recovery tests.
+FAST_RETRY = RetryPolicy(
+    max_attempts=4, base_delay=0.001, max_delay=0.01, jitter=0.0
+)
 
 
 def test_counts_match_sequential_figure4():
@@ -53,3 +64,82 @@ def test_wall_time_recorded():
     poset = build_figure4_poset()
     result = paramount_count_multiprocessing(poset, workers=2)
     assert result.wall_time > 0.0
+
+
+# --------------------------------------------------------------------- #
+# fault recovery
+
+
+@pytest.fixture(scope="module")
+def d300_and_baseline():
+    from repro.workloads.registry import ENUMERATION_WORKLOADS
+
+    poset = ENUMERATION_WORKLOADS["d-300"].build_poset()
+    return poset, ParaMount(poset).run()
+
+
+def test_worker_crashes_are_retried_on_a_rebuilt_pool(d300_and_baseline):
+    """Injected crashes are literal ``os._exit`` calls: the real pool
+    breaks, is rebuilt, and the lost chunks re-run to the exact total."""
+    poset, base = d300_and_baseline
+    spec = FaultSpec(seed=FAULT_SEED, crash=0.4, max_faulty_attempts=2)
+    result = paramount_count_multiprocessing(
+        poset, workers=2, chunk_size=16, retry=FAST_RETRY, fault_spec=spec
+    )
+    assert result.states == base.states
+    assert result.interval_sizes() == base.interval_sizes()
+    assert not result.failures
+
+
+def test_worker_initializer_failure_recovers_on_next_pool_round(
+    d300_and_baseline,
+):
+    """The first pool generation's initializer raises (satellite: worker
+    initializer failure); the rebuilt pool initializes cleanly and the run
+    completes exactly."""
+    poset, base = d300_and_baseline
+    spec = FaultSpec(seed=FAULT_SEED, init_crash_rounds=1)
+    result = paramount_count_multiprocessing(
+        poset, workers=2, chunk_size=32, retry=FAST_RETRY, fault_spec=spec
+    )
+    assert result.states == base.states
+    assert result.retries > 0
+    assert not result.failures
+
+
+def test_poisoned_chunk_degrades_to_in_parent_serial(d300_and_baseline):
+    """A chunk that fails on every attempt exhausts its retries and is
+    enumerated serially in the parent — recorded as a degradation, with
+    the total still exact."""
+    poset, base = d300_and_baseline
+    spec = FaultSpec(seed=FAULT_SEED, poison=frozenset({("mp", 1)}))
+    result = paramount_count_multiprocessing(
+        poset,
+        workers=2,
+        chunk_size=16,
+        retry=RetryPolicy(max_attempts=2, base_delay=0.001, max_delay=0.01, jitter=0.0),
+        fault_spec=spec,
+    )
+    assert result.states == base.states
+    assert not result.failures
+    assert [(d.from_name, d.to_name) for d in result.degradations] == [
+        ("processes", "serial")
+    ]
+    assert "chunk 1" in result.degradations[0].reason
+
+
+def test_hung_chunk_trips_timeout_and_recovers(d300_and_baseline):
+    poset, base = d300_and_baseline
+    spec = FaultSpec(
+        seed=FAULT_SEED, hang=0.3, hang_seconds=2.0, max_faulty_attempts=1
+    )
+    result = paramount_count_multiprocessing(
+        poset,
+        workers=2,
+        chunk_size=32,
+        retry=FAST_RETRY,
+        chunk_timeout=0.5,
+        fault_spec=spec,
+    )
+    assert result.states == base.states
+    assert not result.failures

@@ -1,0 +1,196 @@
+"""Fault-injection suite: exact totals under deterministic infrastructure
+faults.
+
+The harness perturbs infrastructure only (crashes, hangs, slowdowns,
+poisoned tasks), never answers; Theorem 2 makes every interval idempotent,
+so any recovery strategy that eventually re-runs the perturbed intervals
+must converge to the exact fault-free totals.  That convergence — per
+seed, on every Table-1 workload poset — is what this file asserts.
+
+``FAULT_SEED`` (environment) selects the seed; CI runs the suite under
+seeds 0, 1 and 2.
+"""
+
+import os
+
+import pytest
+
+from repro.core.executors import RetryPolicy, SerialExecutor, ThreadExecutor
+from repro.core.paramount import ParaMount
+from repro.errors import InjectedFaultError, ReproError
+from repro.resilience import (
+    FAULT_CRASH,
+    FAULT_NONE,
+    FAULT_POISON,
+    FaultInjectingExecutor,
+    FaultSpec,
+    ResilientExecutor,
+    apply_fault,
+)
+from repro.workloads.registry import ENUMERATION_WORKLOADS
+
+from tests.conftest import build_figure4_poset
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
+
+#: A retry schedule with no real sleeping, for fast tests.
+FAST_RETRY = RetryPolicy(max_attempts=4, base_delay=0.0, max_delay=0.0, jitter=0.0)
+
+
+# --------------------------------------------------------------------- #
+# the fault plan itself
+
+
+def test_decide_is_deterministic():
+    spec = FaultSpec(seed=FAULT_SEED, crash=0.3, hang=0.2, slow=0.2)
+    draws = [(key, a, spec.decide(key, a)) for key in range(50) for a in range(3)]
+    again = FaultSpec(seed=FAULT_SEED, crash=0.3, hang=0.2, slow=0.2)
+    assert draws == [(k, a, again.decide(k, a)) for k, a, _ in draws]
+
+
+def test_decide_rates_are_roughly_honored():
+    spec = FaultSpec(seed=FAULT_SEED, crash=0.5)
+    kinds = [spec.decide(key, 0) for key in range(400)]
+    crashes = kinds.count(FAULT_CRASH)
+    assert 120 < crashes < 280  # ~200 expected; very loose bounds
+
+
+def test_poison_beats_probabilities_and_ignores_attempts():
+    spec = FaultSpec(seed=FAULT_SEED, poison=frozenset({7}), max_faulty_attempts=1)
+    assert all(spec.decide(7, attempt) == FAULT_POISON for attempt in range(5))
+    assert spec.decide(8, 3) == FAULT_NONE  # past max_faulty_attempts
+
+
+def test_max_faulty_attempts_guarantees_convergence():
+    spec = FaultSpec(seed=FAULT_SEED, crash=1.0, max_faulty_attempts=2)
+    assert spec.decide(0, 0) == FAULT_CRASH
+    assert spec.decide(0, 1) == FAULT_CRASH
+    assert spec.decide(0, 2) == FAULT_NONE
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        FaultSpec(crash=1.5)
+    with pytest.raises(ValueError):
+        FaultSpec(crash=0.6, hang=0.6)
+
+
+def test_apply_fault_raises_for_crash_and_poison():
+    spec = FaultSpec()
+    with pytest.raises(InjectedFaultError) as info:
+        apply_fault(FAULT_CRASH, spec, 3, 1)
+    assert info.value.kind == FAULT_CRASH
+    assert info.value.key == 3
+    assert info.value.attempt == 1
+    apply_fault(FAULT_NONE, spec, 3, 1)  # no-op
+
+
+def test_parse_round_trip():
+    spec = FaultSpec.parse("seed=5, crash=0.1, slow=0.2, poison=3;7, hang_seconds=0.5")
+    assert spec == FaultSpec(
+        seed=5, crash=0.1, slow=0.2, poison=frozenset({3, 7}), hang_seconds=0.5
+    )
+    with pytest.raises(ReproError):
+        FaultSpec.parse("crash")
+    with pytest.raises(ReproError):
+        FaultSpec.parse("teleport=1")
+
+
+def test_injecting_executor_logs_and_retries_get_fresh_draws():
+    spec = FaultSpec(seed=FAULT_SEED, crash=1.0, max_faulty_attempts=1)
+    ex = FaultInjectingExecutor(SerialExecutor(), spec)
+    with pytest.raises(InjectedFaultError):
+        ex.map_tasks([lambda: 1, lambda: 2])
+    # second submission of the same keys is attempt 1 → fault-free
+    assert ex.map_tasks([lambda: 1, lambda: 2]) == [1, 2]
+    # both attempt-0 faults were planned and logged (the serial inner
+    # stopped at the first crash, but injection is decided at wrap time)
+    assert [(k, a) for k, a, _ in ex.injected] == [(0, 0), (1, 0)]
+
+
+# --------------------------------------------------------------------- #
+# end-to-end: exact totals under faults
+
+
+def test_resilient_totals_exact_under_task_faults():
+    poset = build_figure4_poset()
+    base = ParaMount(poset).run()
+    spec = FaultSpec(seed=FAULT_SEED, crash=0.5, max_faulty_attempts=2)
+    ex = ResilientExecutor(
+        ladder=[SerialExecutor()], retry=FAST_RETRY, fault_spec=spec
+    )
+    result = ParaMount(poset, executor=ex).run()
+    assert result.states == base.states == 8
+    assert result.complete
+    assert result.interval_sizes() == base.interval_sizes()
+
+
+def test_resilient_accounting_identity_with_permanent_failures():
+    """Even when tasks fail permanently, the lost states are exactly the
+    failed intervals' states — nothing else is perturbed (Theorem 2)."""
+    poset = ENUMERATION_WORKLOADS["d-300"].build_poset()
+    base = ParaMount(poset).run()
+    per_event = {s.event: s.states for s in base.intervals}
+    spec = FaultSpec(seed=FAULT_SEED, poison=frozenset({0, 5}))
+    ex = ResilientExecutor(
+        ladder=[SerialExecutor()],
+        retry=RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0, jitter=0.0),
+        fault_spec=spec,
+    )
+    result = ParaMount(poset, executor=ex).run()
+    assert len(result.failures) == 2
+    assert {f.attempts for f in result.failures} == {2}
+    assert all(f.event is not None for f in result.failures)
+    lost = sum(per_event[f.event] for f in result.failures)
+    assert result.states + lost == base.states
+    assert not result.complete
+
+
+def test_hang_is_recovered_by_gather_timeout():
+    """A hung task trips the thread rung's gather timeout; the batch is
+    resubmitted and the retried task draws a fresh (fault-free) plan."""
+    poset = build_figure4_poset()
+    spec = FaultSpec(
+        seed=FAULT_SEED, hang=0.6, hang_seconds=1.0, max_faulty_attempts=1
+    )
+    ex = ResilientExecutor(
+        ladder=[ThreadExecutor(2, task_timeout=0.2), SerialExecutor()],
+        retry=RetryPolicy(max_attempts=4, base_delay=0.0, max_delay=0.0, jitter=0.0),
+        fault_spec=spec,
+    )
+    result = ParaMount(poset, executor=ex).run()
+    assert result.states == 8
+    assert result.complete
+
+
+@pytest.mark.parametrize("name", sorted(ENUMERATION_WORKLOADS))
+def test_table1_workloads_exact_under_faults(name):
+    """The acceptance sweep: every Table-1 poset, faults on, totals exact
+    (or any shortfall recorded as failures — with a bounded fault plan and
+    a sufficient retry budget there must be none)."""
+    poset = ENUMERATION_WORKLOADS[name].build_poset()
+    base = ParaMount(poset).run()
+    spec = FaultSpec(seed=FAULT_SEED, crash=0.15, slow=0.05,
+                     slow_seconds=0.0, max_faulty_attempts=2)
+    ex = ResilientExecutor(
+        ladder=[SerialExecutor()], retry=FAST_RETRY, fault_spec=spec
+    )
+    result = ParaMount(poset, executor=ex).run()
+    assert result.complete and not result.degraded
+    assert result.states == base.states
+    assert result.interval_sizes() == base.interval_sizes()
+
+
+def test_batch_level_faults_through_injecting_rung():
+    """Crashes injected *around* the inner executor abort whole gathers,
+    exercising batch-level retry rather than per-task retry."""
+    poset = ENUMERATION_WORKLOADS["d-300"].build_poset()
+    base = ParaMount(poset).run()
+    inner = FaultInjectingExecutor(
+        SerialExecutor(),
+        FaultSpec(seed=FAULT_SEED, crash=0.1, max_faulty_attempts=2),
+    )
+    ex = ResilientExecutor(ladder=[inner, SerialExecutor()], retry=FAST_RETRY)
+    result = ParaMount(poset, executor=ex).run()
+    assert result.states == base.states
+    assert result.complete

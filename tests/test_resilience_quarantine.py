@@ -1,0 +1,156 @@
+"""Quarantine of malformed stream records: the trace reader and the online
+worker keep the healthy part of a stream and report the rest, structurally.
+Strict mode (the default) preserves the old raise-on-first-error behavior.
+"""
+
+import pytest
+
+from repro.core.online import OnlineParaMount
+from repro.errors import EventOrderError, ReproError
+from repro.poset.event import Event
+from repro.resilience import QuarantineReport
+from repro.runtime.trace import Trace, TraceOp
+from repro.runtime.trace_io import (
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+def make_trace():
+    return Trace(
+        program_name="p",
+        num_threads=2,
+        ops=[
+            TraceOp(seq=0, tid=0, kind="write", obj="x"),
+            TraceOp(seq=1, tid=1, kind="acquire", obj="l"),
+            TraceOp(seq=2, tid=1, kind="read", obj="x"),
+        ],
+    )
+
+
+# --------------------------------------------------------------------- #
+# the report itself
+
+
+def test_report_accumulates_and_summarizes():
+    report = QuarantineReport()
+    assert not report and len(report) == 0
+    report.add(3, "trace-op", "missing field", payload={"tid": 1})
+    report.add(9, "online-event", "out of order")
+    assert bool(report) and len(report) == 2
+    assert report.by_kind() == {"trace-op": 1, "online-event": 1}
+    text = report.summary()
+    assert "2 record(s)" in text
+    assert "missing field" in text
+
+
+def test_report_truncates_huge_payloads():
+    report = QuarantineReport()
+    report.add(0, "trace-op", "bad", payload="x" * 10_000)
+    assert len(report.records[0].payload) <= 220
+
+
+# --------------------------------------------------------------------- #
+# trace ingestion
+
+
+def test_unknown_version_rejected_in_both_modes_round_trip(tmp_path):
+    """Satellite (a): an unknown trace version is a typed, explanatory
+    error — never a silent skip — and the error path round-trips through
+    the on-disk format."""
+    path = tmp_path / "t.json"
+    save_trace(make_trace(), path)
+    import json
+
+    data = json.loads(path.read_text())
+    data["version"] = 99
+    path.write_text(json.dumps(data))
+    with pytest.raises(ReproError, match="version 99") as info:
+        load_trace(path)
+    assert "version 1" in str(info.value)  # names what it supports
+    # lenient mode must not swallow it either: field meanings are unknown
+    with pytest.raises(ReproError, match="version 99"):
+        load_trace(path, strict=False, quarantine=QuarantineReport())
+
+
+def test_round_trip_healthy_trace(tmp_path):
+    path = tmp_path / "t.json"
+    save_trace(make_trace(), path)
+    trace = load_trace(path)
+    assert [op.kind for op in trace.ops] == ["write", "acquire", "read"]
+
+
+@pytest.mark.parametrize(
+    "bad_op, reason_match",
+    [
+        ({"seq": 5, "tid": 9, "kind": "read"}, "out of range"),
+        ({"tid": 1, "kind": "read"}, "missing required field 'seq'"),
+        ({"seq": 5, "tid": 1, "kind": "teleport"}, "unknown operation kind"),
+        ({"seq": 0, "tid": 1, "kind": "read"}, "not greater than"),
+        ({"seq": "five", "tid": 1, "kind": "read"}, "must be an integer"),
+        ("not-an-object", "expected an object"),
+    ],
+)
+def test_malformed_op_strict_raises_lenient_quarantines(bad_op, reason_match):
+    data = trace_to_dict(make_trace())
+    data["ops"] = data["ops"][:2] + [bad_op] + data["ops"][2:]
+    with pytest.raises(ReproError, match=reason_match):
+        trace_from_dict(data)
+    report = QuarantineReport()
+    trace = trace_from_dict(data, strict=False, quarantine=report)
+    assert len(trace.ops) == 3  # the healthy ops all survive
+    assert len(report) == 1
+    assert report.records[0].index == 2
+    assert report.records[0].kind == "trace-op"
+
+
+def test_lenient_without_report_just_skips():
+    data = trace_to_dict(make_trace())
+    data["ops"].insert(0, {"tid": 0, "kind": "read"})
+    trace = trace_from_dict(data, strict=False)
+    assert len(trace.ops) == 3
+
+
+# --------------------------------------------------------------------- #
+# online ingestion
+
+
+def test_online_strict_raises_on_non_hb_insertion():
+    online = OnlineParaMount(2)
+    online.insert(Event(tid=0, idx=1, vc=(1, 0)))
+    with pytest.raises(EventOrderError):
+        online.insert(Event(tid=1, idx=2, vc=(1, 2)))  # skips (1, 1)
+
+
+def test_online_quarantine_keeps_healthy_stream():
+    online = OnlineParaMount(2, strict=False)
+    assert online.insert(Event(tid=0, idx=1, vc=(1, 0))) is not None
+    # malformed: arrives before its thread predecessor
+    assert online.insert(Event(tid=1, idx=2, vc=(1, 2))) is None
+    # the healthy continuation still works; poset state was untouched
+    assert online.insert(Event(tid=1, idx=1, vc=(0, 1))) is not None
+    assert online.insert(Event(tid=1, idx=2, vc=(1, 2))) is not None
+
+    assert len(online.quarantine) == 1
+    record = online.quarantine.records[0]
+    assert record.kind == "online-event"
+    assert record.index == 1  # insertion position, counting the rejected one
+    assert online.quarantine.by_kind() == {"online-event": 1}
+
+    # the final poset equals the one built from the healthy stream alone
+    clean = OnlineParaMount(2)
+    for ev in [
+        Event(tid=0, idx=1, vc=(1, 0)),
+        Event(tid=1, idx=1, vc=(0, 1)),
+        Event(tid=1, idx=2, vc=(1, 2)),
+    ]:
+        clean.insert(ev)
+    assert online.result.states == clean.result.states
+    assert online.snapshot_poset().num_events == 3
+
+
+def test_online_strict_flag_defaults_true():
+    assert OnlineParaMount(2).strict is True
+    assert not OnlineParaMount(2).quarantine
