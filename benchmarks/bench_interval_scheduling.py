@@ -1,0 +1,247 @@
+"""Adaptive interval scheduling — fifo vs largest-first vs split+steal.
+
+The static partition bounds wall-clock by its largest interval, and a
+skewed poset concentrates nearly all work in a handful of intervals.  To
+measure what the scheduling layer buys, each detection workload (sor,
+raytracer) is extended two ways with the same amount of extra work:
+
+* **skewed** — a straggler thread of sync-free local events appended to
+  the trace.  Each such event's ``Gmin`` is tiny while its ``Gbnd`` covers
+  the whole base poset, so it owns a giant Figure-6a-style interval; this
+  is exactly the shape the total-order ablation flags.
+* **fair** — the same extra events, but each synchronizing with every base
+  thread, so their intervals stay near-unit-size and the partition remains
+  balanced.
+
+For each extended poset the enumeration runs once serially to meter
+per-interval work, then the three dispatch policies are compared on the
+modeled parallel machine (DESIGN.md §3 — the GIL rules out wall-clock
+thread speedups) at 1/2/4/8 workers.  Split sub-task work is apportioned
+from the measured parent work by size-bound share, the same heuristic the
+split budget uses.  Real-executor runs cross-check that every policy
+enumerates identical state counts (and identical visit multisets on the
+small workload).
+
+Results land in ``benchmarks/results/BENCH_interval_scheduling.json``.
+Acceptance (ISSUE 4): split+steal on the skewed-extension raytracer poset
+at 8 thread workers beats FIFO by ≥ 1.3×, and post-split worker imbalance
+is ≤ 2.0 wherever the static partition imbalance exceeds 8.0.
+
+``BENCH_SCHED_SMOKE=1`` restricts the run to the small configs (sor only)
+for the CI smoke job; the raytracer acceptance asserts are skipped.
+"""
+
+import json
+import os
+import time
+from collections import Counter, defaultdict
+from dataclasses import replace
+
+import pytest
+
+from repro.core.executors import WorkStealingThreadExecutor
+from repro.core.paramount import ParaMount
+from repro.core.scheduling import plan_schedule
+from repro.core.simulated import CostModel, simulate_schedule
+from repro.detector.hb import events_from_trace
+from repro.poset.event import INTERNAL, Event
+from repro.poset.poset import Poset
+from repro.workloads.registry import DETECTION_WORKLOADS
+
+from conftest import RESULTS_DIR
+
+SMOKE = bool(int(os.environ.get("BENCH_SCHED_SMOKE", "0")))
+
+NAMES = ("sor",) if SMOKE else ("sor", "raytracer")
+EXTENSIONS = ("skewed", "fair")
+POLICIES = ("fifo", "largest", "split-steal")
+WORKERS = (1, 2, 4, 8)
+
+#: Straggler events appended per workload — sized so the skewed raytracer
+#: poset stays tractable (each sync-free event multiplies the state count
+#: by roughly the base lattice size).
+EXTRA_EVENTS = {"sor": 4, "raytracer": 1}
+
+#: Makespan ratio split+steal must beat FIFO by on the skewed raytracer
+#: poset at 8 workers.
+TARGET_RATIO = 1.3
+
+#: Post-split worker imbalance bound wherever static imbalance > 8.
+IMBALANCE_GATE = (8.0, 2.0)
+
+MODEL = CostModel()
+
+_results: dict = {}
+_cache: dict = {}
+
+
+def extended_poset(name: str, extension: str) -> Poset:
+    """The workload's raw access poset plus a straggler thread."""
+    key = (name, extension)
+    if key not in _cache:
+        trace = DETECTION_WORKLOADS[name].trace()
+        events = events_from_trace(trace, merge_collections=False)
+        n = trace.num_threads
+        chains = defaultdict(list)
+        for event in events:
+            # widen every clock for the extra thread's coordinate
+            chains[event.tid].append(replace(event, vc=tuple(event.vc) + (0,)))
+        lengths = tuple(len(chains.get(t, [])) for t in range(n))
+        extra = []
+        for k in range(1, EXTRA_EVENTS[name] + 1):
+            if extension == "skewed":
+                vc = (0,) * n + (k,)  # sync-free: Gmin is the unit cut
+            else:
+                vc = lengths + (k,)  # joined with every base thread's end
+            extra.append(Event(tid=n, idx=k, vc=vc, kind=INTERNAL))
+        _cache[key] = Poset(
+            [chains.get(t, []) for t in range(n)] + [extra],
+            insertion=[event.eid for event in events]
+            + [event.eid for event in extra],
+        )
+    return _cache[key]
+
+
+def _entry(name: str, extension: str) -> dict:
+    return _results.setdefault(name, {}).setdefault(extension, {})
+
+
+def _modeled_seconds(plan, work_of, peak_of, parent_bound):
+    """Per-task modeled seconds, apportioning parent work by bound share."""
+    return [
+        MODEL.task_seconds(
+            work_of[iv.event] * iv.size_bound / parent_bound[iv.event],
+            peak_of[iv.event],
+        )
+        for iv in plan.tasks
+    ]
+
+
+@pytest.mark.parametrize("extension", EXTENSIONS)
+@pytest.mark.parametrize("name", NAMES)
+def test_measure_policies(name, extension):
+    poset = extended_poset(name, extension)
+    paramount = ParaMount(poset)
+    t0 = time.perf_counter()
+    result = paramount.run()
+    wall = time.perf_counter() - t0
+
+    work_of = {s.event: s.work for s in result.intervals}
+    peak_of = {s.event: s.peak_live for s in result.intervals}
+    parent_bound = {iv.event: iv.size_bound for iv in paramount.intervals}
+    serial = sum(
+        MODEL.task_seconds(s.work, s.peak_live) for s in result.intervals
+    )
+
+    policies: dict = {p: {} for p in POLICIES}
+    split_imbalance: dict = {}
+    split_intervals: dict = {}
+    for k in WORKERS:
+        for policy in POLICIES:
+            plan = plan_schedule(poset, paramount.intervals, policy, k)
+            seconds = _modeled_seconds(plan, work_of, peak_of, parent_bound)
+            makespan = simulate_schedule(seconds, k).makespan
+            policies[policy][str(k)] = {
+                "makespan_seconds": makespan,
+                "speedup": serial / makespan if makespan else 1.0,
+            }
+            if policy == "split-steal":
+                split_intervals[str(k)] = plan.split_intervals
+                bins = [0.0] * k
+                for s in seconds:  # greedy deal, the executor's lower bound
+                    bins[min(range(k), key=bins.__getitem__)] += s
+                loads = [b for b in bins if b > 0]
+                mean = sum(loads) / len(loads) if loads else 0.0
+                split_imbalance[str(k)] = max(loads) / mean if mean else 1.0
+
+    _entry(name, extension).update(
+        events=poset.num_events,
+        states=result.states,
+        serial_wall_seconds=wall,
+        serial_modeled_seconds=serial,
+        static_imbalance=result.load_imbalance(),
+        policies=policies,
+        split_imbalance=split_imbalance,
+        split_intervals=split_intervals,
+    )
+
+
+@pytest.mark.parametrize("extension", EXTENSIONS)
+def test_small_workload_visit_multisets_identical(extension):
+    """Every policy visits the same multiset of states exactly once."""
+    poset = extended_poset("sor", extension)
+    baseline = Counter()
+    serial = ParaMount(poset).run(lambda c: baseline.update([tuple(c)]))
+    assert max(baseline.values()) == 1
+    for policy in POLICIES:
+        seen = Counter()
+        result = ParaMount(
+            poset,
+            schedule=policy,
+            executor=WorkStealingThreadExecutor(8),
+        ).run(lambda c: seen.update([tuple(c)]))
+        assert result.states == serial.states
+        assert seen == baseline
+
+
+@pytest.mark.skipif(SMOKE, reason="smoke run covers the small configs only")
+def test_raytracer_skewed_counts_identical():
+    """The 8-worker split+steal run enumerates the exact same lattice."""
+    poset = extended_poset("raytracer", "skewed")
+    serial = ParaMount(poset).run()
+    stolen = ParaMount(poset, executor=WorkStealingThreadExecutor(8)).run()
+    assert stolen.states == serial.states
+    assert stolen.interval_sizes() == serial.interval_sizes()
+    assert stolen.schedule == "split-steal"
+    assert stolen.split_intervals >= 1
+    _entry("raytracer", "skewed")["executed_split_intervals"] = (
+        stolen.split_intervals
+    )
+    _entry("raytracer", "skewed")["executed_steals"] = stolen.steals
+
+
+def test_emit_json(artifact_sink):
+    assert all(set(_results[name]) == set(EXTENSIONS) for name in NAMES)
+    lines = ["interval scheduling (modeled makespans, DESIGN.md §3):"]
+    for name in NAMES:
+        for extension in EXTENSIONS:
+            r = _results[name][extension]
+            fifo = r["policies"]["fifo"]["8"]["makespan_seconds"]
+            split = r["policies"]["split-steal"]["8"]["makespan_seconds"]
+            r["fifo_over_split_steal_8w"] = fifo / split if split else 1.0
+            lines.append(
+                f"  {name}/{extension:6s} states {r['states']:>9,}  "
+                f"static imb {r['static_imbalance']:6.2f}  "
+                f"split imb(8w) {r['split_imbalance']['8']:5.2f}  "
+                f"fifo/split+steal(8w) {r['fifo_over_split_steal_8w']:5.2f}x"
+            )
+    lines.append(
+        f"  targets: split+steal ≥ {TARGET_RATIO}x fifo on raytracer/skewed "
+        f"(8w); split imb ≤ {IMBALANCE_GATE[1]} where static imb > "
+        f"{IMBALANCE_GATE[0]}"
+    )
+    payload = {
+        "benchmark": "interval_scheduling",
+        "smoke": SMOKE,
+        "workers": list(WORKERS),
+        "extra_events": {n: EXTRA_EVENTS[n] for n in NAMES},
+        "target_ratio": TARGET_RATIO,
+        "workloads": _results,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_interval_scheduling.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    artifact_sink("BENCH_interval_scheduling", "\n".join(lines))
+
+    # The imbalance gate applies to every measured configuration.
+    threshold, bound = IMBALANCE_GATE
+    for name in NAMES:
+        for extension in EXTENSIONS:
+            r = _results[name][extension]
+            if r["static_imbalance"] > threshold:
+                assert r["split_imbalance"]["8"] <= bound, (name, extension)
+    # The headline speedup target is measured on the full raytracer config.
+    if not SMOKE:
+        ray = _results["raytracer"]["skewed"]
+        assert ray["fifo_over_split_steal_8w"] >= TARGET_RATIO
+        assert ray["static_imbalance"] > threshold

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.paramount import ParaMount
+from repro.core.scheduling import plan_schedule
 from repro.core.simulated import CostModel, simulate_schedule
 from repro.enumeration.bfs import BFSEnumerator
 from repro.poset.poset import Poset
@@ -38,6 +39,11 @@ class LatticeProfile:
     interval_sizes: Summary
     load_imbalance: float
     modeled_speedup: Dict[int, float]
+    #: Max/mean per-worker load after the adaptive split schedule, per
+    #: worker count (compare against the static ``load_imbalance``).
+    schedule_imbalance: Dict[int, float] = None  # type: ignore[assignment]
+    #: Modeled speedup under the adaptive split schedule, per worker count.
+    scheduled_speedup: Dict[int, float] = None  # type: ignore[assignment]
 
 
 def profile_poset(
@@ -50,13 +56,46 @@ def profile_poset(
     widths = BFSEnumerator(poset).level_widths(
         zero_cut(poset.num_threads), poset.lengths
     )
-    result = ParaMount(poset).run()
+    paramount = ParaMount(poset)
+    result = paramount.run()
     tasks = [model.task_seconds(s.work, s.peak_live) for s in result.intervals]
     serial = sum(tasks)
     speedups = {
         k: (serial / simulate_schedule(tasks, k).makespan if tasks else 1.0)
         for k in worker_counts
     }
+
+    # The adaptive schedule's effect, modeled per worker count: sub-task
+    # work is apportioned from the measured parent work by size-bound
+    # share (the same heuristic the split budget itself uses).
+    work_of = {s.event: s.work for s in result.intervals}
+    peak_of = {s.event: s.peak_live for s in result.intervals}
+    parent_bound = {iv.event: iv.size_bound for iv in paramount.intervals}
+    schedule_imbalance: Dict[int, float] = {}
+    scheduled_speedup: Dict[int, float] = {}
+    for k in worker_counts:
+        plan = plan_schedule(poset, paramount.intervals, "split-steal", k)
+        split_tasks = [
+            model.task_seconds(
+                work_of.get(iv.event, 0)
+                * iv.size_bound
+                / parent_bound[iv.event],
+                peak_of.get(iv.event, 0),
+            )
+            for iv in plan.tasks
+        ]
+        scheduled_speedup[k] = (
+            serial / simulate_schedule(split_tasks, k).makespan
+            if split_tasks
+            else 1.0
+        )
+        bins = [0.0] * k
+        for seconds in split_tasks:  # greedy deal in dispatch order
+            bins[min(range(k), key=bins.__getitem__)] += seconds
+        loads = [b for b in bins if b > 0]
+        mean = sum(loads) / len(loads) if loads else 0.0
+        schedule_imbalance[k] = max(loads) / mean if mean else 1.0
+
     return LatticeProfile(
         threads=poset.num_threads,
         events=poset.num_events,
@@ -68,6 +107,8 @@ def profile_poset(
         ),
         load_imbalance=result.load_imbalance(),
         modeled_speedup=speedups,
+        schedule_imbalance=schedule_imbalance,
+        scheduled_speedup=scheduled_speedup,
     )
 
 
@@ -85,5 +126,11 @@ def render_profile(profile: LatticeProfile, title: str = "Lattice profile") -> s
     )
     table.add_row(["load imbalance", f"{profile.load_imbalance:.2f}"])
     for k in sorted(profile.modeled_speedup):
-        table.add_row([f"modeled speedup ({k}w)", f"{profile.modeled_speedup[k]:.2f}x"])
+        row = f"{profile.modeled_speedup[k]:.2f}x"
+        if profile.scheduled_speedup:
+            row += f" (split: {profile.scheduled_speedup.get(k, 0.0):.2f}x)"
+        table.add_row([f"modeled speedup ({k}w)", row])
+    if profile.schedule_imbalance:
+        worst = max(profile.schedule_imbalance.values())
+        table.add_row(["schedule imbalance (split)", f"{worst:.2f}"])
     return table.render()

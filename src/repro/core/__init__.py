@@ -8,8 +8,11 @@
 * :mod:`repro.core.paramount` — Algorithm 1, the offline parallel driver;
 * :mod:`repro.core.online` — Algorithm 4, the online worker driven by a
   live event stream;
-* :mod:`repro.core.executors` — serial / thread-pool / process-pool
-  backends;
+* :mod:`repro.core.scheduling` — adaptive task shaping between the
+  partition and the executors: Figure-6a recursive splitting,
+  largest-first dispatch, and the weights work-stealing backends use;
+* :mod:`repro.core.executors` — serial / thread-pool (plain and
+  work-stealing) / process-pool backends;
 * :mod:`repro.core.simulated` — the deterministic parallel-machine cost
   model used to regenerate the paper's speedup figures on a GIL-bound
   single-core interpreter (see DESIGN.md §3);
@@ -23,8 +26,14 @@ from repro.core.executors import (
     RetryPolicy,
     SerialExecutor,
     ThreadExecutor,
+    WorkStealingThreadExecutor,
 )
-from repro.core.intervals import Interval, compute_intervals, interval_of_cut
+from repro.core.intervals import (
+    Interval,
+    IntervalIndex,
+    compute_intervals,
+    interval_of_cut,
+)
 from repro.core.metrics import (
     DegradationEvent,
     IntervalStats,
@@ -33,10 +42,19 @@ from repro.core.metrics import (
 )
 from repro.core.online import OnlineParaMount
 from repro.core.paramount import ParaMount
+from repro.core.scheduling import (
+    SchedulePlan,
+    SchedulePolicy,
+    pivot_split,
+    plan_schedule,
+    split_interval,
+    validate_split,
+)
 from repro.core.simulated import CostModel, simulate_schedule
 
 __all__ = [
     "Interval",
+    "IntervalIndex",
     "compute_intervals",
     "interval_of_cut",
     "bounded_enumeration",
@@ -45,8 +63,15 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ThreadExecutor",
+    "WorkStealingThreadExecutor",
     "ProcessExecutor",
     "RetryPolicy",
+    "SchedulePolicy",
+    "SchedulePlan",
+    "pivot_split",
+    "split_interval",
+    "validate_split",
+    "plan_schedule",
     "CostModel",
     "simulate_schedule",
     "IntervalStats",

@@ -12,6 +12,7 @@ paper instantiates B-Para ("bounded BFS") and L-Para ("bounded lexical").
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.core.intervals import Interval
@@ -50,6 +51,7 @@ def bounded_enumeration(
     exactly-once property per interval; Theorem 2 lifts it to the whole
     lattice across intervals).
     """
+    t0 = time.perf_counter()
     result = subroutine.enumerate_interval(interval.lo, interval.hi, visit)
     return IntervalStats(
         event=interval.event,
@@ -58,4 +60,5 @@ def bounded_enumeration(
         states=result.states,
         work=result.work,
         peak_live=result.peak_live,
+        seconds=time.perf_counter() - t0,
     )

@@ -30,10 +30,13 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import pickle
+import threading
+import time
 from abc import ABC, abstractmethod
+from collections import deque
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, Deque, List, Optional, Sequence, TypeVar
 
 from repro.errors import (
     BrokenPoolError,
@@ -47,6 +50,7 @@ __all__ = [
     "RetryPolicy",
     "SerialExecutor",
     "ThreadExecutor",
+    "WorkStealingThreadExecutor",
     "ProcessExecutor",
 ]
 
@@ -160,6 +164,136 @@ class ThreadExecutor(Executor):
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         return results
+
+
+class WorkStealingThreadExecutor(ThreadExecutor):
+    """A thread pool with per-worker deques and largest-first stealing.
+
+    Each worker owns a deque of tasks dealt LPT-style by task ``weight``
+    (read from the task's ``weight`` attribute, defaulting to 1 — the
+    ParaMount driver sets it to the interval's size bound).  Deques hold
+    tasks in descending weight, so a worker always runs its largest
+    remaining task next; a worker whose deque drains steals the largest
+    pending task across all other deques.  Combined with interval
+    splitting this bounds the schedule's makespan the way LPT list
+    scheduling does, without trusting the initial deal.
+
+    Per-run observability: :attr:`last_steals` counts tasks executed by a
+    worker other than the one they were dealt to, and
+    :attr:`last_worker_busy` holds each worker's measured busy seconds —
+    the driver surfaces both through ``ParaMountResult``.
+
+    ``task_timeout`` here bounds the *no-progress* window: if no task
+    completes for that long, the gather gives up and raises
+    :class:`~repro.errors.ExecutorTimeoutError` carrying the lowest
+    unfinished task index (running threads cannot be interrupted; their
+    results are discarded, which is safe because tasks are idempotent).
+    """
+
+    name = "threads-steal"
+
+    def __init__(self, num_workers: int = 1, task_timeout: Optional[float] = None):
+        super().__init__(num_workers=num_workers, task_timeout=task_timeout)
+        #: Steals performed during the most recent :meth:`map_tasks`.
+        self.last_steals = 0
+        #: Per-worker busy seconds during the most recent :meth:`map_tasks`.
+        self.last_worker_busy: List[float] = []
+
+    def map_tasks(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        self.last_steals = 0
+        self.last_worker_busy = []
+        if not tasks:
+            return []
+        n = len(tasks)
+        weights = [getattr(task, "weight", 1) for task in tasks]
+        k = min(self.num_workers, n)
+        # LPT deal: heaviest task to the least-loaded deque.  Tasks arrive
+        # at each deque in descending weight, so its front is its largest.
+        deques: List[Deque[int]] = [deque() for _ in range(k)]
+        loads = [0] * k
+        for i in sorted(range(n), key=lambda i: (-weights[i], i)):
+            w = loads.index(min(loads))
+            deques[w].append(i)
+            loads[w] += weights[i]
+        lock = threading.Lock()
+        progress = threading.Condition(lock)
+        results: List[Optional[T]] = [None] * n
+        finished = [False] * n
+        completed = [0]
+        steals = [0]
+        busy = [0.0] * k
+        errors: List[BaseException] = []
+        stop = [False]
+
+        def next_index(worker: int) -> Optional[int]:
+            with lock:
+                if stop[0] or errors:
+                    return None
+                if deques[worker]:
+                    return deques[worker].popleft()
+                victim = None
+                for q in deques:
+                    if q and (victim is None or weights[q[0]] > weights[victim[0]]):
+                        victim = q
+                if victim is None:
+                    return None
+                steals[0] += 1
+                return victim.popleft()
+
+        def worker_loop(worker: int) -> None:
+            while True:
+                index = next_index(worker)
+                if index is None:
+                    return
+                t0 = time.perf_counter()
+                try:
+                    value = tasks[index]()
+                except BaseException as exc:  # propagated by the gather
+                    with progress:
+                        errors.append(exc)
+                        progress.notify_all()
+                    return
+                busy[worker] += time.perf_counter() - t0
+                with progress:
+                    results[index] = value
+                    finished[index] = True
+                    completed[0] += 1
+                    progress.notify_all()
+
+        threads = [
+            threading.Thread(
+                target=worker_loop, args=(w,), daemon=True, name=f"steal-{w}"
+            )
+            for w in range(k)
+        ]
+        for thread in threads:
+            thread.start()
+        timed_out: Optional[int] = None
+        with progress:
+            while completed[0] < n and not errors:
+                before = completed[0]
+                progress.wait(timeout=self.task_timeout)
+                if (
+                    self.task_timeout is not None
+                    and completed[0] == before
+                    and not errors
+                    and completed[0] < n
+                ):
+                    stop[0] = True
+                    timed_out = next(i for i in range(n) if not finished[i])
+                    break
+        if timed_out is not None:
+            # Running threads are abandoned (daemon), like ThreadExecutor.
+            raise ExecutorTimeoutError(
+                timed_out, self.task_timeout or 0.0, executor=self.name
+            )
+        for thread in threads:
+            thread.join()
+        self.last_steals = steals[0]
+        self.last_worker_busy = list(busy)
+        if errors:
+            raise errors[0]
+        return [results[i] for i in range(n)]  # type: ignore[misc]
 
 
 class ProcessExecutor(Executor):

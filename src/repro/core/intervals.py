@@ -21,15 +21,17 @@ cut below ``Gbnd(e₁)`` not containing ``e₁`` is empty (``e₁`` is
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import IntervalError
 from repro.poset.poset import Poset
 from repro.types import Cut, EventId
 from repro.util.cuts import cut_leq, zero_cut
 
-__all__ = ["Interval", "compute_intervals", "interval_of_cut"]
+__all__ = ["Interval", "IntervalIndex", "compute_intervals", "interval_of_cut"]
 
 
 @dataclass(frozen=True)
@@ -50,13 +52,30 @@ class Interval:
         """Membership test ``G ∈ I(e)`` (componentwise bounds check)."""
         return cut_leq(self.lo, cut) and cut_leq(cut, self.hi)
 
-    def box_volume(self) -> int:
+    @cached_property
+    def size_bound(self) -> int:
         """Product of per-thread slacks + 1 — an upper bound on the interval
-        size used by the load-balance heuristics."""
+        size.  Cached: the scheduler compares it inside sort keys and
+        split/steal loops, so it must not be recomputed per comparison.
+        """
         v = 1
         for a, b in zip(self.lo, self.hi):
             v *= b - a + 1
         return v
+
+    @cached_property
+    def log_size_bound(self) -> float:
+        """``log2`` of :attr:`size_bound`, computed term-by-term.
+
+        Overflow-safe for the huge raytracer/random posets whose box
+        volumes exceed float range: summing per-thread ``log2`` terms never
+        materializes the (arbitrary-precision, slow-to-compare) product.
+        """
+        return sum(math.log2(b - a + 1) for a, b in zip(self.lo, self.hi))
+
+    def box_volume(self) -> int:
+        """Deprecated spelling of :attr:`size_bound` (kept for callers)."""
+        return self.size_bound
 
 
 def compute_intervals(
@@ -109,14 +128,72 @@ def compute_intervals(
     return intervals
 
 
+class IntervalIndex:
+    """O(n)-per-query interval membership via Lemma 2.
+
+    A consistent cut ``G`` belongs to the interval of its ``→p``-last
+    event.  The frontier event of each thread ``t`` in ``G`` is
+    ``(t, G[t])``, and within a chain the ``→p`` position grows with the
+    index, so the ``→p``-last event of ``G`` is the frontier event with the
+    greatest ``→p`` position — an ``O(n)`` argmax over a precomputed
+    position table, replacing the old linear scan over all ``|E|``
+    intervals.
+
+    ``intervals`` must be the full partition in ``→p`` order (exactly what
+    :func:`compute_intervals` returns).
+    """
+
+    def __init__(self, intervals: Sequence[Interval]):
+        self._intervals = tuple(intervals)
+        self._position: Dict[EventId, int] = {
+            iv.event: i for i, iv in enumerate(self._intervals)
+        }
+        if len(self._position) != len(self._intervals):
+            raise IntervalError("intervals contain duplicate events")
+        self._empty_owner: Optional[Interval] = next(
+            (iv for iv in self._intervals if iv.owns_empty), None
+        )
+
+    def of_cut(self, cut: Sequence[int]) -> Optional[Interval]:
+        """The interval owning ``cut`` (Lemma 2), or ``None`` when the cut
+        is outside every interval (e.g. an inconsistent cut)."""
+        position = self._position
+        best = -1
+        for t, c in enumerate(cut):
+            if c:
+                pos = position.get((t, c), -1)
+                if pos < 0:
+                    return None  # frontier event unknown to this partition
+                if pos > best:
+                    best = pos
+        owner = self._intervals[best] if best >= 0 else self._empty_owner
+        if owner is None or not owner.contains(cut):
+            return None
+        return owner
+
+
 def interval_of_cut(
-    poset: Poset, intervals: Sequence[Interval], cut: Cut
+    poset: Poset,
+    intervals: Sequence[Interval],
+    cut: Cut,
+    validate: bool = False,
 ) -> Optional[Interval]:
     """The unique interval containing ``cut``, or ``None`` if no interval
     does (which for a consistent cut would contradict Lemma 2).
 
-    Linear scan — used by tests and diagnostics, not hot paths.
+    Resolved in ``O(n)`` through the ``→p``-last frontier event of the cut
+    (:class:`IntervalIndex`; Lemma 2).  Repeated queries against one
+    partition should build an :class:`IntervalIndex` once instead of
+    calling this helper, which rebuilds the position table per call.
+
+    With ``validate=True`` the original exhaustive scan also runs: it
+    cross-checks the fast answer, and raises :class:`IntervalError` if the
+    cut lies in two intervals (a partition violation) or if the two
+    resolutions disagree.
     """
+    fast = IntervalIndex(intervals).of_cut(cut)
+    if not validate:
+        return fast
     found: Optional[Interval] = None
     for interval in intervals:
         if interval.contains(cut):
@@ -126,4 +203,10 @@ def interval_of_cut(
                     f"{interval.event} — partition violated"
                 )
             found = interval
+    if found is not fast:
+        raise IntervalError(
+            f"cut {cut}: Lemma-2 resolution gives "
+            f"{fast.event if fast else None}, exhaustive scan gives "
+            f"{found.event if found else None}"
+        )
     return found

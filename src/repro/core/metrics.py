@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.types import Cut, EventId
+from repro.util.cuts import cut_join, cut_meet
 
 __all__ = [
     "IntervalStats",
@@ -24,7 +25,12 @@ __all__ = [
 
 @dataclass(frozen=True)
 class IntervalStats:
-    """Cost record of enumerating one interval ``I(e)``."""
+    """Cost record of enumerating one interval ``I(e)``.
+
+    With adaptive scheduling an interval may be split into sub-intervals
+    (same ``event``, disjoint boxes); each sub-task produces its own stats
+    and the driver folds them back with :meth:`merged`.
+    """
 
     event: EventId
     lo: Cut
@@ -32,6 +38,30 @@ class IntervalStats:
     states: int
     work: int
     peak_live: int
+    #: Measured enumeration seconds for this task (0.0 when untimed).
+    seconds: float = 0.0
+
+    def merged(self, other: "IntervalStats") -> "IntervalStats":
+        """Combine two sub-interval records of the same event.
+
+        Counts and times add; the bounds become the enclosing box (for
+        Figure-6a splits that is exactly the parent interval's box once
+        every piece is merged); peak memory is the max, since sub-tasks of
+        one interval never run concurrently on the same worker heap.
+        """
+        if other.event != self.event:
+            raise ValueError(
+                f"cannot merge stats of {self.event} with {other.event}"
+            )
+        return IntervalStats(
+            event=self.event,
+            lo=cut_meet(self.lo, other.lo),
+            hi=cut_join(self.hi, other.hi),
+            states=self.states + other.states,
+            work=self.work + other.work,
+            peak_live=max(self.peak_live, other.peak_live),
+            seconds=self.seconds + other.seconds,
+        )
 
 
 @dataclass(frozen=True)
@@ -93,6 +123,18 @@ class ParaMountResult:
     retries: int = 0
     #: Intervals restored from a checkpoint journal instead of re-enumerated.
     resumed_intervals: int = 0
+    #: Per-task stats in dispatch order (== ``intervals`` when unsplit).
+    tasks: List[IntervalStats] = field(default_factory=list)
+    #: Schedule that shaped the task list ("fifo", "largest", "split", ...).
+    schedule: str = "fifo"
+    #: Workers the schedule was planned for.
+    workers: int = 1
+    #: Intervals the scheduler split into sub-intervals.
+    split_intervals: int = 0
+    #: Tasks taken from another worker's deque by a stealing executor.
+    steals: int = 0
+    #: Measured per-worker busy seconds (stealing executors only).
+    worker_load: List[float] = field(default_factory=list)
 
     def add_interval(self, stats: IntervalStats) -> None:
         """Fold one interval's stats into the aggregate."""
@@ -121,6 +163,32 @@ class ParaMountResult:
             return 1.0
         mean = sum(works) / len(works)
         return max(works) / mean if mean else 1.0
+
+    def schedule_imbalance(self) -> float:
+        """Max/mean of per-*worker* load under the executed schedule.
+
+        The counterpart of :meth:`load_imbalance` after splitting/stealing:
+        per-task imbalance would stay high after a split (the mean shrinks
+        as tasks multiply), so the meaningful quantity is how evenly the
+        post-split tasks pack onto the workers.  Uses the measured
+        per-worker busy time when a stealing executor reported it;
+        otherwise packs ``tasks`` (falling back to ``intervals``) onto
+        ``workers`` bins with the same greedy largest-first list scheduling
+        the executors use.
+        """
+        loads = [x for x in self.worker_load if x > 0]
+        if not loads:
+            tasks = self.tasks or self.intervals
+            works = sorted((s.work for s in tasks if s.work > 0), reverse=True)
+            if not works:
+                return 1.0
+            bins = [0] * max(self.workers, 1)
+            for w in works:
+                k = bins.index(min(bins))
+                bins[k] += w
+            loads = [b for b in bins if b > 0]
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean else 1.0
 
     def summary_row(self) -> Tuple[int, int, int, float]:
         """(states, work, peak_live, wall_time) for table rendering."""

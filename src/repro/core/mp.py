@@ -37,6 +37,7 @@ import concurrent.futures
 import os
 import time
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.executors import RetryPolicy
@@ -46,6 +47,12 @@ from repro.core.metrics import (
     IntervalStats,
     ParaMountResult,
     TaskFailure,
+)
+from repro.core.scheduling import (
+    SchedulePolicy,
+    balance_chunks,
+    pivot_split,
+    plan_schedule,
 )
 from repro.enumeration.base import make_enumerator
 from repro.errors import InjectedFaultError
@@ -85,17 +92,24 @@ def _init_worker(
     _WORKER_FAULTS = fault_spec
 
 
+#: One worker-result row: the task's identity triple plus its counters.
+#: Rows carry their own ``(lo, hi)`` because with adaptive scheduling a
+#: chunk may hold *sub*-intervals of a split parent — the bounds are the
+#: checkpoint identity of the row, not recoverable from the event alone.
+Row = Tuple[EventId, tuple, tuple, int, int, int]
+
+
 def _enumerate_chunk(
     poset: Poset,
     subroutine: str,
     memory_budget: Optional[int],
     chunk: Sequence[Tuple[EventId, tuple, tuple]],
-) -> List[Tuple[EventId, int, int, int]]:
+) -> List[Row]:
     enumerator = make_enumerator(subroutine, poset, memory_budget=memory_budget)
-    out: List[Tuple[EventId, int, int, int]] = []
+    out: List[Row] = []
     for event, lo, hi in chunk:
         result = enumerator.enumerate_interval(lo, hi)
-        out.append((event, result.states, result.work, result.peak_live))
+        out.append((event, lo, hi, result.states, result.work, result.peak_live))
     return out
 
 
@@ -103,7 +117,7 @@ def _count_chunk(
     chunk_index: int,
     attempt: int,
     chunk: Sequence[Tuple[EventId, tuple, tuple]],
-) -> List[Tuple[EventId, int, int, int]]:
+) -> List[Row]:
     """Enumerate a chunk of intervals in the worker; return their stats.
 
     Consults the installed fault plan first: a ``crash`` is a literal
@@ -134,6 +148,7 @@ def paramount_count_multiprocessing(
     chunk_timeout: Optional[float] = None,
     fault_spec=None,
     checkpoint=None,
+    schedule="fifo",
 ) -> ParaMountResult:
     """Count all consistent global states with a real process pool.
 
@@ -143,50 +158,92 @@ def paramount_count_multiprocessing(
     backend-independent).  Worker failures are retried per ``retry`` and
     finally degraded to in-parent serial enumeration — every retry,
     degradation, and permanent failure is recorded on the result.
+
+    ``schedule`` defaults to ``"fifo"`` here (unlike the in-process
+    driver): static contiguous chunking keeps chunk indices — the identity
+    a :class:`~repro.resilience.FaultSpec` keys on and the unit
+    ``chunk_size`` describes — stable across runs.  With
+    ``schedule="split-steal"`` (or ``"split"``/``"largest"``) oversized
+    intervals are pre-split via the Figure-6a decomposition, chunks are
+    LPT-balanced by size bound and dispatched heaviest-first, and a chunk
+    that exceeds ``chunk_timeout`` has its unfinished intervals re-split
+    into smaller chunks instead of being retried whole.
     """
     if workers < 1:
         raise ValueError(f"workers must be ≥ 1, got {workers}")
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be ≥ 1, got {chunk_size}")
     retry = retry if retry is not None else RetryPolicy()
+    policy = SchedulePolicy.parse(schedule)
     intervals: List[Interval] = compute_intervals(poset, order)
-    by_event = {iv.event: iv for iv in intervals}
+    plan = plan_schedule(poset, intervals, policy, workers)
 
-    completed: Dict[EventId, IntervalStats] = {}
+    completed: Dict[tuple, IntervalStats] = {}
     if checkpoint is not None:
         from repro.resilience.checkpoint import poset_digest
 
-        completed = checkpoint.load(poset_digest(poset), subroutine, intervals)
+        completed = checkpoint.load(
+            poset_digest(poset), subroutine, plan.tasks, schedule=plan.descriptor
+        )
     payload = [
         (iv.event, iv.lo, iv.hi)
-        for iv in intervals
-        if iv.event not in completed
+        for iv in plan.tasks
+        if (iv.event, iv.lo, iv.hi) not in completed
     ]
-    chunks = [
-        payload[i : i + chunk_size] for i in range(0, len(payload), chunk_size)
-    ]
+    adaptive = policy.largest_first and workers > 1
+    if adaptive:
+        weights = [
+            Interval(event=e, lo=lo, hi=hi).size_bound for e, lo, hi in payload
+        ]
+        num_chunks = max(
+            workers * policy.oversubscribe,
+            -(-len(payload) // chunk_size),  # ceil division
+        )
+        chunks = balance_chunks(payload, weights, num_chunks)
+    else:
+        chunks = [
+            payload[i : i + chunk_size]
+            for i in range(0, len(payload), chunk_size)
+        ]
 
     result = ParaMountResult()
     result.order_work = poset.num_events * poset.num_threads
     result.resumed_intervals = len(completed)
+    result.schedule = plan.policy.name
+    result.workers = workers
+    result.split_intervals = plan.split_intervals
     poset_data = poset_to_dict(poset)
-    stats_by_event: Dict[EventId, IntervalStats] = dict(completed)
+    stats_by_event: Dict[EventId, IntervalStats] = {}
+    done_keys = set(completed)
+    for stats in completed.values():
+        prior = stats_by_event.get(stats.event)
+        stats_by_event[stats.event] = (
+            stats if prior is None else prior.merged(stats)
+        )
 
-    def absorb(rows: List[Tuple[EventId, int, int, int]]) -> None:
-        for event, states, work, peak in rows:
-            interval = by_event[event]
+    def absorb(rows: List[Row]) -> None:
+        for event, lo, hi, states, work, peak in rows:
+            key = (event, tuple(lo), tuple(hi))
+            if key in done_keys:  # a resubmitted row that already landed
+                continue
+            done_keys.add(key)
             stats = IntervalStats(
                 event=event,
-                lo=interval.lo,
-                hi=interval.hi,
+                lo=key[1],
+                hi=key[2],
                 states=states,
                 work=work,
                 peak_live=peak,
             )
-            stats_by_event[event] = stats
+            result.tasks.append(stats)
+            prior = stats_by_event.get(event)
+            stats_by_event[event] = (
+                stats if prior is None else prior.merged(stats)
+            )
             if checkpoint is not None:
                 checkpoint.record(stats)
 
+    resplit = _make_resplitter(poset) if adaptive and policy.split else None
     with Stopwatch() as sw:
         _run_chunks(
             chunks,
@@ -200,13 +257,48 @@ def paramount_count_multiprocessing(
             fault_spec,
             absorb,
             result,
+            resplit=resplit,
+            done_keys=done_keys,
         )
     for interval in intervals:  # aggregate in →p order
         stats = stats_by_event.get(interval.event)
         if stats is not None:
-            result.add_interval(stats)
+            result.add_interval(replace(stats, lo=interval.lo, hi=interval.hi))
     result.wall_time = sw.elapsed
     return result
+
+
+def _make_resplitter(poset: Poset):
+    """Chunk re-splitting for straggler chunks (split schedules only).
+
+    Takes the unfinished rows of a timed-out chunk and returns smaller
+    chunks: each row's interval goes through one
+    :func:`~repro.core.scheduling.pivot_split` step and the resulting rows
+    are rebalanced into twice as many chunks.  Returns ``None`` when
+    nothing can be split further (all point boxes) — the caller then falls
+    back to the plain retry path.
+    """
+
+    def resplit(rows):
+        out = []
+        split_any = False
+        for event, lo, hi in rows:
+            parts = pivot_split(poset, Interval(event=event, lo=lo, hi=hi))
+            if parts is None:
+                out.append((event, lo, hi))
+                continue
+            split_any = True
+            for piece in parts:
+                if piece is not None:
+                    out.append((piece.event, piece.lo, piece.hi))
+        if not split_any or len(out) < 2:
+            return None
+        weights = [
+            Interval(event=e, lo=lo, hi=hi).size_bound for e, lo, hi in out
+        ]
+        return balance_chunks(out, weights, min(len(out), 4))
+
+    return resplit
 
 
 def _run_chunks(
@@ -221,8 +313,17 @@ def _run_chunks(
     fault_spec,
     absorb,
     result,
+    resplit=None,
+    done_keys=None,
 ) -> None:
-    """Drive all chunks through the pool with retry/rebuild/degrade."""
+    """Drive all chunks through the pool with retry/rebuild/degrade.
+
+    With ``resplit`` set (split schedules), a chunk that times out is not
+    retried whole: its unfinished rows are re-split into smaller chunks
+    appended to the queue, inheriting the straggler's attempt count —
+    stragglers shrink instead of hogging a worker again.
+    """
+    chunks = list(chunks)  # re-splitting appends new chunks
     pending = {index: 0 for index in range(len(chunks))}  # chunk -> attempts
     pool = None
     pool_round = 0
@@ -248,6 +349,7 @@ def _run_chunks(
             if pool is None:
                 pool = make_pool()
             failed: Dict[int, str] = {}
+            timed_out: set = set()
             pool_broke = False
             submitted: Dict[int, concurrent.futures.Future] = {}
             try:
@@ -276,6 +378,7 @@ def _run_chunks(
                     failed[index] = (
                         f"chunk {index} exceeded the {chunk_timeout:g}s timeout"
                     )
+                    timed_out.add(index)
                     pool_broke = True  # abandon: a hung worker poisons slots
                 except BrokenProcessPool:
                     failed[index] = (
@@ -295,6 +398,24 @@ def _run_chunks(
             time.sleep(retry.delay(min(round_number, 8)))
             for index, reason in failed.items():
                 pending[index] += 1
+                if (
+                    resplit is not None
+                    and index in timed_out
+                    and pending[index] < retry.max_attempts
+                ):
+                    rows = [
+                        row
+                        for row in chunks[index]
+                        if done_keys is None or tuple(row) not in done_keys
+                    ]
+                    smaller = resplit(rows) if rows else None
+                    if smaller:
+                        # Straggler: shrink it instead of retrying whole.
+                        attempts = pending.pop(index)
+                        for new_chunk in smaller:
+                            chunks.append(new_chunk)
+                            pending[len(chunks) - 1] = attempts
+                        continue
                 if pending[index] < retry.max_attempts:
                     continue
                 # Retries exhausted: degrade this chunk to in-parent serial

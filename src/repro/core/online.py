@@ -66,6 +66,16 @@ class OnlineParaMount:
         With ``strict=False`` the offending event is *quarantined* instead:
         :meth:`insert` returns ``None``, the healthy stream continues, and
         the structured report is available as :attr:`quarantine`.
+    split_budget:
+        Optional size-bound budget for the inserted event's interval.  When
+        set, an interval whose
+        :attr:`~repro.core.intervals.Interval.size_bound` exceeds the
+        budget is enumerated as its Figure-6a sub-intervals (see
+        :mod:`repro.core.scheduling`) instead of in one go.  The visit
+        multiset is unchanged, but a detector that aborts or yields between
+        sub-intervals regains control every ``split_budget`` states worth
+        of box volume — the online analogue of the offline split schedule.
+        ``None`` (the default) keeps today's one-task-per-event behavior.
     """
 
     def __init__(
@@ -76,6 +86,7 @@ class OnlineParaMount:
         synchronized: bool = False,
         memory_budget: Optional[int] = None,
         strict: bool = True,
+        split_budget: Optional[int] = None,
     ):
         self.builder = PosetBuilder(num_threads)
         self._view = self.builder.view()
@@ -88,6 +99,9 @@ class OnlineParaMount:
         self._result = ParaMountResult()
         self._intervals: List[Interval] = []
         self.strict = strict
+        if split_budget is not None and split_budget < 1:
+            raise ValueError(f"split_budget must be ≥ 1, got {split_budget}")
+        self.split_budget = split_budget
         self._inserted = 0
         from repro.resilience.quarantine import QuarantineReport
 
@@ -146,7 +160,27 @@ class OnlineParaMount:
                 def visit(cut: Cut) -> None:
                     on_state(cut, event)
 
-        stats = bounded_enumeration(self._subroutine, interval, visit)
+        if (
+            self.split_budget is not None
+            and interval.size_bound > self.split_budget
+        ):
+            from repro.core.scheduling import split_interval
+
+            # The snapshot view is safe here: sub-interval bounds stay
+            # within Gbnd(e), which never references later insertions
+            # (Theorem 3), so splitting commutes with concurrent inserts.
+            stats = None
+            for piece in split_interval(
+                self._view, interval, self.split_budget
+            ):
+                piece_stats = bounded_enumeration(
+                    self._subroutine, piece, visit
+                )
+                stats = (
+                    piece_stats if stats is None else stats.merged(piece_stats)
+                )
+        else:
+            stats = bounded_enumeration(self._subroutine, interval, visit)
         if self._stats_lock is not None:
             with self._stats_lock:
                 self._result.add_interval(stats)

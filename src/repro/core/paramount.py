@@ -36,6 +36,7 @@ from repro.core.bounded import bounded_enumeration, make_bounded_subroutine
 from repro.core.executors import Executor, SerialExecutor, ThreadExecutor
 from repro.core.intervals import Interval, compute_intervals
 from repro.core.metrics import DegradationEvent, IntervalStats, ParaMountResult
+from repro.core.scheduling import SchedulePlan, SchedulePolicy, plan_schedule
 from repro.errors import OutOfMemoryError
 from repro.poset.poset import Poset
 from repro.poset.topological import topological_order
@@ -45,6 +46,7 @@ from repro.util.timing import Stopwatch
 __all__ = ["ParaMount"]
 
 OrderSpec = Union[None, Sequence[EventId], Callable[[Poset], Sequence[EventId]]]
+ScheduleSpec = Union[None, str, SchedulePolicy]
 
 #: Subroutines that keep O(n) live state — the degradation targets.
 _LEXICAL_SUBROUTINES = ("lexical", "lexical-fast")
@@ -94,6 +96,17 @@ class ParaMount:
         subroutine (O(n) live state) instead of raising
         :class:`~repro.errors.OutOfMemoryError`; each fallback is recorded
         as a ``"subroutine"`` degradation in the result.
+    schedule:
+        Task-shaping policy (:mod:`repro.core.scheduling`): ``None`` (the
+        adaptive default — recursive splitting of oversized intervals plus
+        largest-first dispatch), a preset name (``"fifo"``, ``"largest"``,
+        ``"split"``, ``"split-steal"``), or an explicit
+        :class:`~repro.core.scheduling.SchedulePolicy`.  Scheduling only
+        reshapes the task list when the executor has more than one worker;
+        serial runs behave exactly like ``"fifo"``.  ``"fifo"`` is the
+        pre-scheduling behavior, kept as an escape hatch for near-uniform
+        partitions and for resuming journals written before splitting
+        existed.
     """
 
     def __init__(
@@ -106,6 +119,7 @@ class ParaMount:
         sanitizer=None,
         checkpoint=None,
         degrade_on_oom: bool = False,
+        schedule: ScheduleSpec = None,
     ):
         self.poset = poset
         self.subroutine_name = subroutine
@@ -113,6 +127,7 @@ class ParaMount:
         self.memory_budget = memory_budget
         self.sanitizer = sanitizer
         self.degrade_on_oom = degrade_on_oom
+        self.schedule = SchedulePolicy.parse(schedule)
         if isinstance(checkpoint, (str, Path)):
             from repro.resilience.checkpoint import CheckpointJournal
 
@@ -151,8 +166,15 @@ class ParaMount:
             for interval in self.intervals:
                 sanitizer.observe_interval(interval)
 
-        completed = self._load_checkpoint()
-        pending = [iv for iv in self.intervals if iv.event not in completed]
+        plan = plan_schedule(
+            self.poset, self.intervals, self.schedule, self.executor.num_workers
+        )
+        completed = self._load_checkpoint(plan)
+        pending = [
+            iv
+            for iv in plan.tasks
+            if (iv.event, iv.lo, iv.hi) not in completed
+        ]
         journal = self.checkpoint
         degradations: List[DegradationEvent] = []
         log_lock = threading.Lock()
@@ -195,6 +217,8 @@ class ParaMount:
                     journal.record(stats)
                 return stats
 
+            # Work-stealing executors deal and steal by this weight.
+            task.weight = interval.size_bound
             return task
 
         result = ParaMountResult()
@@ -202,30 +226,67 @@ class ParaMount:
         result.order_work = self.poset.num_events * self.poset.num_threads
         with Stopwatch() as sw:
             raw = self.executor.map_tasks([make_task(iv) for iv in pending])
-        by_event: Dict[EventId, IntervalStats] = dict(completed)
+        by_task: Dict[tuple, IntervalStats] = dict(completed)
         for interval, stats in zip(pending, raw):
             if stats is not None:
-                by_event[interval.event] = stats
+                by_task[(interval.event, interval.lo, interval.hi)] = stats
+        # Per-task stats in dispatch order; then fold the (possibly split)
+        # tasks back into one record per interval, in →p order.
+        by_event: Dict[EventId, IntervalStats] = {}
+        for task_iv in plan.tasks:
+            stats = by_task.get((task_iv.event, task_iv.lo, task_iv.hi))
+            if stats is None:
+                continue
+            result.tasks.append(stats)
+            prior = by_event.get(task_iv.event)
+            by_event[task_iv.event] = (
+                stats if prior is None else prior.merged(stats)
+            )
         for interval in self.intervals:  # aggregate in →p order
             stats = by_event.get(interval.event)
             if stats is not None:
-                result.add_interval(stats)
+                # Report the parent's bounds even if some sub-task failed.
+                result.add_interval(
+                    replace(stats, lo=interval.lo, hi=interval.hi)
+                )
         result.wall_time = sw.elapsed
         result.resumed_intervals = len(completed)
         result.degradations.extend(degradations)
+        result.schedule = plan.policy.name
+        result.workers = self.executor.num_workers
+        result.split_intervals = plan.split_intervals
+        self._drain_schedule_observability(result)
         self._drain_executor_log(result, pending)
         return result
 
     # ------------------------------------------------------------------ #
 
-    def _load_checkpoint(self) -> Dict[EventId, IntervalStats]:
+    def _load_checkpoint(self, plan: SchedulePlan) -> Dict[tuple, IntervalStats]:
         if self.checkpoint is None:
             return {}
         from repro.resilience.checkpoint import poset_digest
 
         return self.checkpoint.load(
-            poset_digest(self.poset), self.subroutine_name, self.intervals
+            poset_digest(self.poset),
+            self.subroutine_name,
+            plan.tasks,
+            schedule=plan.descriptor,
         )
+
+    def _drain_schedule_observability(self, result: ParaMountResult) -> None:
+        """Pull steal/busy counters off a stealing executor (or ladder)."""
+        candidates = [self.executor]
+        candidates.extend(getattr(self.executor, "ladder", None) or ())
+        inner = getattr(self.executor, "inner", None)
+        if inner is not None:
+            candidates.append(inner)
+        for executor in candidates:
+            steals = getattr(executor, "last_steals", None)
+            busy = getattr(executor, "last_worker_busy", None)
+            if steals is not None:
+                result.steals += steals
+            if busy:
+                result.worker_load = list(busy)
 
     def _drain_executor_log(
         self, result: ParaMountResult, pending: Sequence[Interval]

@@ -12,13 +12,19 @@ The journal is an append-only JSON-lines file:
   work, peak_live)`` record, flushed as soon as the interval finishes.
 
 On resume the driver recomputes the partition, replays the journal, and
-re-enumerates only the unfinished intervals.  Two sanitizer-style checks
+re-enumerates only the unfinished intervals.  Three sanitizer-style checks
 make resumption provably safe rather than hopeful: the digest must match
-(same poset), and every journaled record's ``(lo, hi)`` must equal the
-recomputed interval bounds (same total order ``→p``) — given both,
-Theorem-2 disjointness guarantees the resumed total is identical to an
-uninterrupted run.  A torn trailing line (the crash happened mid-write)
-is detected and discarded.
+(same poset); the header's **schedule descriptor** must match (adaptive
+scheduling may split an interval into sub-tasks, and records of one split
+shape cannot safely seed a run with another); and every journaled record's
+``(event, lo, hi)`` must equal one of the recomputed task triples (same
+total order ``→p`` and same split) — given all three, Theorem-2
+disjointness guarantees the resumed total is identical to an uninterrupted
+run.  Records are therefore keyed by the full ``(event, lo, hi)`` triple,
+so each sub-task of a split interval keeps its own checkpoint/retry
+identity.  Journals written before the schedule field existed carry no
+descriptor and are read as ``"unsplit"``.  A torn trailing line (the crash
+happened mid-write) is detected and discarded.
 """
 
 from __future__ import annotations
@@ -27,16 +33,20 @@ import hashlib
 import json
 import threading
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.core.intervals import Interval
 from repro.core.metrics import IntervalStats
 from repro.errors import CheckpointError
 from repro.poset.io import poset_to_dict
 from repro.poset.poset import Poset
-from repro.types import EventId
+from repro.types import Cut, EventId
 
-__all__ = ["CheckpointJournal", "poset_digest"]
+__all__ = ["CheckpointJournal", "TaskKey", "poset_digest"]
+
+#: Checkpoint identity of one enumeration task: a split interval's
+#: sub-tasks share the event but differ in bounds.
+TaskKey = Tuple[EventId, Cut, Cut]
 
 _JOURNAL_VERSION = 1
 
@@ -74,17 +84,22 @@ class CheckpointJournal:
         digest: str,
         subroutine: str,
         intervals: Optional[Sequence[Interval]] = None,
-    ) -> Dict[EventId, IntervalStats]:
-        """Replay the journal; return completed stats keyed by event.
+        schedule: str = "unsplit",
+    ) -> Dict[TaskKey, IntervalStats]:
+        """Replay the journal; return completed stats keyed by task triple.
 
-        Creates the journal (writing its header) when the file is absent
-        or empty.  Raises :class:`~repro.errors.CheckpointError` when the
-        header's digest or subroutine does not match, or — when
-        ``intervals`` is given — when a record's bounds diverge from the
-        recomputed partition.
+        ``intervals`` is the run's *task list* — the scheduled tasks, which
+        equal the partition intervals when no splitting happened — and
+        ``schedule`` its descriptor (``"unsplit"`` or
+        ``"split(budget=…,cap=…)"``).  Creates the journal (writing its
+        header) when the file is absent or empty.  Raises
+        :class:`~repro.errors.CheckpointError` when the header's digest,
+        subroutine, or schedule descriptor does not match, or — when
+        ``intervals`` is given — when a record's ``(event, lo, hi)`` is not
+        one of the recomputed task triples.
         """
         if not self.path.exists() or self.path.stat().st_size == 0:
-            self._write_header(digest, subroutine, intervals)
+            self._write_header(digest, subroutine, intervals, schedule)
             return {}
         lines = self.path.read_text().splitlines()
         header = self._parse_header(lines[0])
@@ -100,10 +115,26 @@ class CheckpointJournal:
                 f"{header['subroutine']!r}, this run uses {subroutine!r} — "
                 f"per-interval work/memory stats would not be comparable"
             )
-        by_event = dict(
-            self._expected_bounds(intervals) if intervals is not None else ()
+        # Journals predating adaptive scheduling have no schedule field and
+        # were necessarily written one-task-per-interval.
+        journal_schedule = header.get("schedule", "unsplit")
+        if journal_schedule != schedule:
+            raise CheckpointError(
+                f"checkpoint {self.path} was written under schedule "
+                f"{journal_schedule!r}, this run plans {schedule!r} — split "
+                f"sub-task records only resume under the identical split; "
+                f"rerun with the same schedule/worker count or start a "
+                f"fresh journal"
+            )
+        known = (
+            {(iv.event, iv.lo, iv.hi) for iv in intervals}
+            if intervals is not None
+            else None
         )
-        completed: Dict[EventId, IntervalStats] = {}
+        events = (
+            {iv.event for iv in intervals} if intervals is not None else None
+        )
+        completed: Dict[TaskKey, IntervalStats] = {}
         for line in lines[1:]:
             rec = self._parse_record(line)
             if rec is None:  # torn tail from a mid-write crash
@@ -116,22 +147,23 @@ class CheckpointJournal:
                 states=rec["states"],
                 work=rec["work"],
                 peak_live=rec["peak_live"],
+                seconds=float(rec.get("seconds", 0.0)),
             )
-            if intervals is not None:
-                expected = by_event.get(event)
-                if expected is None:
+            key = (event, stats.lo, stats.hi)
+            if known is not None:
+                if events is not None and event not in events:
                     raise CheckpointError(
                         f"checkpoint records interval of unknown event "
                         f"{event} — journal is not from this poset"
                     )
-                if (stats.lo, stats.hi) != expected:
+                if key not in known:
                     raise CheckpointError(
                         f"checkpoint bounds for event {event} are "
-                        f"[{stats.lo}, {stats.hi}] but the recomputed "
-                        f"partition gives [{expected[0]}, {expected[1]}] — "
-                        f"the journal used a different total order →p"
+                        f"[{stats.lo}, {stats.hi}] but no recomputed task "
+                        f"has those bounds — the journal used a different "
+                        f"total order →p (or a different split)"
                     )
-            completed[event] = stats
+            completed[key] = stats
         return completed
 
     # ------------------------------------------------------------------ #
@@ -148,6 +180,7 @@ class CheckpointJournal:
                 "states": stats.states,
                 "work": stats.work,
                 "peak_live": stats.peak_live,
+                "seconds": stats.seconds,
             }
         )
         with self._lock:
@@ -163,6 +196,7 @@ class CheckpointJournal:
         digest: str,
         subroutine: str,
         intervals: Optional[Sequence[Interval]],
+        schedule: str = "unsplit",
     ) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         header = {
@@ -171,6 +205,7 @@ class CheckpointJournal:
             "digest": digest,
             "subroutine": subroutine,
             "num_intervals": len(intervals) if intervals is not None else None,
+            "schedule": schedule,
         }
         with self._lock:
             self.path.write_text(json.dumps(header) + "\n")
@@ -206,8 +241,3 @@ class CheckpointJournal:
         except (ValueError, KeyError, TypeError):
             return None
         return rec
-
-    @staticmethod
-    def _expected_bounds(intervals: Sequence[Interval]):
-        for interval in intervals:
-            yield interval.event, (interval.lo, interval.hi)

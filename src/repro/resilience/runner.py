@@ -36,6 +36,7 @@ from repro.core.executors import (
     RetryPolicy,
     SerialExecutor,
     ThreadExecutor,
+    WorkStealingThreadExecutor,
 )
 from repro.core.metrics import DegradationEvent, TaskFailure
 from repro.errors import (
@@ -51,7 +52,9 @@ _ERR = "err"
 
 
 def default_ladder(
-    workers: int = 0, task_timeout: Optional[float] = None
+    workers: int = 0,
+    task_timeout: Optional[float] = None,
+    steal: bool = False,
 ) -> List[Executor]:
     """The standard degradation cascade: ``threads → serial``.
 
@@ -59,9 +62,15 @@ def default_ladder(
     so the in-process rungs are the useful ones; true process parallelism
     goes through :func:`repro.core.mp.paramount_count_multiprocessing`,
     which owns its pool and implements the same retry/degrade policy.
+
+    With ``steal=True`` the thread rung is a
+    :class:`~repro.core.executors.WorkStealingThreadExecutor`, so the
+    adaptive schedule's split tasks are balanced by deque stealing rather
+    than the pool's arrival order.
     """
+    thread_cls = WorkStealingThreadExecutor if steal else ThreadExecutor
     return [
-        ThreadExecutor(workers or os.cpu_count() or 1, task_timeout=task_timeout),
+        thread_cls(workers or os.cpu_count() or 1, task_timeout=task_timeout),
         SerialExecutor(),
     ]
 
@@ -222,6 +231,9 @@ class ResilientExecutor(Executor):
         # Stable identity for a FaultInjectingExecutor rung: retried
         # subsets keep their original task index.
         guarded.fault_key = index  # type: ignore[attr-defined]
+        # Scheduling weight survives the wrapping, so a work-stealing rung
+        # still deals and steals by interval size.
+        guarded.weight = getattr(task, "weight", 1)  # type: ignore[attr-defined]
         return guarded
 
     def _degrade(self, rung: int, reason: str) -> None:

@@ -152,6 +152,7 @@ def _cmd_capture_poset(args: argparse.Namespace) -> int:
 def _cmd_enumerate(args: argparse.Namespace) -> int:
     from repro.core.executors import RetryPolicy
     from repro.core.paramount import ParaMount
+    from repro.core.scheduling import SchedulePolicy
     from repro.core.simulated import CostModel, simulate_schedule
     from repro.poset.io import load_poset
 
@@ -162,6 +163,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         print("error: --resume/--faults/--workers require --paramount", file=sys.stderr)
         return 2
     if args.paramount:
+        policy = SchedulePolicy.parse(args.schedule)
         executor = None
         if resilient:
             from repro.resilience import (
@@ -172,7 +174,9 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             )
 
             ladder = default_ladder(
-                args.workers or 1, task_timeout=args.task_timeout
+                args.workers or 1,
+                task_timeout=args.task_timeout,
+                steal=policy.steal,
             )
             if args.faults:
                 spec = FaultSpec.parse(args.faults)
@@ -186,6 +190,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             subroutine=args.algorithm,
             executor=executor,
             checkpoint=args.resume,
+            schedule=policy,
         )
         result = pm.run()
         print(
@@ -193,11 +198,21 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             f"{len(result.intervals)} intervals "
             f"(wall {format_duration(result.wall_time)})"
         )
+        print(
+            f"  schedule: {result.schedule} — {len(result.tasks)} task(s), "
+            f"{result.split_intervals} interval(s) split, "
+            f"{result.steals} steal(s)"
+        )
+        print(
+            f"  imbalance: static partition {result.load_imbalance():.2f}, "
+            f"executed schedule {result.schedule_imbalance():.2f} "
+            f"(max/mean, 1.0 = balanced)"
+        )
         if args.resume:
             print(
-                f"  checkpoint: {result.resumed_intervals} interval(s) "
+                f"  checkpoint: {result.resumed_intervals} task(s) "
                 f"restored from {args.resume}, "
-                f"{len(result.intervals) - result.resumed_intervals} enumerated"
+                f"{len(result.tasks) - result.resumed_intervals} enumerated"
             )
         if result.retries:
             print(f"  retries: {result.retries} task resubmission(s)")
@@ -215,9 +230,16 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             )
         model = CostModel()
         tasks = [model.task_seconds(s.work, s.peak_live) for s in result.intervals]
+        split_tasks = [
+            model.task_seconds(s.work, s.peak_live) for s in result.tasks
+        ]
         for k in (1, 2, 4, 8):
             makespan = simulate_schedule(tasks, k).makespan
-            print(f"  modeled time with {k} worker(s): {makespan:.4f}s")
+            line = f"  modeled time with {k} worker(s): {makespan:.4f}s"
+            if len(split_tasks) != len(tasks):
+                split_makespan = simulate_schedule(split_tasks, k).makespan
+                line += f" (split schedule: {split_makespan:.4f}s)"
+            print(line)
     else:
         from repro.enumeration.base import make_enumerator
         from repro.util.timing import Stopwatch
@@ -361,13 +383,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("poset")
     p.add_argument(
         "--algorithm",
+        "--subroutine",
         choices=("lexical", "lexical-fast", "bfs", "dfs", "squire"),
         default="lexical",
+        help="sequential (sub)routine; lexical-fast is the tuned loop",
     )
     p.add_argument(
         "--paramount",
         action="store_true",
         help="partition with ParaMount and model 1/2/4/8 workers",
+    )
+    p.add_argument(
+        "--schedule",
+        choices=("fifo", "largest", "split", "split-steal", "adaptive"),
+        default="split-steal",
+        help="task schedule for --paramount: fifo is the pre-scheduling "
+        "behavior; split-steal (default) splits oversized intervals and "
+        "dispatches largest-first with work stealing",
     )
     p.add_argument(
         "--resume",

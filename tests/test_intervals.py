@@ -10,7 +10,12 @@ from itertools import product
 import pytest
 from hypothesis import given, settings
 
-from repro.core.intervals import Interval, compute_intervals, interval_of_cut
+from repro.core.intervals import (
+    Interval,
+    IntervalIndex,
+    compute_intervals,
+    interval_of_cut,
+)
 from repro.errors import IntervalError
 from repro.poset.topological import (
     lexicographic_topological_order,
@@ -74,6 +79,57 @@ def test_interval_contains_and_volume():
     assert iv.contains((1, 1))
     assert not iv.contains((0, 0))
     assert iv.box_volume() == 2 * 3
+
+
+def test_size_bound_is_cached():
+    iv = Interval(event=(0, 1), lo=(1, 0), hi=(2, 2))
+    assert iv.size_bound == 6
+    assert "size_bound" in iv.__dict__  # functools.cached_property landed
+    assert iv.size_bound is iv.__dict__["size_bound"]
+
+
+def test_log_size_bound_is_overflow_safe():
+    import math
+
+    # a box whose volume (1001^128 ~ 1e384) overflows float, but not its log
+    wide = Interval(event=(0, 1), lo=(0,) * 128, hi=(1000,) * 128)
+    with pytest.raises(OverflowError):
+        float(wide.size_bound)
+    assert wide.log_size_bound == pytest.approx(128 * math.log2(1001))
+    small = Interval(event=(0, 1), lo=(1, 0), hi=(2, 2))
+    assert small.log_size_bound == pytest.approx(math.log2(small.size_bound))
+
+
+def test_interval_index_matches_exhaustive_scan(figure4_poset):
+    intervals = compute_intervals(figure4_poset)
+    index = IntervalIndex(intervals)
+    for cut in all_consistent_cuts(figure4_poset):
+        fast = index.of_cut(cut)
+        slow = [iv for iv in intervals if iv.contains(cut)]
+        assert fast is slow[0]
+    # an inconsistent cut resolves to no interval instead of raising
+    assert index.of_cut((2, 0)) is None
+
+
+def test_interval_of_cut_validate_cross_checks(figure4_poset):
+    intervals = compute_intervals(figure4_poset)
+    for cut in all_consistent_cuts(figure4_poset):
+        assert interval_of_cut(
+            figure4_poset, intervals, cut, validate=True
+        ) is interval_of_cut(figure4_poset, intervals, cut)
+    # overlapping "intervals" violate the partition: validate mode raises
+    fake = [
+        Interval(event=(0, 1), lo=(0, 0), hi=(2, 2), owns_empty=True),
+        Interval(event=(1, 1), lo=(0, 0), hi=(2, 2)),
+    ]
+    with pytest.raises(IntervalError):
+        interval_of_cut(figure4_poset, fake, (1, 1), validate=True)
+
+
+def test_interval_index_rejects_duplicate_events():
+    iv = Interval(event=(0, 1), lo=(0,), hi=(1,))
+    with pytest.raises(IntervalError):
+        IntervalIndex([iv, iv])
 
 
 def test_rejects_non_extension_order(figure4_poset):
