@@ -21,6 +21,7 @@ from repro.detector.rv_runtime import RVRuntimeDetector
 from repro.enumeration.base import CollectingVisitor
 from repro.enumeration.bfs import BFSEnumerator
 from repro.enumeration.lexical import LexicalEnumerator
+from repro.obs import NullObserver, Observer
 from repro.poset.builder import PosetBuilder
 from repro.poset.ideals import count_ideals
 from repro.poset.poset import Poset
@@ -39,6 +40,8 @@ __all__ = [
     "CollectingVisitor",
     "ParaMount",
     "OnlineParaMount",
+    "Observer",
+    "NullObserver",
     "Program",
     "run_program",
     "ParaMountDetector",

@@ -44,6 +44,15 @@ class LatticeProfile:
     schedule_imbalance: Dict[int, float] = None  # type: ignore[assignment]
     #: Modeled speedup under the adaptive split schedule, per worker count.
     scheduled_speedup: Dict[int, float] = None  # type: ignore[assignment]
+    #: Total measured enumeration seconds (sum of per-interval times from
+    #: the profiling run's observer — real spans, not the cost model).
+    measured_seconds: float = 0.0
+    #: Speedup at each worker count when the simulated schedule is fed the
+    #: *measured* per-interval seconds instead of modeled costs.
+    measured_speedup: Dict[int, float] = None  # type: ignore[assignment]
+    #: Measured seconds per span category ("plan", "enumerate", ...) from
+    #: the profiling run's trace.
+    span_seconds: Dict[str, float] = None  # type: ignore[assignment]
 
 
 def profile_poset(
@@ -52,11 +61,16 @@ def profile_poset(
     worker_counts: Sequence[int] = (1, 2, 4, 8),
 ) -> LatticeProfile:
     """Profile the lattice (full enumeration — size the poset accordingly)."""
+    from repro.obs import Observer
+
     model = cost_model if cost_model is not None else CostModel()
     widths = BFSEnumerator(poset).level_widths(
         zero_cut(poset.num_threads), poset.lengths
     )
-    paramount = ParaMount(poset)
+    # Profile with a live observer: the run's spans give real measured
+    # times alongside the cost model's predictions.
+    observer = Observer()
+    paramount = ParaMount(poset, observer=observer)
     result = paramount.run()
     tasks = [model.task_seconds(s.work, s.peak_live) for s in result.intervals]
     serial = sum(tasks)
@@ -64,6 +78,22 @@ def profile_poset(
         k: (serial / simulate_schedule(tasks, k).makespan if tasks else 1.0)
         for k in worker_counts
     }
+    measured_tasks = [s.seconds for s in result.intervals]
+    measured_serial = sum(measured_tasks)
+    measured_speedup = {
+        k: (
+            measured_serial / simulate_schedule(measured_tasks, k).makespan
+            if measured_tasks and measured_serial > 0
+            else 1.0
+        )
+        for k in worker_counts
+    }
+    span_seconds: Dict[str, float] = {}
+    for span in observer.spans():
+        if not span.is_instant:
+            span_seconds[span.category] = (
+                span_seconds.get(span.category, 0.0) + span.dt
+            )
 
     # The adaptive schedule's effect, modeled per worker count: sub-task
     # work is apportioned from the measured parent work by size-bound
@@ -109,6 +139,9 @@ def profile_poset(
         modeled_speedup=speedups,
         schedule_imbalance=schedule_imbalance,
         scheduled_speedup=scheduled_speedup,
+        measured_seconds=measured_serial,
+        measured_speedup=measured_speedup,
+        span_seconds=span_seconds,
     )
 
 
@@ -129,8 +162,20 @@ def render_profile(profile: LatticeProfile, title: str = "Lattice profile") -> s
         row = f"{profile.modeled_speedup[k]:.2f}x"
         if profile.scheduled_speedup:
             row += f" (split: {profile.scheduled_speedup.get(k, 0.0):.2f}x)"
+        if profile.measured_speedup:
+            row += f" (measured: {profile.measured_speedup.get(k, 0.0):.2f}x)"
         table.add_row([f"modeled speedup ({k}w)", row])
     if profile.schedule_imbalance:
         worst = max(profile.schedule_imbalance.values())
         table.add_row(["schedule imbalance (split)", f"{worst:.2f}"])
+    if profile.measured_seconds:
+        table.add_row(
+            ["measured enumeration", f"{profile.measured_seconds:.4f}s"]
+        )
+    if profile.span_seconds:
+        parts = ", ".join(
+            f"{category} {seconds * 1e3:.1f}ms"
+            for category, seconds in sorted(profile.span_seconds.items())
+        )
+        table.add_row(["span time by category", parts])
     return table.render()

@@ -13,7 +13,7 @@ paper instantiates B-Para ("bounded BFS") and L-Para ("bounded lexical").
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.intervals import Interval
 from repro.core.metrics import IntervalStats
@@ -21,6 +21,8 @@ from repro.enumeration.base import Enumerator, make_enumerator
 from repro.types import CutVisitor
 
 __all__ = ["bounded_enumeration", "make_bounded_subroutine"]
+
+Clock = Callable[[], float]
 
 
 def make_bounded_subroutine(
@@ -39,6 +41,7 @@ def bounded_enumeration(
     subroutine: Enumerator,
     interval: Interval,
     visit: Optional[CutVisitor] = None,
+    clock: Optional[Clock] = None,
 ) -> IntervalStats:
     """Enumerate every consistent global state in ``interval`` exactly once.
 
@@ -47,11 +50,18 @@ def bounded_enumeration(
     the first interval in ``→p`` the lower bound is the zero cut, which adds
     exactly the empty global state (see :mod:`repro.core.intervals`).
 
+    ``clock`` is the seconds source that times the task (default
+    ``time.perf_counter``); the drivers pass their observer's injected
+    clock so ``IntervalStats.seconds`` and any recorded spans share one
+    timeline on every executor path.
+
     Returns the interval's :class:`IntervalStats` (Lemma 1 gives the
     exactly-once property per interval; Theorem 2 lifts it to the whole
     lattice across intervals).
     """
-    t0 = time.perf_counter()
+    if clock is None:
+        clock = time.perf_counter
+    t0 = clock()
     result = subroutine.enumerate_interval(interval.lo, interval.hi, visit)
     return IntervalStats(
         event=interval.event,
@@ -60,5 +70,5 @@ def bounded_enumeration(
         states=result.states,
         work=result.work,
         peak_live=result.peak_live,
-        seconds=time.perf_counter() - t0,
+        seconds=clock() - t0,
     )

@@ -43,7 +43,10 @@ from repro.errors import (
     ExecutorTimeoutError,
     TaskNotPicklableError,
 )
+from repro.util.log import get_logger
 from repro.util.rng import DeterministicRng, derive_seed
+
+logger = get_logger(__name__)
 
 __all__ = [
     "Executor",
@@ -98,6 +101,11 @@ class Executor(ABC):
 
     #: Short backend name used in experiment tables.
     name: str = "abstract"
+
+    #: Optional :class:`repro.obs.Observer` — the ParaMount driver wires
+    #: its own in before mapping when observability is enabled; stealing
+    #: executors emit steal markers and counters through it.
+    observer = None
 
     def __init__(self, num_workers: int = 1):
         if num_workers < 1:
@@ -158,6 +166,16 @@ class ThreadExecutor(Executor):
                     for pending in futures:
                         pending.cancel()
                     pool.shutdown(wait=False, cancel_futures=True)
+                    logger.warning(
+                        "task %d exceeded its %.3fs gather timeout",
+                        index,
+                        self.task_timeout or 0.0,
+                        extra={
+                            "executor": self.name,
+                            "task_index": index,
+                            "timeout_seconds": self.task_timeout or 0.0,
+                        },
+                    )
                     raise ExecutorTimeoutError(
                         index, self.task_timeout or 0.0, executor=self.name
                     ) from None
@@ -204,6 +222,8 @@ class WorkStealingThreadExecutor(ThreadExecutor):
         self.last_worker_busy = []
         if not tasks:
             return []
+        obs = self.observer
+        observe = obs is not None and getattr(obs, "enabled", False)
         n = len(tasks)
         weights = [getattr(task, "weight", 1) for task in tasks]
         k = min(self.num_workers, n)
@@ -238,9 +258,19 @@ class WorkStealingThreadExecutor(ThreadExecutor):
                 if victim is None:
                     return None
                 steals[0] += 1
-                return victim.popleft()
+                index = victim.popleft()
+                if observe:
+                    obs.instant(
+                        "steal", "schedule", task=index, weight=weights[index]
+                    )
+                    obs.counter("steals_total").inc()
+                return index
 
         def worker_loop(worker: int) -> None:
+            if observe:
+                # Every worker opens its trace lane even if it never wins a
+                # task (on a GIL-bound host one thread may drain the deal).
+                obs.instant("worker_start", "schedule", dealt=len(deques[worker]))
             while True:
                 index = next_index(worker)
                 if index is None:
@@ -284,6 +314,16 @@ class WorkStealingThreadExecutor(ThreadExecutor):
                     break
         if timed_out is not None:
             # Running threads are abandoned (daemon), like ThreadExecutor.
+            logger.warning(
+                "no task completed within %.3fs; abandoning run at task %d",
+                self.task_timeout or 0.0,
+                timed_out,
+                extra={
+                    "executor": self.name,
+                    "task_index": timed_out,
+                    "timeout_seconds": self.task_timeout or 0.0,
+                },
+            )
             raise ExecutorTimeoutError(
                 timed_out, self.task_timeout or 0.0, executor=self.name
             )

@@ -174,15 +174,23 @@ class ParaMountResult:
         per-worker busy time when a stealing executor reported it;
         otherwise packs ``tasks`` (falling back to ``intervals``) onto
         ``workers`` bins with the same greedy largest-first list scheduling
-        the executors use.
+        the executors use — by each task's *measured* ``seconds`` when
+        every task carries one (the serial, thread, and mp paths all time
+        tasks via the driver's injected clock), by modeled ``work`` only
+        for records that predate the timing fix (e.g. old checkpoints).
         """
         loads = [x for x in self.worker_load if x > 0]
         if not loads:
             tasks = self.tasks or self.intervals
-            works = sorted((s.work for s in tasks if s.work > 0), reverse=True)
+            if tasks and all(s.seconds > 0 for s in tasks):
+                works = sorted((s.seconds for s in tasks), reverse=True)
+            else:
+                works = sorted(
+                    (s.work for s in tasks if s.work > 0), reverse=True
+                )
             if not works:
                 return 1.0
-            bins = [0] * max(self.workers, 1)
+            bins = [0.0] * max(self.workers, 1)
             for w in works:
                 k = bins.index(min(bins))
                 bins[k] += w

@@ -56,12 +56,16 @@ from repro.core.scheduling import (
 )
 from repro.enumeration.base import make_enumerator
 from repro.errors import InjectedFaultError
+from repro.obs.observer import ensure_observer
 from repro.poset.io import poset_from_dict, poset_to_dict
 from repro.poset.poset import Poset
 from repro.types import EventId
+from repro.util.log import get_logger
 from repro.util.timing import Stopwatch
 
 __all__ = ["paramount_count_multiprocessing"]
+
+logger = get_logger(__name__)
 
 # Per-worker-process cache, installed by the pool initializer.
 _WORKER_POSET: Optional[Poset] = None
@@ -96,7 +100,14 @@ def _init_worker(
 #: Rows carry their own ``(lo, hi)`` because with adaptive scheduling a
 #: chunk may hold *sub*-intervals of a split parent — the bounds are the
 #: checkpoint identity of the row, not recoverable from the event alone.
-Row = Tuple[EventId, tuple, tuple, int, int, int]
+#: The trailing ``(seconds, epoch_t0, pid)`` triple is the row's timing:
+#: measured enumeration seconds (``time.perf_counter`` in the worker, so
+#: ``IntervalStats.seconds`` is real on the mp path too), the interval's
+#: start on the shared epoch timeline (``time.time``, which *is*
+#: comparable across processes), and the worker's pid — enough for the
+#: parent's observer to rebase the span onto its own clock and draw one
+#: trace lane per worker process.
+Row = Tuple[EventId, tuple, tuple, int, int, int, float, float, int]
 
 
 def _enumerate_chunk(
@@ -107,9 +118,25 @@ def _enumerate_chunk(
 ) -> List[Row]:
     enumerator = make_enumerator(subroutine, poset, memory_budget=memory_budget)
     out: List[Row] = []
+    pid = os.getpid()
     for event, lo, hi in chunk:
+        epoch_t0 = time.time()
+        t0 = time.perf_counter()
         result = enumerator.enumerate_interval(lo, hi)
-        out.append((event, lo, hi, result.states, result.work, result.peak_live))
+        seconds = time.perf_counter() - t0
+        out.append(
+            (
+                event,
+                lo,
+                hi,
+                result.states,
+                result.work,
+                result.peak_live,
+                seconds,
+                epoch_t0,
+                pid,
+            )
+        )
     return out
 
 
@@ -149,6 +176,7 @@ def paramount_count_multiprocessing(
     fault_spec=None,
     checkpoint=None,
     schedule="fifo",
+    observer=None,
 ) -> ParaMountResult:
     """Count all consistent global states with a real process pool.
 
@@ -168,15 +196,25 @@ def paramount_count_multiprocessing(
     LPT-balanced by size bound and dispatched heaviest-first, and a chunk
     that exceeds ``chunk_timeout`` has its unfinished intervals re-split
     into smaller chunks instead of being retried whole.
+
+    ``observer`` (an optional :class:`repro.obs.Observer`) receives spans
+    for planning and every enumerated interval — workers time intervals on
+    the shared epoch clock and ship ``(seconds, epoch_t0, pid)`` back in
+    each :data:`Row`, so the parent rebases them onto its own timeline
+    with one trace lane per worker process — plus retry markers and the
+    canonical counters.
     """
     if workers < 1:
         raise ValueError(f"workers must be ≥ 1, got {workers}")
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be ≥ 1, got {chunk_size}")
+    obs = ensure_observer(observer)
     retry = retry if retry is not None else RetryPolicy()
     policy = SchedulePolicy.parse(schedule)
-    intervals: List[Interval] = compute_intervals(poset, order)
-    plan = plan_schedule(poset, intervals, policy, workers)
+    with obs.span("compute_intervals", "plan", events=poset.num_events):
+        intervals: List[Interval] = compute_intervals(poset, order)
+    with obs.span("plan_schedule", "plan", workers=workers):
+        plan = plan_schedule(poset, intervals, policy, workers)
 
     completed: Dict[tuple, IntervalStats] = {}
     if checkpoint is not None:
@@ -212,6 +250,15 @@ def paramount_count_multiprocessing(
     result.schedule = plan.policy.name
     result.workers = workers
     result.split_intervals = plan.split_intervals
+    if obs.enabled:
+        if checkpoint is not None and getattr(checkpoint, "observer", None) is None:
+            checkpoint.observer = obs
+        if plan.split_intervals:
+            obs.counter("intervals_split_total").inc(plan.split_intervals)
+    if obs.progress is not None:
+        obs.progress.set_total(len(plan.tasks))
+        for _ in completed:
+            obs.progress.on_task_done(0, 0.0)
     poset_data = poset_to_dict(poset)
     stats_by_event: Dict[EventId, IntervalStats] = {}
     done_keys = set(completed)
@@ -222,7 +269,7 @@ def paramount_count_multiprocessing(
         )
 
     def absorb(rows: List[Row]) -> None:
-        for event, lo, hi, states, work, peak in rows:
+        for event, lo, hi, states, work, peak, seconds, epoch_t0, pid in rows:
             key = (event, tuple(lo), tuple(hi))
             if key in done_keys:  # a resubmitted row that already landed
                 continue
@@ -234,6 +281,7 @@ def paramount_count_multiprocessing(
                 states=states,
                 work=work,
                 peak_live=peak,
+                seconds=seconds,
             )
             result.tasks.append(stats)
             prior = stats_by_event.get(event)
@@ -242,6 +290,16 @@ def paramount_count_multiprocessing(
             )
             if checkpoint is not None:
                 checkpoint.record(stats)
+            if obs.enabled:
+                obs.record_epoch(
+                    f"I({event})",
+                    "enumerate",
+                    epoch_t0,
+                    seconds,
+                    worker=f"pid-{pid}",
+                    attrs={"event": str(event), "states": states, "work": work},
+                )
+            obs.task_done(stats)
 
     resplit = _make_resplitter(poset) if adaptive and policy.split else None
     with Stopwatch() as sw:
@@ -259,6 +317,7 @@ def paramount_count_multiprocessing(
             result,
             resplit=resplit,
             done_keys=done_keys,
+            observer=obs,
         )
     for interval in intervals:  # aggregate in →p order
         stats = stats_by_event.get(interval.event)
@@ -315,6 +374,7 @@ def _run_chunks(
     result,
     resplit=None,
     done_keys=None,
+    observer=None,
 ) -> None:
     """Drive all chunks through the pool with retry/rebuild/degrade.
 
@@ -327,6 +387,7 @@ def _run_chunks(
     pending = {index: 0 for index in range(len(chunks))}  # chunk -> attempts
     pool = None
     pool_round = 0
+    obs = ensure_observer(observer)
 
     def make_pool():
         nonlocal pool_round
@@ -395,6 +456,12 @@ def _run_chunks(
                 continue
             round_number += 1
             result.retries += len(failed)
+            if obs.enabled:
+                obs.counter("retry_attempts_total").inc(len(failed))
+                for index, reason in failed.items():
+                    obs.instant(
+                        "retry", "resilience", chunk=index, reason=reason
+                    )
             time.sleep(retry.delay(min(round_number, 8)))
             for index, reason in failed.items():
                 pending[index] += 1
@@ -421,6 +488,24 @@ def _run_chunks(
                 # Retries exhausted: degrade this chunk to in-parent serial
                 # enumeration (the bottom of the executor ladder).
                 del pending[index]
+                logger.warning(
+                    "chunk %d degraded processes -> serial: %s",
+                    index,
+                    reason,
+                    extra={
+                        "degrade_kind": "executor",
+                        "degrade_from": "processes",
+                        "degrade_to": "serial",
+                        "chunk_index": index,
+                    },
+                )
+                if obs.enabled:
+                    obs.instant(
+                        "degrade_executor",
+                        "resilience",
+                        chunk=index,
+                        to="serial",
+                    )
                 result.degradations.append(
                     DegradationEvent(
                         kind="executor",

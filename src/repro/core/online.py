@@ -25,13 +25,17 @@ from repro.core.bounded import bounded_enumeration, make_bounded_subroutine
 from repro.core.intervals import Interval
 from repro.core.metrics import IntervalStats, ParaMountResult
 from repro.errors import ReproError
+from repro.obs.observer import ensure_observer
 from repro.poset.builder import PosetBuilder
 from repro.poset.event import Event
 from repro.poset.poset import Poset
 from repro.types import Cut
 from repro.util.cuts import zero_cut
+from repro.util.log import get_logger
 
 __all__ = ["OnlineParaMount"]
+
+logger = get_logger(__name__)
 
 #: Callback invoked per enumerated state: ``(cut, triggering_event)``.
 OnlineVisitor = Callable[[Cut, Event], None]
@@ -76,6 +80,13 @@ class OnlineParaMount:
         sub-intervals regains control every ``split_budget`` states worth
         of box volume — the online analogue of the offline split schedule.
         ``None`` (the default) keeps today's one-task-per-event behavior.
+    observer:
+        Optional :class:`repro.obs.Observer`.  Every insertion records a
+        ``clock`` span (the critical section: append + stamp) and an
+        ``enumerate`` span per interval task, feeds
+        ``events_inserted_total`` and the canonical enumeration series,
+        and drives the observer's live progress reporter, if any.  The
+        default no-op observer leaves the hot path untouched.
     """
 
     def __init__(
@@ -87,6 +98,7 @@ class OnlineParaMount:
         memory_budget: Optional[int] = None,
         strict: bool = True,
         split_budget: Optional[int] = None,
+        observer=None,
     ):
         self.builder = PosetBuilder(num_threads)
         self._view = self.builder.view()
@@ -102,6 +114,7 @@ class OnlineParaMount:
         if split_budget is not None and split_budget < 1:
             raise ValueError(f"split_budget must be ≥ 1, got {split_budget}")
         self.split_budget = split_budget
+        self.observer = ensure_observer(observer)
         self._inserted = 0
         from repro.resilience.quarantine import QuarantineReport
 
@@ -124,13 +137,22 @@ class OnlineParaMount:
         is returned; the poset, intervals, and totals are untouched, so
         the detector keeps running on the healthy prefix of every thread.
         """
+        obs = self.observer
         index = self._inserted
         self._inserted += 1
         try:
-            gbnd = self.builder.append_stamped(event)  # Algorithm 4 lines 1–5
+            with obs.span("append_stamped", "clock"):
+                # Algorithm 4 lines 1–5
+                gbnd = self.builder.append_stamped(event)
         except ReproError as exc:
             if self.strict:
                 raise
+            # QuarantineReport.add logs the structured warning.
+            if obs.enabled:
+                obs.instant(
+                    "quarantine", "clock", event=str(event.eid), index=index
+                )
+                obs.counter("events_quarantined_total").inc()
             self.quarantine.add(
                 index,
                 "online-event",
@@ -138,6 +160,10 @@ class OnlineParaMount:
                 payload=(event.eid, event.vc),
             )
             return None
+        if obs.enabled:
+            obs.counter("events_inserted_total").inc()
+        if obs.progress is not None:
+            obs.progress.on_event()
         owns_empty = sum(gbnd) == 1  # first event in →p owns the empty state
         interval = Interval(
             event=event.eid,
@@ -160,6 +186,10 @@ class OnlineParaMount:
                 def visit(cut: Cut) -> None:
                     on_state(cut, event)
 
+        # Null observer passes clock=None: bounded_enumeration then uses
+        # time.perf_counter itself, keeping unobserved runs unchanged.
+        task_clock = obs.clock if obs.enabled else None
+        t_start = obs.clock() if obs.enabled else 0.0
         if (
             self.split_budget is not None
             and interval.size_bound > self.split_budget
@@ -170,17 +200,32 @@ class OnlineParaMount:
             # within Gbnd(e), which never references later insertions
             # (Theorem 3), so splitting commutes with concurrent inserts.
             stats = None
+            pieces = 0
             for piece in split_interval(
                 self._view, interval, self.split_budget
             ):
                 piece_stats = bounded_enumeration(
-                    self._subroutine, piece, visit
+                    self._subroutine, piece, visit, clock=task_clock
                 )
+                pieces += 1
                 stats = (
                     piece_stats if stats is None else stats.merged(piece_stats)
                 )
+            if obs.enabled and pieces > 1:
+                obs.counter("intervals_split_total").inc()
         else:
-            stats = bounded_enumeration(self._subroutine, interval, visit)
+            stats = bounded_enumeration(
+                self._subroutine, interval, visit, clock=task_clock
+            )
+        if obs.enabled:
+            obs.record(
+                f"I({interval.event})",
+                "enumerate",
+                t_start,
+                obs.clock() - t_start,
+                attrs={"event": str(interval.event), "states": stats.states},
+            )
+        obs.task_done(stats)
         if self._stats_lock is not None:
             with self._stats_lock:
                 self._result.add_interval(stats)

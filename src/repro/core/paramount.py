@@ -38,12 +38,16 @@ from repro.core.intervals import Interval, compute_intervals
 from repro.core.metrics import DegradationEvent, IntervalStats, ParaMountResult
 from repro.core.scheduling import SchedulePlan, SchedulePolicy, plan_schedule
 from repro.errors import OutOfMemoryError
+from repro.obs.observer import Observer, ensure_observer
 from repro.poset.poset import Poset
 from repro.poset.topological import topological_order
 from repro.types import CutVisitor, EventId
+from repro.util.log import get_logger
 from repro.util.timing import Stopwatch
 
 __all__ = ["ParaMount"]
+
+logger = get_logger(__name__)
 
 OrderSpec = Union[None, Sequence[EventId], Callable[[Poset], Sequence[EventId]]]
 ScheduleSpec = Union[None, str, SchedulePolicy]
@@ -107,6 +111,16 @@ class ParaMount:
         pre-scheduling behavior, kept as an escape hatch for near-uniform
         partitions and for resuming journals written before splitting
         existed.
+    observer:
+        Optional :class:`~repro.obs.Observer` receiving spans (interval
+        partitioning, schedule planning, every enumeration task, checkpoint
+        flushes, degradations) and metrics (``states_enumerated_total``,
+        ``intervals_split_total``, ``steals_total``,
+        ``retry_attempts_total``, ``enumeration_seconds``).  The default is
+        the shared no-op observer, which leaves results byte-identical to
+        an unobserved run.  The observer's injected clock also times every
+        interval task, so ``IntervalStats.seconds`` is measured on the
+        same timeline as the recorded spans.
     """
 
     def __init__(
@@ -120,6 +134,7 @@ class ParaMount:
         checkpoint=None,
         degrade_on_oom: bool = False,
         schedule: ScheduleSpec = None,
+        observer: Optional[Observer] = None,
     ):
         self.poset = poset
         self.subroutine_name = subroutine
@@ -128,6 +143,7 @@ class ParaMount:
         self.sanitizer = sanitizer
         self.degrade_on_oom = degrade_on_oom
         self.schedule = SchedulePolicy.parse(schedule)
+        self.observer = ensure_observer(observer)
         if isinstance(checkpoint, (str, Path)):
             from repro.resilience.checkpoint import CheckpointJournal
 
@@ -141,7 +157,12 @@ class ParaMount:
             self._order = poset.insertion
         else:
             self._order = topological_order(poset)
-        self.intervals: List[Interval] = compute_intervals(poset, self._order)
+        with self.observer.span(
+            "compute_intervals", "plan", events=poset.num_events
+        ):
+            self.intervals: List[Interval] = compute_intervals(
+                poset, self._order
+            )
 
     @property
     def order(self) -> Sequence[EventId]:
@@ -166,10 +187,21 @@ class ParaMount:
             for interval in self.intervals:
                 sanitizer.observe_interval(interval)
 
-        plan = plan_schedule(
-            self.poset, self.intervals, self.schedule, self.executor.num_workers
-        )
-        completed = self._load_checkpoint(plan)
+        obs = self.observer
+        with obs.span(
+            "plan_schedule",
+            "plan",
+            intervals=len(self.intervals),
+            workers=self.executor.num_workers,
+        ):
+            plan = plan_schedule(
+                self.poset,
+                self.intervals,
+                self.schedule,
+                self.executor.num_workers,
+            )
+        with obs.span("load_checkpoint", "checkpoint"):
+            completed = self._load_checkpoint(plan)
         pending = [
             iv
             for iv in plan.tasks
@@ -178,6 +210,23 @@ class ParaMount:
         journal = self.checkpoint
         degradations: List[DegradationEvent] = []
         log_lock = threading.Lock()
+        # The observer's clock times every task on every executor path, so
+        # IntervalStats.seconds and the recorded spans share one timeline.
+        # The null observer passes None: bounded_enumeration then reads
+        # time.perf_counter at call time, keeping unobserved runs (and the
+        # byte-identical no-op guarantee) on the uninstrumented path.
+        task_clock = obs.clock if obs.enabled else None
+        if obs.enabled:
+            if getattr(self.executor, "observer", None) is None:
+                self.executor.observer = obs
+            if journal is not None and getattr(journal, "observer", None) is None:
+                journal.observer = obs
+            if plan.split_intervals:
+                obs.counter("intervals_split_total").inc(plan.split_intervals)
+        if obs.progress is not None:
+            obs.progress.set_total(len(plan.tasks))
+            for _ in completed:
+                obs.progress.on_task_done(0, 0.0)
 
         def make_task(interval: Interval) -> Callable[[], IntervalStats]:
             if sanitizer is None:
@@ -191,8 +240,11 @@ class ParaMount:
                         wrapped(cut)
 
             def task() -> IntervalStats:
+                t_start = task_clock() if task_clock is not None else 0.0
                 try:
-                    stats = bounded_enumeration(subroutine, interval, task_visit)
+                    stats = bounded_enumeration(
+                        subroutine, interval, task_visit, clock=task_clock
+                    )
                 except OutOfMemoryError as exc:
                     if (
                         not self.degrade_on_oom
@@ -203,7 +255,9 @@ class ParaMount:
                     fallback = make_bounded_subroutine(
                         "lexical", self.poset, memory_budget=self.memory_budget
                     )
-                    stats = bounded_enumeration(fallback, interval, task_visit)
+                    stats = bounded_enumeration(
+                        fallback, interval, task_visit, clock=task_clock
+                    )
                     with log_lock:
                         degradations.append(
                             DegradationEvent(
@@ -213,8 +267,40 @@ class ParaMount:
                                 reason=f"interval {interval.event}: {exc}",
                             )
                         )
+                    logger.warning(
+                        "interval %s degraded %s -> lexical: %s",
+                        interval.event,
+                        self.subroutine_name,
+                        exc,
+                        extra={
+                            "degrade_kind": "subroutine",
+                            "degrade_from": self.subroutine_name,
+                            "degrade_to": "lexical",
+                            "interval_event": str(interval.event),
+                        },
+                    )
+                    if obs.enabled:
+                        obs.instant(
+                            "degrade_subroutine",
+                            "enumerate",
+                            event=str(interval.event),
+                            to="lexical",
+                        )
                 if journal is not None:
                     journal.record(stats)
+                if obs.enabled:
+                    obs.record(
+                        f"I({interval.event})",
+                        "enumerate",
+                        t_start,
+                        obs.clock() - t_start,
+                        attrs={
+                            "event": str(interval.event),
+                            "states": stats.states,
+                            "work": stats.work,
+                        },
+                    )
+                obs.task_done(stats)
                 return stats
 
             # Work-stealing executors deal and steal by this weight.
@@ -225,7 +311,10 @@ class ParaMount:
         # O(n·|E|) to build →p and all interval bounds (§3.4).
         result.order_work = self.poset.num_events * self.poset.num_threads
         with Stopwatch() as sw:
-            raw = self.executor.map_tasks([make_task(iv) for iv in pending])
+            with obs.span("map_tasks", "schedule", tasks=len(pending)):
+                raw = self.executor.map_tasks(
+                    [make_task(iv) for iv in pending]
+                )
         by_task: Dict[tuple, IntervalStats] = dict(completed)
         for interval, stats in zip(pending, raw):
             if stats is not None:

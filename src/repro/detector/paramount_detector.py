@@ -70,11 +70,18 @@ class ParaMountDetector:
         predicate_factory: PredicateFactory = _default_predicate_factory,
         memory_budget: Optional[int] = None,
         static_pruner=None,
+        observer=None,
     ):
         self.subroutine = subroutine
         self.predicate_factory = predicate_factory
         self.memory_budget = memory_budget
         self.static_pruner = static_pruner
+        from repro.obs.observer import ensure_observer
+
+        #: Observability facade: spans the detection pass and feeds
+        #: ``hb_events_total`` / ``predicate_checks_total``; also handed to
+        #: the inner :class:`OnlineParaMount` for per-interval spans.
+        self.observer = ensure_observer(observer)
 
     def run(
         self, trace: Trace, benign_vars: frozenset = frozenset()
@@ -82,32 +89,56 @@ class ParaMountDetector:
         """Detect the predicate over one observed trace (1-pass, online)."""
         report = DetectionReport(detector=self.name, benchmark=trace.program_name)
         predicate = self.predicate_factory(report, benign_vars)
+        obs = self.observer
 
         online: Optional[OnlineParaMount] = None
 
-        def on_state(cut, event) -> None:
-            # The live view resolves the frontier events of the cut; every
-            # index the cut references is below the interval's Gbnd and
-            # therefore already inserted (Theorem 3).
-            frontier = online.builder.view().frontier_events(cut)
-            predicate.check(cut, frontier, new_event=event)
+        if obs.enabled:
+            checks = obs.counter("predicate_checks_total")
+
+            def on_state(cut, event) -> None:
+                frontier = online.builder.view().frontier_events(cut)
+                checks.inc()
+                predicate.check(cut, frontier, new_event=event)
+
+        else:
+
+            def on_state(cut, event) -> None:
+                # The live view resolves the frontier events of the cut;
+                # every index the cut references is below the interval's
+                # Gbnd and therefore already inserted (Theorem 3).
+                frontier = online.builder.view().frontier_events(cut)
+                predicate.check(cut, frontier, new_event=event)
 
         online = OnlineParaMount(
             trace.num_threads,
             subroutine=self.subroutine,
             on_state=on_state,
             memory_budget=self.memory_budget,
+            observer=obs,
         )
+        if obs.enabled:
+            hb_events = obs.counter("hb_events_total")
+
+            def emit(event):
+                hb_events.inc()
+                online.insert(event)
+
+        else:
+            emit = lambda event: online.insert(event)  # noqa: E731
         front_end = HBFrontEnd(
             trace.num_threads,
-            emit=lambda event: online.insert(event),
+            emit=emit,
             merge_collections=True,
             pruner=self.static_pruner,
         )
         with Stopwatch() as sw:
-            for op in trace:
-                front_end.process(op)
-            front_end.finish()
+            with obs.span(
+                "detect", "detect", benchmark=str(trace.program_name)
+            ):
+                for op in trace:
+                    front_end.process(op)
+                front_end.finish()
         report.elapsed = sw.elapsed
         report.states_enumerated = online.result.states
         report.poset_events = front_end.events_emitted

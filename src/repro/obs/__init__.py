@@ -1,0 +1,66 @@
+"""``repro.obs`` — unified tracing, metrics, and timeline export.
+
+The observability layer for the enumeration pipeline (DESIGN.md §7d):
+
+* :class:`~repro.obs.trace.SpanTracer` — low-overhead span recording with
+  explicit clock injection and lock-free per-thread buffers;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  histograms with a deterministic snapshot API;
+* :class:`~repro.obs.observer.Observer` — the facade every instrumented
+  component accepts (``ParaMount(observer=...)``);
+  :data:`~repro.obs.observer.NULL_OBSERVER` is the no-op default;
+* exporters (:mod:`repro.obs.export`) — Chrome trace-event JSON for
+  Perfetto/chrome://tracing, Prometheus text, JSON-lines;
+* :class:`~repro.obs.progress.ProgressReporter` — live one-line progress
+  for long online and offline runs;
+* :func:`~repro.obs.render.render_trace_file` — the text summary behind
+  ``repro-tools obs render``.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    spans_jsonl,
+    write_chrome_trace,
+    write_prometheus,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+    SpanLogHandler,
+    ensure_observer,
+)
+from repro.obs.progress import ProgressReporter
+from repro.obs.render import load_trace_events, render_trace_file
+from repro.obs.trace import Span, SpanTracer
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "NullObserver",
+    "NULL_OBSERVER",
+    "ensure_observer",
+    "SpanLogHandler",
+    "ProgressReporter",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus",
+    "spans_jsonl",
+    "write_spans_jsonl",
+    "render_trace_file",
+    "load_trace_events",
+]

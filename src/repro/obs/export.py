@@ -1,0 +1,182 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, JSON-lines.
+
+* :func:`chrome_trace` — the Trace Event Format consumed by Perfetto and
+  ``chrome://tracing``: one ``pid`` for the run, one ``tid`` **lane per
+  worker** (thread or worker process), complete events (``ph="X"``) for
+  timed spans and instant events (``ph="i"``) for markers like steals and
+  retries.  Timestamps are microseconds relative to the earliest span, so
+  a trace from an injected fake clock is byte-deterministic.
+* :func:`prometheus_text` — the Prometheus exposition format for a
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`.
+* :func:`spans_jsonl` — one span per line, for ad-hoc ``jq``-style
+  analysis and the log-shipping path.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.obs.trace import Span
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus",
+    "spans_jsonl",
+    "write_spans_jsonl",
+]
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _lane_order(spans: Sequence[Span]) -> List[str]:
+    """Worker lane labels in order of first appearance (by start time)."""
+    lanes: List[str] = []
+    seen = set()
+    for span in sorted(spans, key=lambda s: s.t0):
+        if span.worker not in seen:
+            seen.add(span.worker)
+            lanes.append(span.worker)
+    return lanes
+
+
+def chrome_trace(spans: Sequence[Span], pid: int = 1) -> Dict[str, object]:
+    """Render spans as a Chrome trace-event JSON object.
+
+    Load the written file in https://ui.perfetto.dev or chrome://tracing:
+    each worker is one named lane; splits show up as ``schedule`` spans,
+    steals as instant markers on the thief's lane.
+    """
+    lanes = _lane_order(spans)
+    tid_of = {lane: tid for tid, lane in enumerate(lanes)}
+    t_base = min((s.t0 for s in spans), default=0.0)
+    events: List[Dict[str, object]] = []
+    for tid, lane in enumerate(lanes):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": lane},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_sort_index",
+                "args": {"sort_index": tid},
+            }
+        )
+    for span in sorted(spans, key=lambda s: (s.t0, s.dt)):
+        ts = (span.t0 - t_base) * 1e6
+        event: Dict[str, object] = {
+            "name": span.name,
+            "cat": span.category or "default",
+            "pid": pid,
+            "tid": tid_of[span.worker],
+            "ts": ts,
+            "args": dict(span.attrs),
+        }
+        if span.is_instant:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped marker
+        else:
+            event["ph"] = "X"
+            event["dur"] = span.dt * 1e6
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: Union[str, Path], spans: Sequence[Span], pid: int = 1
+) -> Path:
+    """Write :func:`chrome_trace` output as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(spans, pid=pid), indent=1) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize and namespace a series name for Prometheus exposition."""
+    name = _METRIC_NAME_RE.sub("_", name)
+    return name if name.startswith("repro_") else f"repro_{name}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(snapshot: Dict[str, object]) -> str:
+    """Render a metrics snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():  # type: ignore[union-attr]
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():  # type: ignore[union-attr]
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, count in hist["buckets"].items():
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {count}')
+        lines.append(f"{metric}_sum {_format_value(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(
+    path: Union[str, Path], snapshot: Dict[str, object]
+) -> Path:
+    """Write :func:`prometheus_text` output; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(snapshot))
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# JSON-lines
+
+
+def spans_jsonl(spans: Iterable[Span]) -> str:
+    """One compact JSON object per span, one span per line."""
+    lines = [
+        json.dumps(
+            {
+                "name": s.name,
+                "cat": s.category,
+                "t0": s.t0,
+                "dt": s.dt,
+                "worker": s.worker,
+                "attrs": dict(s.attrs),
+            },
+            sort_keys=True,
+        )
+        for s in spans
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_spans_jsonl(path: Union[str, Path], spans: Iterable[Span]) -> Path:
+    """Write :func:`spans_jsonl` output; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(spans_jsonl(spans))
+    return path

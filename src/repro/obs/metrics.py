@@ -1,0 +1,203 @@
+"""Pipeline metrics: counters, gauges, histograms with a snapshot API.
+
+The registry mirrors the axes the related work measures — states/second
+and work accounting (arXiv:2008.12516), per-level memory (arXiv:1707.07788)
+— as first-class series the exporters can ship:
+
+* :class:`Counter` — monotone totals (``states_enumerated_total``,
+  ``steals_total``).  Increments land in lock-free per-thread cells (the
+  same discipline as the span tracer) and are summed at snapshot time, so
+  a counter bump on the enumeration hot path is an attribute lookup and an
+  integer add, no lock.
+* :class:`Gauge` — last-write-wins level (``intervals_pending``).
+* :class:`Histogram` — fixed cumulative buckets plus sum/count
+  (``enumeration_seconds``), Prometheus-compatible.
+
+Snapshots are plain dicts with deterministically ordered keys; under an
+injected fake clock two identical runs snapshot byte-identically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+]
+
+Clock = Callable[[], float]
+
+#: Default histogram bucket bounds for second-valued series: exponential
+#: from 10µs to ~100s, the observed range of interval enumeration tasks.
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 100.0,
+)
+
+
+class Counter:
+    """A monotone counter with lock-free per-thread cells."""
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._cells: List[List[float]] = []
+
+    def _cell(self) -> List[float]:
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = self._local.cell = [0.0]
+            with self._lock:
+                self._cells.append(cell)
+        return cell
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be ≥ 0) to the calling thread's cell."""
+        self._cell()[0] += amount
+
+    def value(self) -> float:
+        """Total across every thread's cell."""
+        with self._lock:
+            return sum(cell[0] for cell in self._cells)
+
+
+class Gauge:
+    """A settable level (last write wins; ``inc``/``dec`` are convenience)."""
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are the upper bounds of the non-``+Inf`` buckets, strictly
+    increasing; every observation also lands in the implicit ``+Inf``
+    bucket and in ``sum``/``count``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ):
+        bounds = tuple(buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram buckets must be strictly increasing: {bounds}")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # +Inf is the last slot
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (per-task, not per-state — lock is fine)."""
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """Cumulative bucket counts keyed by upper bound, plus sum/count."""
+        with self._lock:
+            counts = list(self._counts)
+            total, n = self._sum, self._count
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            cumulative[repr(bound)] = running
+        cumulative["+Inf"] = running + counts[-1]
+        return {"buckets": cumulative, "sum": total, "count": n}
+
+
+class MetricsRegistry:
+    """Creates and snapshots the pipeline's metric series.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the same name
+    always returns the same instance, so call sites need no coordination.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self.clock: Clock = clock if clock is not None else time.perf_counter
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name, help)
+            return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name, help)
+            return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, help, buckets)
+            return metric
+
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministically ordered dump of every series.
+
+        ``at`` is the registry clock's reading, so snapshots taken under a
+        fake clock are fully reproducible.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "at": self.clock(),
+            "counters": {
+                name: counters[name].value() for name in sorted(counters)
+            },
+            "gauges": {name: gauges[name].value() for name in sorted(gauges)},
+            "histograms": {
+                name: histograms[name].snapshot() for name in sorted(histograms)
+            },
+        }

@@ -1,0 +1,110 @@
+"""Live progress reporting for long enumerations.
+
+The reporter is fed by the drivers (``OnlineParaMount.insert`` per event,
+``ParaMount`` per finished task) and prints a rate-limited one-line status:
+
+    progress: events=1,204 intervals 970/1,204 done (pending 234) states=88,410 (41,205 states/s)
+
+It is deliberately dumb — no terminal control, one line per emission — so
+it composes with log output and CI transcripts.  The emission clock is
+injected for testability; the rate limit, not the caller, decides when a
+line is actually written.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Callable, Optional, TextIO
+
+__all__ = ["ProgressReporter"]
+
+Clock = Callable[[], float]
+
+
+class ProgressReporter:
+    """Rate-limited progress lines for an enumeration run.
+
+    Parameters
+    ----------
+    stream:
+        Output stream (default ``sys.stderr``).
+    min_interval:
+        Minimum seconds between emitted lines (``0`` = every update).
+    clock:
+        Seconds source for rate limiting and the states/sec rate.
+    total_tasks:
+        Optional known task count (offline runs), rendered as ``done/total``.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.5,
+        clock: Optional[Clock] = None,
+        total_tasks: Optional[int] = None,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.clock: Clock = clock if clock is not None else time.perf_counter
+        self.total_tasks = total_tasks
+        self._lock = threading.Lock()
+        self._t_start = self.clock()
+        self._t_last = float("-inf")
+        self.events_inserted = 0
+        self.tasks_done = 0
+        self.states = 0
+        self.lines_emitted = 0
+
+    # ------------------------------------------------------------------ #
+    # driver hooks
+
+    def set_total(self, total_tasks: int) -> None:
+        """Declare the task count once the schedule is planned."""
+        with self._lock:
+            self.total_tasks = total_tasks
+
+    def on_event(self) -> None:
+        """One event inserted (online runs)."""
+        with self._lock:
+            self.events_inserted += 1
+            self._maybe_emit()
+
+    def on_task_done(self, states: int, seconds: float) -> None:
+        """One interval task finished."""
+        with self._lock:
+            self.tasks_done += 1
+            self.states += states
+            self._maybe_emit()
+
+    def close(self) -> None:
+        """Emit the final line unconditionally."""
+        with self._lock:
+            self._maybe_emit(force=True)
+
+    # ------------------------------------------------------------------ #
+
+    def _maybe_emit(self, force: bool = False) -> None:
+        now = self.clock()
+        if not force and now - self._t_last < self.min_interval:
+            return
+        self._t_last = now
+        elapsed = now - self._t_start
+        rate = self.states / elapsed if elapsed > 0 else 0.0
+        if self.total_tasks is not None:
+            pending = max(self.total_tasks - self.tasks_done, 0)
+            intervals = f"intervals {self.tasks_done:,}/{self.total_tasks:,} done"
+        else:
+            pending = max(self.events_inserted - self.tasks_done, 0)
+            intervals = f"intervals {self.tasks_done:,} done"
+        parts = ["progress:"]
+        if self.events_inserted:
+            parts.append(f"events={self.events_inserted:,}")
+        parts.append(f"{intervals} (pending {pending:,})")
+        parts.append(f"states={self.states:,} ({rate:,.0f} states/s)")
+        self.stream.write(" ".join(parts) + "\n")
+        flush = getattr(self.stream, "flush", None)
+        if flush is not None:
+            flush()
+        self.lines_emitted += 1

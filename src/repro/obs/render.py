@@ -1,0 +1,128 @@
+"""Summarize a captured trace file (``repro-tools obs render``).
+
+Consumes the Chrome trace-event JSON written by ``--trace-out`` (or by
+:func:`repro.obs.export.write_chrome_trace`) and renders the run as text:
+wall span, per-category time, per-worker lanes with busy time and task
+counts, steal/split/retry markers, and the slowest spans — the quick look
+before (or instead of) opening Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.util.tables import TextTable
+from repro.util.timing import format_duration
+
+__all__ = ["render_trace_file", "load_trace_events"]
+
+
+def load_trace_events(path: Union[str, Path]) -> List[dict]:
+    """Load and structurally validate a Chrome trace-event JSON file."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError(
+            f"{path} is not a Chrome trace file (no traceEvents key)"
+        )
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: traceEvents is not a list")
+    return events
+
+
+def render_trace_file(path: Union[str, Path], top: int = 5) -> str:
+    """Render a one-screen text summary of a Chrome trace file."""
+    events = load_trace_events(path)
+    lane_names: Dict[int, str] = {}
+    complete: List[dict] = []
+    instants: List[dict] = []
+    for event in events:
+        ph = event.get("ph")
+        if ph == "M" and event.get("name") == "thread_name":
+            lane_names[event["tid"]] = event["args"]["name"]
+        elif ph == "X":
+            complete.append(event)
+        elif ph == "i":
+            instants.append(event)
+
+    out: List[str] = [f"trace: {path}"]
+    if not complete and not instants:
+        out.append("  (no spans recorded)")
+        return "\n".join(out)
+
+    t_lo = min(e["ts"] for e in complete + instants)
+    t_hi = max(e["ts"] + e.get("dur", 0.0) for e in complete + instants)
+    out.append(
+        f"  {len(complete)} span(s), {len(instants)} marker(s), "
+        f"{len(lane_names)} worker lane(s), "
+        f"wall {format_duration((t_hi - t_lo) / 1e6)}"
+    )
+
+    by_category: Dict[str, List[float]] = {}
+    for event in complete:
+        by_category.setdefault(event.get("cat", "default"), []).append(
+            event.get("dur", 0.0)
+        )
+    table = TextTable(["category", "spans", "total", "max"], title="By category")
+    for category in sorted(by_category):
+        durs = by_category[category]
+        table.add_row(
+            [
+                category,
+                len(durs),
+                format_duration(sum(durs) / 1e6),
+                format_duration(max(durs) / 1e6),
+            ]
+        )
+    out.append(table.render())
+
+    by_lane: Dict[int, List[float]] = {}
+    for event in complete:
+        by_lane.setdefault(event["tid"], []).append(event.get("dur", 0.0))
+    marks_by_lane: Dict[int, int] = {}
+    for event in instants:
+        marks_by_lane[event["tid"]] = marks_by_lane.get(event["tid"], 0) + 1
+    table = TextTable(
+        ["worker", "spans", "busy", "markers"], title="By worker lane"
+    )
+    for tid in sorted(set(by_lane) | set(marks_by_lane)):
+        durs = by_lane.get(tid, [])
+        table.add_row(
+            [
+                lane_names.get(tid, f"tid-{tid}"),
+                len(durs),
+                format_duration(sum(durs) / 1e6),
+                marks_by_lane.get(tid, 0),
+            ]
+        )
+    out.append(table.render())
+
+    marker_counts: Dict[str, int] = {}
+    for event in instants:
+        key = f"{event.get('cat', 'default')}:{event['name']}"
+        marker_counts[key] = marker_counts.get(key, 0) + 1
+    if marker_counts:
+        rendered = ", ".join(
+            f"{key}×{count}" for key, count in sorted(marker_counts.items())
+        )
+        out.append(f"  markers: {rendered}")
+
+    slowest = sorted(complete, key=lambda e: -e.get("dur", 0.0))[:top]
+    if slowest:
+        table = TextTable(
+            ["span", "category", "worker", "duration"],
+            title=f"Slowest {len(slowest)} span(s)",
+        )
+        for event in slowest:
+            table.add_row(
+                [
+                    event["name"],
+                    event.get("cat", "default"),
+                    lane_names.get(event["tid"], f"tid-{event['tid']}"),
+                    format_duration(event.get("dur", 0.0) / 1e6),
+                ]
+            )
+        out.append(table.render())
+    return "\n".join(out)

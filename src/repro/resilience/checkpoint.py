@@ -75,6 +75,9 @@ class CheckpointJournal:
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
         self._lock = threading.Lock()
+        #: Optional :class:`repro.obs.Observer` — the drivers wire theirs
+        #: in so every flushed record appears as a ``checkpoint`` span.
+        self.observer = None
 
     # ------------------------------------------------------------------ #
     # resume
@@ -183,10 +186,22 @@ class CheckpointJournal:
                 "seconds": stats.seconds,
             }
         )
+        obs = self.observer
+        observe = obs is not None and getattr(obs, "enabled", False)
+        t0 = obs.clock() if observe else 0.0
         with self._lock:
             with self.path.open("a") as fh:
                 fh.write(line + "\n")
                 fh.flush()
+        if observe:
+            obs.record(
+                "flush",
+                "checkpoint",
+                t0,
+                obs.clock() - t0,
+                attrs={"event": str(stats.event), "bytes": len(line) + 1},
+            )
+            obs.counter("checkpoint_records_total").inc()
 
     # ------------------------------------------------------------------ #
     # internals

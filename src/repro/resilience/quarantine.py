@@ -16,7 +16,11 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.util.log import get_logger
+
 __all__ = ["QuarantinedRecord", "QuarantineReport"]
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,13 @@ class QuarantineReport:
             payload="" if payload is None else repr(payload)[:200],
         )
         self.records.append(rec)
+        logger.warning(
+            "quarantined record %d (%s): %s",
+            index,
+            kind,
+            reason,
+            extra={"record_index": index, "record_kind": kind},
+        )
         return rec
 
     def __len__(self) -> int:

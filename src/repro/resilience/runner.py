@@ -44,8 +44,11 @@ from repro.errors import (
     TaskNotPicklableError,
 )
 from repro.resilience.faults import FAULT_NONE, FaultSpec, apply_fault
+from repro.util.log import get_logger
 
 __all__ = ["ResilientExecutor", "default_ladder"]
+
+logger = get_logger(__name__)
 
 _OK = "ok"
 _ERR = "err"
@@ -122,6 +125,13 @@ class ResilientExecutor(Executor):
     # ------------------------------------------------------------------ #
 
     def map_tasks(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        # Forward the driver-wired observer down the ladder so stealing
+        # rungs emit steal markers into the same trace.
+        obs = self.observer
+        if obs is not None and getattr(obs, "enabled", False):
+            for rung_exec in self.ladder:
+                if getattr(rung_exec, "observer", None) is None:
+                    rung_exec.observer = obs
         n = len(tasks)
         results: List[object] = [None] * n
         fail_count = [0] * n  # task-attributed failures (charges the retry budget)
@@ -182,6 +192,7 @@ class ResilientExecutor(Executor):
                         break
                 if pending:
                     self.retries += len(pending)
+                    self._observe_retries(len(pending), str(exc))
                     time.sleep(self.retry.delay(min(rung_breaks + 1, 8)))
                 continue
 
@@ -205,6 +216,7 @@ class ResilientExecutor(Executor):
                     still.append(i)
             if still:
                 self.retries += len(still)
+                self._observe_retries(len(still), "task error")
                 time.sleep(
                     self.retry.delay(min(max(fail_count[i] for i in still), 8))
                 )
@@ -236,12 +248,39 @@ class ResilientExecutor(Executor):
         guarded.weight = getattr(task, "weight", 1)  # type: ignore[attr-defined]
         return guarded
 
+    def _observe_retries(self, count: int, reason: str) -> None:
+        obs = self.observer
+        if obs is not None and getattr(obs, "enabled", False):
+            obs.counter("retry_attempts_total").inc(count)
+            obs.instant("retry", "resilience", tasks=count, reason=reason)
+
     def _degrade(self, rung: int, reason: str) -> None:
+        from_name = self.ladder[rung].name
+        to_name = self.ladder[rung + 1].name
+        logger.warning(
+            "degrading %s -> %s: %s",
+            from_name,
+            to_name,
+            reason,
+            extra={
+                "degrade_kind": "executor",
+                "degrade_from": from_name,
+                "degrade_to": to_name,
+            },
+        )
+        obs = self.observer
+        if obs is not None and getattr(obs, "enabled", False):
+            obs.instant(
+                "degrade_executor",
+                "resilience",
+                to=to_name,
+                reason=reason[:120],
+            )
         self.degradations.append(
             DegradationEvent(
                 kind="executor",
-                from_name=self.ladder[rung].name,
-                to_name=self.ladder[rung + 1].name,
+                from_name=from_name,
+                to_name=to_name,
                 reason=reason,
             )
         )

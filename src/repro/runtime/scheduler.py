@@ -371,7 +371,26 @@ def _build_wait_for(threads, locks) -> WaitForGraph:
 
 
 def run_program(
-    program: Program, seed: int = 0, stickiness: float = 0.0, sanitizer=None
+    program: Program,
+    seed: int = 0,
+    stickiness: float = 0.0,
+    sanitizer=None,
+    observer=None,
 ) -> Trace:
-    """Convenience wrapper: schedule ``program`` once and return its trace."""
-    return Scheduler(program, seed=seed, stickiness=stickiness, sanitizer=sanitizer).run()
+    """Convenience wrapper: schedule ``program`` once and return its trace.
+
+    With an ``observer`` (a :class:`repro.obs.Observer`) the capture is
+    recorded as a ``capture`` span carrying the program name, seed, and
+    the number of operations captured.
+    """
+    scheduler = Scheduler(
+        program, seed=seed, stickiness=stickiness, sanitizer=sanitizer
+    )
+    if observer is None or not getattr(observer, "enabled", False):
+        return scheduler.run()
+    with observer.span(
+        "run_program", "capture", program=str(program.name), seed=seed
+    ) as span:
+        trace = scheduler.run()
+        span.annotate(ops=len(trace))
+    return trace

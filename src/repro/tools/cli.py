@@ -149,6 +149,45 @@ def _cmd_capture_poset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_observer(args: argparse.Namespace):
+    """Build an Observer for ``enumerate`` from its --trace-out/--metrics-out/
+    --progress flags; returns ``None`` when none was requested."""
+    wants_obs = bool(
+        getattr(args, "trace_out", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "progress", False)
+    )
+    if not wants_obs:
+        return None
+    from repro.obs import Observer, ProgressReporter, SpanLogHandler
+    from repro.util.log import get_logger
+
+    progress = ProgressReporter() if args.progress else None
+    observer = Observer(progress=progress)
+    # Warnings (degradations, quarantines, timeouts) land on the trace too.
+    handler = SpanLogHandler(observer)
+    get_logger("").addHandler(handler)
+    observer._cli_log_handler = handler
+    return observer
+
+
+def _finish_observer(observer, args: argparse.Namespace) -> None:
+    if observer is None:
+        return
+    from repro.obs import write_chrome_trace, write_prometheus
+    from repro.util.log import get_logger
+
+    get_logger("").removeHandler(observer._cli_log_handler)
+    if observer.progress is not None:
+        observer.progress.close()
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, observer.spans())
+        print(f"trace written to {args.trace_out} ({len(observer.spans())} spans)")
+    if args.metrics_out:
+        write_prometheus(args.metrics_out, observer.snapshot())
+        print(f"metrics written to {args.metrics_out}")
+
+
 def _cmd_enumerate(args: argparse.Namespace) -> int:
     from repro.core.executors import RetryPolicy
     from repro.core.paramount import ParaMount
@@ -161,6 +200,13 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     resilient = bool(args.resume or args.faults or args.workers)
     if resilient and not args.paramount:
         print("error: --resume/--faults/--workers require --paramount", file=sys.stderr)
+        return 2
+    observer = _make_observer(args)
+    if observer is not None and not args.paramount:
+        print(
+            "error: --trace-out/--metrics-out/--progress require --paramount",
+            file=sys.stderr,
+        )
         return 2
     if args.paramount:
         policy = SchedulePolicy.parse(args.schedule)
@@ -191,8 +237,12 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             executor=executor,
             checkpoint=args.resume,
             schedule=policy,
+            observer=observer,
         )
-        result = pm.run()
+        try:
+            result = pm.run()
+        finally:
+            _finish_observer(observer, args)
         print(
             f"ParaMount({args.algorithm}): {result.states} states over "
             f"{len(result.intervals)} intervals "
@@ -251,6 +301,18 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             f"{args.algorithm}: {result.states} states "
             f"(wall {format_duration(sw.elapsed)}, peak live {result.peak_live})"
         )
+    return 0
+
+
+def _cmd_obs_render(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.obs.render import render_trace_file
+
+    try:
+        print(render_trace_file(args.trace, top=args.top))
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -332,6 +394,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-tools",
         description="Capture, detect, enumerate and explore with ParaMount.",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error", "critical"),
+        default=None,
+        help="root log level for the 'repro' logger hierarchy",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="increase log verbosity (-v info, -vv debug); "
+        "ignored when --log-level is given",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -432,6 +508,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-task gather timeout in seconds for the resilient ladder",
     )
+    p.add_argument(
+        "--trace-out",
+        metavar="TRACE.json",
+        help="write a Chrome trace-event JSON of the run (open in "
+        "Perfetto or chrome://tracing; requires --paramount)",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="METRICS.prom",
+        help="write the run's metrics in Prometheus text format "
+        "(requires --paramount)",
+    )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a live one-line progress report to stderr "
+        "(requires --paramount)",
+    )
     p.set_defaults(func=_cmd_enumerate)
 
     p = sub.add_parser("profile", help="profile a saved poset's lattice")
@@ -467,12 +561,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=8)
     p.set_defaults(func=_cmd_explore)
 
+    p = sub.add_parser("obs", help="observability artifact tools")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    r = obs_sub.add_parser(
+        "render", help="summarize a Chrome trace-event JSON in the terminal"
+    )
+    r.add_argument("trace", help="path to a trace written by --trace-out")
+    r.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="how many slowest spans to list (default 5)",
+    )
+    r.set_defaults(func=_cmd_obs_render)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    from repro.util.log import configure_logging
+
+    configure_logging(level=args.log_level, verbosity=args.verbose)
     return args.func(args)
 
 
