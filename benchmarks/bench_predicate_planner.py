@@ -1,0 +1,170 @@
+"""Predicate planner — fast-path detection vs. full-lattice evaluation.
+
+For each workload the raw (unmerged) access poset is detected against two
+registered structured predicates — ``tail-window`` (conjunctive) and
+``leader-lag`` (linear) — twice:
+
+* **fast**: the :class:`~repro.detector.planner.DetectionPlanner` route
+  the classification certificate proves sound (Garg–Waldecker advance /
+  linear forward advance), with the one-off classification cost timed
+  separately (it is per *predicate*, amortized over every trace);
+* **full**: the general-purpose path — enumerate every consistent global
+  state and evaluate the predicate on each, which is exactly what a
+  ParaMount pass does when it cannot assume structure (Algorithms 5–6
+  never short-circuit).
+
+Verdicts and witnesses must agree (the crossval contract), and the
+acceptance bar — fast path ≥ 10× faster on ≥ 2 workloads for both a
+conjunctive and a linear predicate — is asserted before the numbers land
+in ``benchmarks/results/BENCH_predicate_planner.json``.
+
+``BENCH_PLANNER_SMOKE=1`` drops to single-round timing for CI.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.detector.hb import poset_from_trace
+from repro.detector.planner import DetectionPlanner
+from repro.enumeration.lexical import LexicalEnumerator
+from repro.predicates.registry import predicates_for
+from repro.workloads.registry import DETECTION_WORKLOADS
+
+from conftest import RESULTS_DIR
+
+SMOKE = os.environ.get("BENCH_PLANNER_SMOKE", "") == "1"
+ROUNDS = 1 if SMOKE else 5
+NAMES = ["sor", "tsp", "raytracer"]
+PREDICATES = ["tail-window", "leader-lag"]
+
+#: (workload, predicate) -> measurements, flushed by test_emit_json.
+_results: dict = {}
+
+_POSETS: dict = {}
+
+
+def _poset(name: str):
+    if name not in _POSETS:
+        _POSETS[name] = poset_from_trace(
+            DETECTION_WORKLOADS[name].trace(), merge_collections=False
+        )
+    return _POSETS[name]
+
+
+def _spec(name: str, pred_name: str):
+    (spec,) = [s for s in predicates_for(name) if s.name == pred_name]
+    return spec
+
+
+def _entry(name: str, pred_name: str) -> dict:
+    return _results.setdefault(name, {}).setdefault(pred_name, {})
+
+
+def _full_scan(poset, pred):
+    """The general-purpose baseline: every state enumerated, predicate
+    evaluated on each (no short-circuit — ParaMount's Algorithm 5 shape).
+    Returns (states enumerated, satisfying count, least witness)."""
+    matches = []
+
+    def visit(cut):
+        if pred.check(cut, poset.frontier_events(cut)):
+            matches.append(cut)
+
+    result = LexicalEnumerator(poset).enumerate(visit)
+    return result.states, len(matches), (min(matches) if matches else None)
+
+
+@pytest.mark.parametrize("pred_name", PREDICATES)
+@pytest.mark.parametrize("name", NAMES)
+def test_fast_path_detection(benchmark, name, pred_name):
+    poset = _poset(name)
+    spec = _spec(name, pred_name)
+    planner = DetectionPlanner()
+
+    # Classification is a one-off per predicate (like pruner construction);
+    # time it separately from the routed detection it amortizes over.
+    t0 = time.perf_counter()
+    plan = planner.plan(spec.build(poset), name=spec.name)
+    classify_seconds = time.perf_counter() - t0
+    assert plan.fast_path, f"{spec.name} must classify onto a fast path"
+
+    def run():
+        return planner.detect(poset, spec.build(poset), plan=plan)
+
+    planned = benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    _entry(name, pred_name).update(
+        route=plan.route,
+        predicate_class=plan.certificate.assigned.value,
+        classify_seconds=classify_seconds,
+        fast_seconds=benchmark.stats.stats.mean,
+        fast_detected=planned.detected,
+        fast_witness=planned.witness,
+        fast_states_examined=planned.states_examined,
+    )
+
+
+@pytest.mark.parametrize("pred_name", PREDICATES)
+@pytest.mark.parametrize("name", NAMES)
+def test_full_enumeration_baseline(benchmark, name, pred_name):
+    poset = _poset(name)
+    spec = _spec(name, pred_name)
+
+    def run():
+        return _full_scan(poset, spec.build(poset))
+
+    states, matches, least = benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    entry = _entry(name, pred_name)
+    entry.update(
+        full_seconds=benchmark.stats.stats.mean,
+        full_states=states,
+        full_matches=matches,
+    )
+    # Verdict-identity contract (the crossval theorem, re-checked on the
+    # raw poset): same detection, same least witness.
+    if "fast_detected" in entry:
+        assert entry["fast_detected"] == (matches > 0)
+        if matches:
+            assert tuple(entry["fast_witness"]) == tuple(least)
+
+
+def test_emit_json(artifact_sink):
+    """Flush BENCH_predicate_planner.json and assert the acceptance bar."""
+    assert set(_results) == set(NAMES)
+    payload: dict = {"benchmark": "predicate_planner", "workloads": {}}
+    lines = ["predicate planner benchmark (fast path vs full enumeration):"]
+    tenfold = {p: 0 for p in PREDICATES}
+    for name in NAMES:
+        for pred_name in PREDICATES:
+            r = _results[name][pred_name]
+            speedup = r["full_seconds"] / r["fast_seconds"]
+            r["speedup"] = speedup
+            if speedup >= 10.0:
+                tenfold[pred_name] += 1
+            lines.append(
+                f"  {name:10s} {pred_name:12s} [{r['route']}] "
+                f"fast {r['fast_seconds'] * 1e3:8.4f}ms  "
+                f"full {r['full_seconds'] * 1e3:9.3f}ms "
+                f"({r['full_states']} states)  x{speedup:,.0f}  "
+                f"(classify {r['classify_seconds'] * 1e3:.3f}ms)"
+            )
+        payload["workloads"][name] = {
+            p: {
+                k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in _results[name][p].items()
+            }
+            for p in PREDICATES
+        }
+    # Acceptance: ≥ 10× on ≥ 2 workloads, for the conjunctive route AND
+    # the linear route.
+    for pred_name, hits in tenfold.items():
+        assert hits >= 2, (
+            f"{pred_name}: only {hits} workload(s) reached 10× "
+            f"(need ≥ 2)\n" + "\n".join(lines)
+        )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_predicate_planner.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    artifact_sink("BENCH_predicate_planner", "\n".join(lines))

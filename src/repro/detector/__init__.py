@@ -15,19 +15,33 @@ Three detectors over the same observed traces:
 * :class:`~repro.detector.fasttrack.FastTrackDetector` — the epoch-based
   online race detector of Flanagan & Freund, reimplemented from the 2009
   paper's rules (races only; no enumeration).
+
+:mod:`~repro.detector.planner` adds the certificate-driven
+:class:`~repro.detector.planner.DetectionPlanner` that routes provably
+structured predicates (conjunctive / linear / stable) around the
+enumeration entirely; ``ParaMountDetector(plan="auto")`` consults it.
 """
 
 from repro.detector.fasttrack import FastTrackDetector
-from repro.detector.hb import HBFrontEnd
+from repro.detector.hb import HBFrontEnd, poset_from_trace
 from repro.detector.paramount_detector import ParaMountDetector
+from repro.detector.planner import (
+    DetectionPlan,
+    DetectionPlanner,
+    PlannedDetection,
+)
 from repro.detector.report import DetectionReport, RaceRecord
 from repro.detector.rv_runtime import RVRuntimeDetector
 
 __all__ = [
     "HBFrontEnd",
+    "poset_from_trace",
     "ParaMountDetector",
     "RVRuntimeDetector",
     "FastTrackDetector",
     "DetectionReport",
     "RaceRecord",
+    "DetectionPlan",
+    "DetectionPlanner",
+    "PlannedDetection",
 ]

@@ -27,13 +27,16 @@ and are ready for insertion into an online ParaMount or an offline poset.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import DetectorError
 from repro.poset.event import Access, Event
 from repro.runtime.trace import Trace, TraceOp
 
-__all__ = ["HBFrontEnd", "events_from_trace"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.poset.poset import Poset
+
+__all__ = ["HBFrontEnd", "events_from_trace", "poset_from_trace"]
 
 EmitFn = Callable[[Event], None]
 
@@ -235,3 +238,22 @@ def events_from_trace(trace: Trace, merge_collections: bool = True) -> List[Even
         fe.process(op)
     fe.finish()
     return out
+
+
+def poset_from_trace(trace: Trace, merge_collections: bool = True) -> "Poset":
+    """Build the detector poset of one observed trace.
+
+    ``merge_collections=True`` gives the event-collection poset ParaMount
+    enumerates (§4.4) — also what the detection planner's fast paths run
+    on; ``False`` gives the raw one-event-per-access poset of the RV
+    baseline and the Table 1 captures.  The emission order is recorded as
+    the poset's insertion order (a linear extension of happened-before by
+    construction).
+    """
+    from repro.poset.poset import Poset
+
+    events = events_from_trace(trace, merge_collections=merge_collections)
+    chains: List[List[Event]] = [[] for _ in range(trace.num_threads)]
+    for e in events:
+        chains[e.tid].append(e)
+    return Poset(chains, insertion=[e.eid for e in events])

@@ -11,6 +11,14 @@ The detector is *general-purpose*: swap :class:`DataRacePredicate` for any
 :class:`~repro.predicates.base.StatePredicate` via the ``predicate_factory``
 hook to detect other conditions on the same enumeration (the extension
 examples do exactly that).
+
+Since the planner landed, "general-purpose" no longer means "always
+enumerate": under ``plan="auto"`` the built predicate is classified
+(:mod:`repro.staticcheck.predclass`) and, when the certificate proves a
+conjunctive / linear / stable structure, detection routes through the
+corresponding slicing fast path on the event-collection poset instead of
+the online enumeration.  Arbitrary predicates — including the default
+data-race predicate — keep the original online path untouched.
 """
 
 from __future__ import annotations
@@ -18,7 +26,8 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.core.online import OnlineParaMount
-from repro.detector.hb import HBFrontEnd
+from repro.detector.hb import HBFrontEnd, poset_from_trace
+from repro.detector.planner import DetectionPlanner
 from repro.detector.report import DetectionReport
 from repro.predicates.base import StatePredicate
 from repro.predicates.data_race import DataRacePredicate
@@ -60,6 +69,13 @@ class ParaMountDetector:
         bookkeeping and predicate work.  Detections are unchanged (the
         pruner only drops provably-ordered variables); the skipped work is
         reported via ``pruned_vars`` / ``pruned_accesses``.
+    plan:
+        Detection-planner mode: ``"auto"`` (default) routes provably
+        structured predicates to the slicing fast paths and everything
+        else to the unchanged enumeration; ``"full"`` disables planning
+        outright (pre-planner behavior); ``"slice"`` demands a fast path
+        and raises :class:`~repro.errors.PlannerError` for predicates the
+        classifier cannot prove eligible.
     """
 
     name = "ParaMount"
@@ -71,11 +87,13 @@ class ParaMountDetector:
         memory_budget: Optional[int] = None,
         static_pruner=None,
         observer=None,
+        plan: str = "auto",
     ):
         self.subroutine = subroutine
         self.predicate_factory = predicate_factory
         self.memory_budget = memory_budget
         self.static_pruner = static_pruner
+        self.plan = plan
         from repro.obs.observer import ensure_observer
 
         #: Observability facade: spans the detection pass and feeds
@@ -91,12 +109,34 @@ class ParaMountDetector:
         predicate = self.predicate_factory(report, benign_vars)
         obs = self.observer
 
+        if self.plan != "full":
+            planner = DetectionPlanner(mode=self.plan, observer=obs)
+            dplan = planner.plan(
+                predicate, name=getattr(predicate, "name", None)
+            )
+            report.plan_route = dplan.route
+            report.predicate_class = dplan.certificate.assigned.value
+            if dplan.fast_path:
+                # Provably structured predicate: detect on the same
+                # event-collection poset the online pass would build, but
+                # via the certificate's slicing route — no enumeration.
+                poset = poset_from_trace(trace, merge_collections=True)
+                planned = planner.detect(poset, predicate, plan=dplan)
+                report.elapsed = planned.elapsed
+                report.witness = planned.witness
+                report.states_enumerated = planned.states_examined
+                report.poset_events = poset.num_events
+                return report
+            # Arbitrary (or demoted) predicate: fall through to the
+            # original online enumeration path, unchanged.
+
         online: Optional[OnlineParaMount] = None
 
         if obs.enabled:
             checks = obs.counter("predicate_checks_total")
 
             def on_state(cut, event) -> None:
+                assert online is not None  # assigned before any insert
                 frontier = online.builder.view().frontier_events(cut)
                 checks.inc()
                 predicate.check(cut, frontier, new_event=event)
@@ -107,6 +147,7 @@ class ParaMountDetector:
                 # The live view resolves the frontier events of the cut;
                 # every index the cut references is below the interval's
                 # Gbnd and therefore already inserted (Theorem 3).
+                assert online is not None  # assigned before any insert
                 frontier = online.builder.view().frontier_events(cut)
                 predicate.check(cut, frontier, new_event=event)
 

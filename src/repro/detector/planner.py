@@ -1,0 +1,286 @@
+"""The detection planner: certificate-driven routing around enumeration.
+
+The :class:`~repro.staticcheck.predclass.ClassificationCertificate` says
+what a predicate provably is; the :class:`DetectionPlanner` turns that
+into a route:
+
+===============  ====================================================
+class            route
+===============  ====================================================
+local /          Garg–Waldecker forward advance
+conjunctive      (:func:`~repro.predicates.conjunctive.detect_conjunctive`)
+                 + :func:`~repro.predicates.slicing.conjunctive_slice`
+                 for the satisfying sublattice
+linear           generalized forward advance
+                 (:func:`~repro.predicates.linear.linear_slice`)
+stable           final-cut test + bounded frontier sweep
+                 (:func:`~repro.predicates.stable.detect_stable`)
+arbitrary        full enumeration — the ParaMount path, untouched
+===============  ====================================================
+
+Soundness contract (DESIGN §7e): the fast path is taken **only** for
+certificates the classifier could prove; anything unknown or demoted
+routes to full enumeration, so planning can cost time but never a
+verdict.  ``mode="full"`` disables routing outright (the byte-for-byte
+baseline); ``mode="slice"`` *requires* a fast path and raises
+:class:`~repro.errors.PlannerError` on an ``arbitrary`` certificate
+instead of silently enumerating.
+
+Every decision is observable: an ``instant("plan", ...)`` trace marker
+per planned predicate and the ``predicates_fast_pathed_total`` /
+``predicates_demoted_total`` counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PlannerError
+from repro.poset.poset import Poset
+from repro.predicates.base import StatePredicate
+from repro.predicates.conjunctive import ConjunctivePredicate
+from repro.predicates.linear import linear_slice
+from repro.predicates.modalities import possibly
+from repro.predicates.slicing import (
+    ConjunctiveSlice,
+    conjunctive_slice,
+    least_satisfying,
+)
+from repro.predicates.stable import detect_stable
+from repro.staticcheck.predclass import (
+    ClassificationCertificate,
+    PredicateClass,
+    classify_predicate,
+)
+from repro.types import Cut
+from repro.util.timing import Stopwatch
+
+__all__ = [
+    "ROUTE_CONJUNCTIVE_SLICE",
+    "ROUTE_LINEAR_SLICE",
+    "ROUTE_STABLE_SWEEP",
+    "ROUTE_FULL",
+    "DetectionPlan",
+    "PlannedDetection",
+    "DetectionPlanner",
+]
+
+ROUTE_CONJUNCTIVE_SLICE = "conjunctive_slice"
+ROUTE_LINEAR_SLICE = "linear_slice"
+ROUTE_STABLE_SWEEP = "stable_sweep"
+ROUTE_FULL = "full_enumeration"
+
+_ROUTE_FOR_CLASS = {
+    PredicateClass.LOCAL: ROUTE_CONJUNCTIVE_SLICE,
+    PredicateClass.CONJUNCTIVE: ROUTE_CONJUNCTIVE_SLICE,
+    PredicateClass.LINEAR: ROUTE_LINEAR_SLICE,
+    PredicateClass.STABLE: ROUTE_STABLE_SWEEP,
+    PredicateClass.ARBITRARY: ROUTE_FULL,
+}
+
+
+@dataclass(frozen=True)
+class DetectionPlan:
+    """One routing decision, with the certificate that justifies it."""
+
+    certificate: ClassificationCertificate
+    route: str
+    mode: str
+    rationale: str
+
+    @property
+    def fast_path(self) -> bool:
+        return self.route != ROUTE_FULL
+
+
+@dataclass(frozen=True)
+class PlannedDetection:
+    """Outcome of a planned possibly-detection on one poset."""
+
+    plan: DetectionPlan
+    detected: bool
+    #: A satisfying consistent cut (the *least* one for conjunctive and
+    #: linear routes) or ``None``.
+    witness: Optional[Cut]
+    #: Predicate evaluations / states the route examined (0 when the
+    #: route is purely analytic, e.g. the Garg–Waldecker advance).
+    states_examined: int
+    elapsed: float
+    #: The satisfying sublattice, when the conjunctive route ran with
+    #: ``with_slice=True`` (the box certificate; costs an interval
+    #: enumeration of the box, so it is opt-in).
+    slice: Optional[ConjunctiveSlice] = None
+
+
+class DetectionPlanner:
+    """Routes predicates to the cheapest provably-sound detection path.
+
+    Parameters
+    ----------
+    mode:
+        ``"auto"`` (default) — follow the certificate; ``"full"`` — always
+        take full enumeration (baseline / escape hatch); ``"slice"`` —
+        demand a fast path, raising :class:`PlannerError` when the
+        certificate says ``arbitrary``.
+    observer:
+        Optional :class:`repro.obs.observer.Observer` for plan instants
+        and the fast-path counters.
+    stable_sweep_budget:
+        Predicate-evaluation cap for the stable route's backward sweep.
+    """
+
+    MODES = ("auto", "full", "slice")
+
+    def __init__(
+        self,
+        mode: str = "auto",
+        observer=None,
+        stable_sweep_budget: int = 256,
+    ):
+        if mode not in self.MODES:
+            raise PlannerError(
+                f"unknown planner mode {mode!r}; expected one of {self.MODES}"
+            )
+        self.mode = mode
+        self.stable_sweep_budget = stable_sweep_budget
+        from repro.obs.observer import ensure_observer
+
+        self.observer = ensure_observer(observer)
+
+    # ------------------------------------------------------------------ #
+
+    def plan(
+        self,
+        predicate: object,
+        name: Optional[str] = None,
+        claimed: Optional[PredicateClass] = None,
+    ) -> DetectionPlan:
+        """Classify the predicate and decide the route under this mode."""
+        certificate = classify_predicate(predicate, name=name, claimed=claimed)
+        proved_route = _ROUTE_FOR_CLASS[certificate.assigned]
+        if self.mode == "full":
+            route = ROUTE_FULL
+            rationale = "mode=full: routing disabled, baseline enumeration"
+        elif proved_route == ROUTE_FULL:
+            route = ROUTE_FULL
+            if self.mode == "slice":
+                raise PlannerError(
+                    f"mode=slice demands a fast path but predicate "
+                    f"{certificate.predicate!r} classified as arbitrary"
+                    + (
+                        f" ({certificate.demotions[0].describe()})"
+                        if certificate.demotions
+                        else ""
+                    )
+                )
+            rationale = (
+                "certificate says arbitrary: only full enumeration is sound"
+            )
+        else:
+            route = proved_route
+            rationale = (
+                f"certificate proves {certificate.assigned.value}: "
+                f"{route} replaces enumeration"
+            )
+        obs = self.observer
+        if obs.enabled:
+            obs.instant(
+                "plan",
+                "planner",
+                predicate=certificate.predicate,
+                claimed=certificate.claimed.value,
+                assigned=certificate.assigned.value,
+                route=route,
+                demoted=certificate.demoted,
+            )
+            if route != ROUTE_FULL:
+                obs.counter("predicates_fast_pathed_total").inc()
+            if certificate.demoted:
+                obs.counter("predicates_demoted_total").inc()
+        return DetectionPlan(
+            certificate=certificate,
+            route=route,
+            mode=self.mode,
+            rationale=rationale,
+        )
+
+    def detect(
+        self,
+        poset: Poset,
+        predicate: object,
+        name: Optional[str] = None,
+        plan: Optional[DetectionPlan] = None,
+        with_slice: bool = False,
+    ) -> PlannedDetection:
+        """Run possibly-detection along the planned route.
+
+        ``with_slice=True`` additionally materializes the
+        :class:`ConjunctiveSlice` (satisfying sublattice) on the
+        conjunctive route — opt-in, because the verdict itself needs only
+        the analytic Garg–Waldecker advance.
+        """
+        if plan is None:
+            plan = self.plan(predicate, name=name)
+        with Stopwatch() as sw:
+            with self.observer.span(
+                "plan-detect", "planner", route=plan.route
+            ):
+                witness, examined, box = self._run_route(
+                    poset, predicate, plan, with_slice
+                )
+        return PlannedDetection(
+            plan=plan,
+            detected=witness is not None,
+            witness=witness,
+            states_examined=examined,
+            elapsed=sw.elapsed,
+            slice=box,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _run_route(
+        self,
+        poset: Poset,
+        predicate: object,
+        plan: DetectionPlan,
+        with_slice: bool,
+    ):
+        if plan.route == ROUTE_CONJUNCTIVE_SLICE:
+            if isinstance(predicate, ConjunctivePredicate):
+                locals_ = predicate.locals_
+            else:
+                locals_ = list(predicate)  # type: ignore[call-overload]
+            if with_slice:
+                s = conjunctive_slice(poset, locals_)
+                if s is None:
+                    return None, 0, None
+                return s.least, s.count, s
+            return least_satisfying(poset, locals_), 0, None
+        if plan.route == ROUTE_LINEAR_SLICE:
+            ls = linear_slice(poset, _as_state_predicate(predicate))
+            if ls is None:
+                return None, 0, None
+            return ls.least, ls.states_examined, None
+        if plan.route == ROUTE_STABLE_SWEEP:
+            sd = detect_stable(
+                poset,
+                _as_state_predicate(predicate),
+                budget=self.stable_sweep_budget,
+            )
+            return sd.witness, sd.states_examined, None
+        # Full enumeration: the short-circuiting lexical walk — the same
+        # states, in the same order, a full ParaMount pass would check.
+        witness = possibly(poset, _as_state_predicate(predicate))
+        return witness, 0, None
+
+
+def _as_state_predicate(predicate: object) -> StatePredicate:
+    if isinstance(predicate, StatePredicate):
+        return predicate
+    if isinstance(predicate, (list, tuple)):
+        return ConjunctivePredicate(predicate)
+    raise PlannerError(
+        f"cannot evaluate predicate of type {type(predicate).__name__}"
+    )

@@ -53,6 +53,16 @@ class DetectionReport:
     pruned_vars: Set[str] = field(default_factory=set)
     #: Total access operations dropped by the static pruner.
     pruned_accesses: int = 0
+    #: Detection route taken by the planner ("" when no planner ran):
+    #: "conjunctive_slice" | "linear_slice" | "stable_sweep" |
+    #: "full_enumeration".
+    plan_route: str = ""
+    #: Classifier-assigned predicate class backing the route ("" when no
+    #: planner ran).
+    predicate_class: str = ""
+    #: Witness cut from a fast-path possibly-detection (None when not
+    #: detected or when the full enumeration path ran).
+    witness: Optional[Tuple[int, ...]] = None
     #: Failure detail for o.o.m. / exception outcomes.
     error: Optional[str] = None
 

@@ -18,6 +18,7 @@ __all__ = [
     "DeadlockError",
     "OutOfMemoryError",
     "DetectorError",
+    "PlannerError",
     "WorkloadError",
     "StaticCheckError",
     "SanitizerError",
@@ -124,6 +125,13 @@ class DetectorError(ReproError):
     This also models the ``exception`` outcomes that the paper reports for
     RV runtime on some benchmarks (Table 2).
     """
+
+
+class PlannerError(DetectorError):
+    """Raised by the detection planner for routing requests it cannot
+    honor soundly — e.g. ``mode="slice"`` forced on a predicate whose
+    classification certificate says ``arbitrary`` (only full enumeration
+    is sound there), or an invalid planner mode."""
 
 
 class WorkloadError(ReproError):

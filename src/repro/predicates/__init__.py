@@ -1,21 +1,44 @@
 """Predicates evaluated on enumerated global states.
 
 The race predicate (paper Algorithms 5–6) drives the Table 2 experiments;
-the conjunctive and mutual-exclusion predicates exercise the
-general-purpose claim — ParaMount "makes no assumptions on the nature of
-the predicate" — and back the extension experiments.
+the conjunctive, linear, stable and mutual-exclusion predicates exercise
+the general-purpose claim — ParaMount "makes no assumptions on the nature
+of the predicate" — and back the extension experiments.  The structured
+classes (conjunctive ⊂ linear, stable) additionally feed the detection
+planner's fast paths: see :mod:`repro.staticcheck.predclass` and
+:mod:`repro.detector.planner`.
 """
 
 from repro.predicates.base import StatePredicate
 from repro.predicates.conjunctive import ConjunctivePredicate, detect_conjunctive
 from repro.predicates.data_race import DataRacePredicate, events_are_concurrent
+from repro.predicates.linear import (
+    DominancePredicate,
+    LinearPredicate,
+    LinearSlice,
+    detect_linear,
+    linear_slice,
+)
 from repro.predicates.modalities import definitely, possibly, satisfying_states
 from repro.predicates.mutual_exclusion import MutualExclusionPredicate
+from repro.predicates.registry import (
+    PredicateSpec,
+    adversarial_predicates,
+    generic_predicates,
+    predicates_for,
+    register_predicate,
+)
 from repro.predicates.slicing import (
     ConjunctiveSlice,
     conjunctive_slice,
     greatest_satisfying,
     least_satisfying,
+)
+from repro.predicates.stable import (
+    ProgressPredicate,
+    StableDetection,
+    StablePredicate,
+    detect_stable,
 )
 
 __all__ = [
@@ -24,6 +47,15 @@ __all__ = [
     "events_are_concurrent",
     "ConjunctivePredicate",
     "detect_conjunctive",
+    "LinearPredicate",
+    "DominancePredicate",
+    "LinearSlice",
+    "detect_linear",
+    "linear_slice",
+    "StablePredicate",
+    "ProgressPredicate",
+    "StableDetection",
+    "detect_stable",
     "MutualExclusionPredicate",
     "possibly",
     "definitely",
@@ -32,4 +64,9 @@ __all__ = [
     "conjunctive_slice",
     "least_satisfying",
     "greatest_satisfying",
+    "PredicateSpec",
+    "generic_predicates",
+    "adversarial_predicates",
+    "predicates_for",
+    "register_predicate",
 ]

@@ -119,10 +119,15 @@ class ConjunctivePredicate(StatePredicate):
     name = "conjunctive"
 
     def __init__(self, locals_: Sequence[Optional[LocalPredicate]]):
-        self.locals_ = list(locals_)
+        self.locals_: List[Optional[LocalPredicate]] = list(locals_)
         self.witnesses: List[Cut] = []
 
-    def check(self, cut, frontier, new_event=None) -> bool:
+    def check(
+        self,
+        cut: Cut,
+        frontier: Sequence[Optional[Event]],
+        new_event: Optional[Event] = None,
+    ) -> bool:
         for tid, pred in enumerate(self.locals_):
             if pred is None:
                 continue
@@ -131,6 +136,27 @@ class ConjunctivePredicate(StatePredicate):
                 return False
         self.witnesses.append(tuple(cut))
         return True
+
+    def crucial_thread(
+        self,
+        poset: Poset,
+        cut: Cut,
+        frontier: Sequence[Optional[Event]],
+    ) -> int:
+        """Conjunctive is a special case of linear: in a failing state some
+        constrained thread's frontier event is missing or falsifies its
+        local predicate, and — since a local predicate only reads its own
+        thread's frontier — every satisfying state above this cut must
+        advance that thread past the offending position."""
+        for tid, pred in enumerate(self.locals_):
+            if pred is None:
+                continue
+            ev = frontier[tid]
+            if ev is None or not pred(ev):
+                return tid
+        raise ValueError(
+            "crucial_thread queried on a satisfying state (no failing conjunct)"
+        )
 
     def matches(self) -> List[object]:
         return list(self.witnesses)

@@ -1,0 +1,192 @@
+"""Linear predicates and their enumeration-free detection.
+
+A predicate ``B`` over global states is *linear* (Chase & Garg 1995) when
+its satisfying set is closed under componentwise meet: for satisfying
+states ``G`` and ``H``, ``G ⊓ H`` also satisfies ``B``.  A non-empty
+meet-closed set inside a finite lattice has a unique least element, and
+linearity is equivalent to the *forbidden-state* rule the detection
+algorithm exploits: whenever a consistent cut ``G`` falsifies ``B``, some
+thread ``t`` — the **crucial** thread of ``G`` — must advance in every
+satisfying state above ``G``:
+
+    ``∀ satisfying H ≥ G : H[t] > G[t]``
+
+Detection is then a forward advance, the same shape as Garg–Waldecker for
+the conjunctive special case: start at the empty state; while the current
+cut fails, include the crucial thread's next event *and everything it
+causally requires* (the join with that event's clock — joins of consistent
+cuts are consistent, so the walk never leaves the lattice).  Each step
+grows the cut by at least one event, so detection finishes within ``|E|``
+predicate evaluations and returns the **least** satisfying state — no
+enumeration, which is what lets the planner route linear predicates around
+ParaMount entirely (Garg, arXiv:2008.12516 puts this in NC via slicing).
+
+:class:`ConjunctivePredicate` gains a ``crucial_thread`` in its module, so
+conjunctive predicates are usable here too; the genuinely-linear-but-not-
+conjunctive example is :class:`DominancePredicate`, whose condition
+relates *two* threads' positions and therefore has no per-thread
+decomposition.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import DetectorError
+from repro.poset.event import Event
+from repro.poset.poset import Poset
+from repro.predicates.base import StatePredicate
+from repro.types import Cut
+from repro.util.cuts import cut_join, zero_cut
+
+__all__ = [
+    "LinearPredicate",
+    "DominancePredicate",
+    "LinearSlice",
+    "detect_linear",
+    "linear_slice",
+]
+
+
+class LinearPredicate(StatePredicate):
+    """A predicate declaring itself linear via the crucial-thread rule.
+
+    Subclasses implement :meth:`check` (the condition itself),
+    :meth:`crucial_thread` (the forbidden-state rule that makes the forward
+    advance sound), and :meth:`linearity_argument` (a human-auditable
+    statement of *why* the satisfying set is meet-closed — the classifier
+    demotes linear claims that do not carry one, and cross-validation
+    checks the claim against full enumeration).
+    """
+
+    name = "linear"
+
+    @abstractmethod
+    def crucial_thread(
+        self,
+        poset: Poset,
+        cut: Cut,
+        frontier: Sequence[Optional[Event]],
+    ) -> int:
+        """For a cut falsifying the predicate: a thread that must advance
+        in every satisfying state ``≥ cut``."""
+
+    def linearity_argument(self) -> str:
+        """The meet-closure argument backing the linear claim (empty ⇒ the
+        classifier demotes the predicate to ``arbitrary``)."""
+        return ""
+
+
+class DominancePredicate(LinearPredicate):
+    """``B(G) ≡ G[leader] ≥ G[follower] + margin``.
+
+    Linear but *not* conjunctive: the condition couples two threads'
+    positions, so it has no decomposition into per-thread locals.  Meet
+    closure: if ``G`` and ``H`` both satisfy the inequality, so does
+    ``G ⊓ H`` — the min of the leader components is attained by one of the
+    two cuts, whose own follower component bounds the min of the follower
+    components.  The crucial thread of a failing cut is the leader: only
+    its advance can close the gap (the follower component never decreases
+    going up the lattice).
+    """
+
+    name = "dominance"
+
+    def __init__(self, leader: int, follower: int, margin: int = 1):
+        if leader == follower:
+            raise ValueError("leader and follower must be distinct threads")
+        self.leader = leader
+        self.follower = follower
+        self.margin = margin
+
+    def check(
+        self,
+        cut: Cut,
+        frontier: Sequence[Optional[Event]],
+        new_event: Optional[Event] = None,
+    ) -> bool:
+        return cut[self.leader] >= cut[self.follower] + self.margin
+
+    def crucial_thread(
+        self,
+        poset: Poset,
+        cut: Cut,
+        frontier: Sequence[Optional[Event]],
+    ) -> int:
+        return self.leader
+
+    def linearity_argument(self) -> str:
+        return (
+            f"G[{self.leader}] ≥ G[{self.follower}] + {self.margin} is "
+            f"meet-closed: min(G[{self.leader}], H[{self.leader}]) is "
+            f"attained by one of the two satisfying cuts, and that cut's "
+            f"own follower component dominates "
+            f"min(G[{self.follower}], H[{self.follower}])"
+        )
+
+
+@dataclass(frozen=True)
+class LinearSlice:
+    """Result of the forward advance: the least satisfying state and the
+    trail of cuts the advance visited (a certificate that detection needed
+    ``len(trail)`` predicate evaluations, not a lattice enumeration)."""
+
+    least: Cut
+    #: Every cut the advance evaluated, in order, ending at ``least``.
+    trail: tuple
+
+    @property
+    def states_examined(self) -> int:
+        return len(self.trail)
+
+
+def detect_linear(poset: Poset, pred: StatePredicate) -> Optional[Cut]:
+    """Least satisfying state of a linear predicate, or ``None``.
+
+    ``pred`` must expose ``crucial_thread`` (a :class:`LinearPredicate`,
+    or a :class:`~repro.predicates.conjunctive.ConjunctivePredicate` —
+    conjunctive is a special case of linear).
+    """
+    s = linear_slice(poset, pred)
+    return None if s is None else s.least
+
+
+def linear_slice(poset: Poset, pred: StatePredicate) -> Optional[LinearSlice]:
+    """Forward advance on the forbidden-state rule (see module docstring).
+
+    Returns the least satisfying state plus the visited trail, or ``None``
+    when no consistent global state satisfies the predicate.  Raises
+    :class:`~repro.errors.DetectorError` when the predicate does not
+    expose a ``crucial_thread`` rule or returns a nonsensical thread.
+    """
+    crucial = getattr(pred, "crucial_thread", None)
+    if crucial is None:
+        raise DetectorError(
+            f"predicate {getattr(pred, 'name', type(pred).__name__)!r} has "
+            f"no crucial_thread rule; linear_slice needs one"
+        )
+    n = poset.num_threads
+    cut: Cut = zero_cut(n)
+    trail: List[Cut] = []
+    # Each iteration either returns or adds ≥ 1 event to the cut, so the
+    # loop runs at most |E| + 1 times.
+    while True:
+        frontier = poset.frontier_events(cut)
+        trail.append(cut)
+        if pred.check(cut, frontier):
+            return LinearSlice(least=cut, trail=tuple(trail))
+        t = crucial(poset, cut, frontier)
+        if not 0 <= t < n:
+            raise DetectorError(
+                f"crucial_thread returned invalid thread {t!r} (n={n})"
+            )
+        if cut[t] >= poset.lengths[t]:
+            # The crucial thread has no event left to include: no
+            # satisfying state exists above the current lower bound, and
+            # the invariant says none exists elsewhere either.
+            return None
+        # Include the crucial event and its causal past; the join of two
+        # consistent cuts is consistent, so this never leaves the lattice.
+        cut = cut_join(cut, poset.vc(t, cut[t] + 1))

@@ -1,0 +1,232 @@
+"""Registered predicates per detection workload, with declared classes.
+
+The planner's lint (``repro-tools check --predicates``) and the
+cross-validation harness (:func:`repro.staticcheck.crossval.cross_validate_planner`)
+need a corpus of predicates whose *declared* class can be checked against
+the classifier's verdict and whose fast-path detection can be checked
+against full enumeration.  This registry provides:
+
+* a **generic suite** instantiated against any workload's poset — one
+  predicate per class of the routing lattice (local, conjunctive, linear,
+  stable), all soundly declared;
+* an **adversarial suite** of predicates deliberately *misdeclared* as
+  conjunctive: each smuggles non-local information (a vector-clock read,
+  a mutable capture, an opaque helper call) into a "local" conjunct.  The
+  classifier must demote every one of them to ``arbitrary`` — that
+  demotion is what ``check --predicates --strict`` turns into a nonzero
+  exit, and what keeps the fast path sound;
+* :func:`register_predicate` for workload-specific extras.
+
+Builders take the workload's (merged-collection) poset so conjuncts can
+be parameterized by chain lengths; each call returns a **fresh** predicate
+object, because predicates accumulate witnesses across checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.poset.event import Event
+from repro.poset.poset import Poset
+from repro.predicates.base import StatePredicate
+from repro.predicates.conjunctive import ConjunctivePredicate, LocalPredicate
+from repro.predicates.linear import DominancePredicate
+from repro.predicates.stable import ProgressPredicate
+
+__all__ = [
+    "PredicateSpec",
+    "generic_predicates",
+    "adversarial_predicates",
+    "predicates_for",
+    "register_predicate",
+]
+
+
+@dataclass(frozen=True)
+class PredicateSpec:
+    """One registered predicate: a builder plus its author-declared class."""
+
+    name: str
+    #: Declared class name ("local" | "conjunctive" | "linear" | "stable"
+    #: | "arbitrary") — what the author *claims*; the classifier verifies.
+    claimed: str
+    build: Callable[[Poset], StatePredicate]
+    description: str = ""
+    #: True for deliberate misdeclarations the classifier must catch.
+    adversarial: bool = False
+
+
+# --------------------------------------------------------------------- #
+# sound conjuncts (module-level defs: clean source, empty/immutable closures)
+
+
+def _even_index(e: Event) -> bool:
+    return e.idx % 2 == 0
+
+
+def _tail_pred(last: int) -> Optional[LocalPredicate]:
+    """Conjunct satisfied only by a thread's final two events."""
+    if last == 0:
+        return None
+
+    def pred(e: Event) -> bool:
+        return e.idx >= last - 1
+
+    return pred
+
+
+def _build_even_frontier(poset: Poset) -> ConjunctivePredicate:
+    return ConjunctivePredicate(
+        [
+            _even_index if poset.lengths[t] >= 2 else None
+            for t in range(poset.num_threads)
+        ]
+    )
+
+
+def _build_tail_window(poset: Poset) -> ConjunctivePredicate:
+    return ConjunctivePredicate(
+        [_tail_pred(length) for length in poset.lengths]
+    )
+
+
+def _build_probe_thread0(poset: Poset) -> ConjunctivePredicate:
+    locals_: List[Optional[LocalPredicate]] = [None] * poset.num_threads
+    if poset.num_threads:
+        locals_[0] = _even_index
+    return ConjunctivePredicate(locals_)
+
+
+def _build_leader_lag(poset: Poset) -> DominancePredicate:
+    return DominancePredicate(leader=0, follower=1, margin=1)
+
+
+def _build_all_done(poset: Poset) -> ProgressPredicate:
+    return ProgressPredicate(poset.lengths)
+
+
+def generic_predicates() -> List[PredicateSpec]:
+    """The soundly-declared suite, one entry per fast-path class."""
+    return [
+        PredicateSpec(
+            name="probe-thread0",
+            claimed="local",
+            build=_build_probe_thread0,
+            description="thread 0 sits on an even frontier position",
+        ),
+        PredicateSpec(
+            name="even-frontier",
+            claimed="conjunctive",
+            build=_build_even_frontier,
+            description="every ≥2-event thread sits on an even position",
+        ),
+        PredicateSpec(
+            name="tail-window",
+            claimed="conjunctive",
+            build=_build_tail_window,
+            description="every thread is within its final two events",
+        ),
+        PredicateSpec(
+            name="leader-lag",
+            claimed="linear",
+            build=_build_leader_lag,
+            description="thread 0 strictly ahead of thread 1 (dominance)",
+        ),
+        PredicateSpec(
+            name="all-done",
+            claimed="stable",
+            build=_build_all_done,
+            description="the computation has fully completed",
+        ),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# adversarial misdeclarations (each must be demoted by the classifier)
+
+
+def _sneaky_clock(e: Event) -> bool:
+    # Reads another thread's progress off the vector clock: NOT local.
+    return e.vc[0] >= 1
+
+
+_SNEAKY_STATE: List[int] = []
+
+
+def _sneaky_mutable(e: Event) -> bool:
+    # Captures a mutable module-level list: evaluation order–dependent.
+    _SNEAKY_STATE.append(e.idx)
+    return e.idx % 2 == 0
+
+
+def _sneaky_oracle(e: Event) -> bool:
+    return e.idx % 2 == 0
+
+
+def _sneaky_helper(e: Event) -> bool:
+    # Delegates to an unvetted helper: locality unprovable.
+    return _sneaky_oracle(e)
+
+
+def _constrain_all(fn: LocalPredicate) -> Callable[[Poset], ConjunctivePredicate]:
+    def build(poset: Poset) -> ConjunctivePredicate:
+        return ConjunctivePredicate(
+            [
+                fn if poset.lengths[t] > 0 else None
+                for t in range(poset.num_threads)
+            ]
+        )
+
+    return build
+
+
+def adversarial_predicates() -> List[PredicateSpec]:
+    """Predicates misdeclared as conjunctive; the classifier must demote
+    each one to ``arbitrary`` (and the planner must route it to full
+    enumeration)."""
+    return [
+        PredicateSpec(
+            name="sneaky-clock",
+            claimed="conjunctive",
+            build=_constrain_all(_sneaky_clock),
+            description="conjunct reads e.vc[0] — cross-thread information",
+            adversarial=True,
+        ),
+        PredicateSpec(
+            name="sneaky-mutable",
+            claimed="conjunctive",
+            build=_constrain_all(_sneaky_mutable),
+            description="conjunct appends to a mutable captured list",
+            adversarial=True,
+        ),
+        PredicateSpec(
+            name="sneaky-helper",
+            claimed="conjunctive",
+            build=_constrain_all(_sneaky_helper),
+            description="conjunct calls an unvetted helper function",
+            adversarial=True,
+        ),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# per-workload extras
+
+
+_WORKLOAD_EXTRAS: Dict[str, List[PredicateSpec]] = {}
+
+
+def register_predicate(workload: str, spec: PredicateSpec) -> None:
+    """Attach a workload-specific predicate spec (tests and extensions)."""
+    _WORKLOAD_EXTRAS.setdefault(workload, []).append(spec)
+
+
+def predicates_for(
+    workload: str, include_adversarial: bool = False
+) -> List[PredicateSpec]:
+    """All registered predicate specs for one workload."""
+    specs = generic_predicates() + _WORKLOAD_EXTRAS.get(workload, [])
+    if include_adversarial:
+        specs += adversarial_predicates()
+    return specs

@@ -1,0 +1,131 @@
+"""Stable predicates and their bounded-sweep detection.
+
+A predicate ``B`` is *stable* (Chandy & Lamport) when it never turns false
+once true: ``B(G)`` and ``H ≥ G`` imply ``B(H)``.  Termination, deadlock,
+"all workers reached the barrier" are the classic examples.  Stability
+collapses *possibly* detection to a single evaluation: some consistent
+state satisfies ``B`` **iff the final state does** (any witness lies below
+the final state, and stability lifts its truth upward).
+
+The detection routine therefore never enumerates.  It checks the final
+cut; on success it runs a *bounded frontier sweep* — a greedy walk down
+the lattice retracting one thread at a time while the predicate stays true
+— to report an earlier (smaller) witness, which is more useful in reports
+than "the end of the run".  The sweep is capped by ``budget`` predicate
+evaluations, so the fast path stays O(budget · n) regardless of lattice
+size; the witness is *a* satisfying state, not necessarily the least one
+(stable satisfying sets are up-closed, not meet-closed, so a unique least
+witness need not exist).
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.poset.event import Event
+from repro.poset.poset import Poset
+from repro.predicates.base import StatePredicate
+from repro.types import Cut
+
+__all__ = [
+    "StablePredicate",
+    "ProgressPredicate",
+    "StableDetection",
+    "detect_stable",
+]
+
+
+class StablePredicate(StatePredicate):
+    """A predicate declaring itself stable (true stays true up the lattice).
+
+    Subclasses implement :meth:`check` and :meth:`stability_argument` — a
+    human-auditable statement of *why* truth is upward-closed.  The
+    classifier demotes stable claims that do not carry one, and
+    cross-validation checks the claim against full enumeration.
+    """
+
+    name = "stable"
+
+    #: Marker the classifier keys on (True for every StablePredicate).
+    stable = True
+
+    @abstractmethod
+    def stability_argument(self) -> str:
+        """The upward-closure argument backing the stable claim."""
+
+
+class ProgressPredicate(StablePredicate):
+    """``B(G) ≡ ∀i : G[i] ≥ targets[i]`` — every thread reached its goal.
+
+    The canonical stable predicate: components only grow going up the
+    lattice, so once every thread has passed its target the condition can
+    never be retracted.  With ``targets == poset.lengths`` this is "the
+    computation has fully completed".
+    """
+
+    name = "progress"
+
+    def __init__(self, targets: Sequence[int]):
+        self.targets: Cut = tuple(targets)
+
+    def check(
+        self,
+        cut: Cut,
+        frontier: Sequence[Optional[Event]],
+        new_event: Optional[Event] = None,
+    ) -> bool:
+        return all(c >= t for c, t in zip(cut, self.targets))
+
+    def stability_argument(self) -> str:
+        return (
+            "H ≥ G is componentwise, so G[i] ≥ targets[i] for all i "
+            "implies H[i] ≥ G[i] ≥ targets[i]: truth is upward-closed"
+        )
+
+
+@dataclass(frozen=True)
+class StableDetection:
+    """Outcome of the stable fast path."""
+
+    #: A satisfying consistent state (``None`` ⇒ no state satisfies B).
+    witness: Optional[Cut]
+    #: Predicate evaluations spent (1 for the final-cut test + the sweep).
+    states_examined: int
+
+    @property
+    def detected(self) -> bool:
+        return self.witness is not None
+
+
+def detect_stable(
+    poset: Poset, pred: StatePredicate, budget: int = 256
+) -> StableDetection:
+    """Possibly-detection for a stable predicate (see module docstring).
+
+    Soundness rests entirely on stability: ``B`` holds somewhere iff it
+    holds at the final cut.  The sweep afterwards only *improves* the
+    witness and is capped at ``budget`` evaluations.
+    """
+    n = poset.num_threads
+    final: Cut = poset.lengths
+    examined = 1
+    if not pred.check(final, poset.frontier_events(final)):
+        return StableDetection(witness=None, states_examined=examined)
+
+    witness = final
+    improved = True
+    while improved and examined < budget:
+        improved = False
+        for tid in range(n):
+            if witness[tid] == 0 or examined >= budget:
+                continue
+            cand = witness[:tid] + (witness[tid] - 1,) + witness[tid + 1 :]
+            if not poset.is_consistent(cand):
+                continue
+            examined += 1
+            if pred.check(cand, poset.frontier_events(cand)):
+                witness = cand
+                improved = True
+    return StableDetection(witness=witness, states_examined=examined)

@@ -24,13 +24,26 @@ states of one observed execution; this package adds the complementary
   wait-for-graph format;
 * :mod:`~repro.staticcheck.sanitize` — runtime invariant checkers wired
   (opt-in) into the scheduler, the HB front-end and the ParaMount driver;
+* :mod:`~repro.staticcheck.predclass` — the predicate classifier: proves
+  a predicate local / conjunctive / linear / stable (or demotes it to
+  arbitrary with a counterexample sub-expression) and emits the
+  classification certificate the detection planner routes on;
 * :mod:`~repro.staticcheck.crossval` — the harness comparing static
   warnings against FastTrack/ParaMount dynamic findings over the workload
   registry (the static warnings must be a superset of the dynamically
-  confirmed races).
+  confirmed races), plus the planner cross-validation proving fast-path
+  verdicts identical to full enumeration.
 """
 
-from repro.staticcheck.crossval import CrossValidation, cross_validate, cross_validate_registry
+from repro.staticcheck.crossval import (
+    CrossValidation,
+    PlannerCrossValidation,
+    PredicateCheck,
+    cross_validate,
+    cross_validate_planner,
+    cross_validate_planner_registry,
+    cross_validate_registry,
+)
 from repro.staticcheck.extract import (
     AccessSite,
     LockOrderEdge,
@@ -44,7 +57,15 @@ from repro.staticcheck.mhp import (
     MHPAnalysis,
     Segment,
     build_mhp,
-    legacy_may_be_concurrent,
+    legacy_may_be_concurrent,  # noqa: F401  (deprecated; kept importable)
+)
+from repro.staticcheck.predclass import (
+    ClassificationCertificate,
+    Demotion,
+    LocalityWitness,
+    PredicateClass,
+    classify_predicate,
+    verify_certificate,
 )
 from repro.staticcheck.prune import StaticPruner, build_pruner
 from repro.staticcheck.races import analyze_races
@@ -59,12 +80,18 @@ from repro.staticcheck.sanitize import (
 
 __all__ = [
     "AccessSite",
+    "ClassificationCertificate",
     "ClockSanitizer",
     "CrossValidation",
+    "Demotion",
     "EnumerationSanitizer",
+    "LocalityWitness",
     "LockOrderEdge",
     "MHPAnalysis",
     "PipelineSanitizer",
+    "PlannerCrossValidation",
+    "PredicateCheck",
+    "PredicateClass",
     "ProgramSummary",
     "SanitizerViolation",
     "Segment",
@@ -79,8 +106,13 @@ __all__ = [
     "analyze_races",
     "build_mhp",
     "build_pruner",
+    "classify_predicate",
     "cross_validate",
+    "cross_validate_planner",
+    "cross_validate_planner_registry",
     "cross_validate_registry",
     "extract_summary",
-    "legacy_may_be_concurrent",
+    "verify_certificate",
+    # "legacy_may_be_concurrent" is deliberately absent: deprecated in
+    # favor of MHPAnalysis.ordered (still importable for the transition).
 ]

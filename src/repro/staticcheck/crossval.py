@@ -20,19 +20,35 @@ For one workload, :func:`cross_validate`:
 
 Dynamic results are cached per workload name: the schedules are pinned, so
 re-running detectors for every parametrized test would only burn time.
+
+The second harness here cross-validates the **detection planner**
+(:func:`cross_validate_planner`): for every predicate registered for a
+workload (:mod:`repro.predicates.registry`), the planner's fast-path
+verdict *and witness cut* must match full enumeration on the same
+event-collection poset, soundly declared predicates must keep their
+declared class, and the adversarial misdeclarations must be demoted to
+``arbitrary`` (full-enumeration route).  This is the acceptance proof
+that the fast paths change detection latency, never detection results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.detector.fasttrack import FastTrackDetector
-from repro.detector.paramount_detector import ParaMountDetector
 from repro.staticcheck.report import StaticReport, analyze_program
+from repro.types import Cut
 from repro.workloads.registry import ALL_DETECTION_WORKLOADS, detection_workload
 
-__all__ = ["CrossValidation", "cross_validate", "cross_validate_registry"]
+__all__ = [
+    "CrossValidation",
+    "cross_validate",
+    "cross_validate_registry",
+    "PredicateCheck",
+    "PlannerCrossValidation",
+    "cross_validate_planner",
+    "cross_validate_planner_registry",
+]
 
 
 @dataclass
@@ -89,6 +105,11 @@ def _dynamic_racy_vars(name: str) -> Tuple[frozenset, frozenset]:
     cached = _DYNAMIC_CACHE.get(name)
     if cached is not None:
         return cached
+    # Imported lazily: the detector package imports the planner, which
+    # imports this package — a module-level import here would be circular.
+    from repro.detector.fasttrack import FastTrackDetector
+    from repro.detector.paramount_detector import ParaMountDetector
+
     workload = detection_workload(name)
     trace = workload.trace()
     pm = ParaMountDetector().run(trace, benign_vars=workload.benign_vars)
@@ -126,3 +147,159 @@ def cross_validate(name: str) -> CrossValidation:
 def cross_validate_registry() -> List[CrossValidation]:
     """Cross-validate every detection workload (Table 2 + extras)."""
     return [cross_validate(name) for name in ALL_DETECTION_WORKLOADS]
+
+
+# --------------------------------------------------------------------- #
+# planner cross-validation: fast-path verdicts vs full enumeration
+
+
+@dataclass
+class PredicateCheck:
+    """One registered predicate checked on one workload's poset."""
+
+    spec_name: str
+    claimed: str
+    assigned: str
+    route: str
+    demoted: bool
+    adversarial: bool
+    fast_detected: bool
+    full_detected: bool
+    fast_witness: Optional[Cut]
+    full_witness: Optional[Cut]
+    ok: bool
+    reason: str = ""
+
+    def describe(self) -> str:
+        status = "OK" if self.ok else "FAIL"
+        tail = f" — {self.reason}" if self.reason else ""
+        return (
+            f"{self.spec_name:15s} claimed={self.claimed:11s} "
+            f"assigned={self.assigned:11s} route={self.route:18s} "
+            f"{status}{tail}"
+        )
+
+
+@dataclass
+class PlannerCrossValidation:
+    """Planner-vs-enumeration comparison for one workload."""
+
+    workload: str
+    checks: List[PredicateCheck]
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    @property
+    def fast_pathed(self) -> int:
+        """Predicates that actually took a fast path."""
+        return sum(1 for c in self.checks if c.route != "full_enumeration")
+
+    def format(self) -> str:
+        lines = [f"planner crossval for {self.workload!r}:"]
+        lines += [f"  {c.describe()}" for c in self.checks]
+        lines.append(
+            f"  {'OK' if self.ok else 'FAIL'}: {self.fast_pathed}/"
+            f"{len(self.checks)} predicate(s) fast-pathed, verdicts "
+            f"identical to full enumeration"
+        )
+        return "\n".join(lines)
+
+
+def cross_validate_planner(
+    name: str, include_adversarial: bool = True
+) -> PlannerCrossValidation:
+    """Prove the planner sound on one workload (see module docstring).
+
+    For each registered predicate: plan under the author's declared class,
+    run the planned route, run full enumeration (the short-circuiting
+    lexical walk over the same event-collection poset — exactly the states
+    a full ParaMount pass checks), and compare.  Fresh predicate instances
+    are built per side, because predicates accumulate state across checks.
+    """
+    from repro.detector.hb import poset_from_trace
+    from repro.detector.planner import ROUTE_FULL, DetectionPlanner
+    from repro.predicates.modalities import possibly
+    from repro.predicates.registry import predicates_for
+    from repro.staticcheck.predclass import PredicateClass
+
+    workload = detection_workload(name)
+    poset = poset_from_trace(workload.trace(), merge_collections=True)
+    planner = DetectionPlanner(mode="auto")
+    checks: List[PredicateCheck] = []
+    for spec in predicates_for(name, include_adversarial=include_adversarial):
+        plan = planner.plan(
+            spec.build(poset),
+            name=spec.name,
+            claimed=PredicateClass(spec.claimed),
+        )
+        fast = planner.detect(poset, spec.build(poset), plan=plan)
+        full_witness = possibly(poset, spec.build(poset))
+        full_detected = full_witness is not None
+
+        ok = True
+        reason = ""
+        if spec.adversarial:
+            if not (plan.certificate.demoted and plan.route == ROUTE_FULL):
+                ok = False
+                reason = "misdeclared predicate was NOT demoted"
+        elif plan.certificate.demoted:
+            ok = False
+            reason = "soundly declared predicate was demoted"
+        if ok and fast.detected != full_detected:
+            ok = False
+            reason = (
+                f"verdict mismatch: fast={fast.detected} "
+                f"full={full_detected}"
+            )
+        if ok and fast.detected:
+            if plan.route in ("conjunctive_slice", "linear_slice", ROUTE_FULL):
+                # Meet-closed satisfying sets have a unique least element,
+                # which is also the lexicographically first satisfying
+                # state — the two witnesses must be identical.
+                if fast.witness != full_witness:
+                    ok = False
+                    reason = (
+                        f"witness mismatch: fast={fast.witness} "
+                        f"full={full_witness}"
+                    )
+            else:
+                # Stable sets are up-closed, not meet-closed: the sweep's
+                # witness need not be the lexical first, but it must be a
+                # consistent satisfying state.
+                probe = spec.build(poset)
+                assert fast.witness is not None
+                if not poset.is_consistent(fast.witness) or not probe.check(
+                    fast.witness, poset.frontier_events(fast.witness)
+                ):
+                    ok = False
+                    reason = f"stable witness invalid: {fast.witness}"
+
+        checks.append(
+            PredicateCheck(
+                spec_name=spec.name,
+                claimed=spec.claimed,
+                assigned=plan.certificate.assigned.value,
+                route=plan.route,
+                demoted=plan.certificate.demoted,
+                adversarial=spec.adversarial,
+                fast_detected=fast.detected,
+                full_detected=full_detected,
+                fast_witness=fast.witness,
+                full_witness=full_witness,
+                ok=ok,
+                reason=reason,
+            )
+        )
+    return PlannerCrossValidation(workload=name, checks=checks)
+
+
+def cross_validate_planner_registry(
+    include_adversarial: bool = True,
+) -> List[PlannerCrossValidation]:
+    """Planner cross-validation over every detection workload."""
+    return [
+        cross_validate_planner(name, include_adversarial=include_adversarial)
+        for name in ALL_DETECTION_WORKLOADS
+    ]

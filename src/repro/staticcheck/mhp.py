@@ -64,7 +64,8 @@ __all__ = [
     "MHPAnalysis",
     "Segment",
     "build_mhp",
-    "legacy_may_be_concurrent",
+    # "legacy_may_be_concurrent" is deprecated (superseded by
+    # MHPAnalysis.ordered) and deliberately left out of __all__.
 ]
 
 #: Segment grouping key: (instance id, forked_before, joined_before).
@@ -303,7 +304,21 @@ def legacy_may_be_concurrent(
     but MHP strictly refines it: whenever the heuristic answers ``False``
     (ordered), :meth:`MHPAnalysis.ordered` answers ``True`` as well, so
     MHP-based race warnings are always a subset of the heuristic's.
+
+    .. deprecated::
+        Superseded by the MHP segment-graph analysis; use
+        ``build_mhp(summary).ordered(a, b)`` (negated) instead.  Calling
+        this emits :class:`DeprecationWarning` and it will be removed
+        once nothing measures the precision gap anymore.
     """
+    import warnings
+
+    warnings.warn(
+        "legacy_may_be_concurrent is deprecated; use "
+        "MHPAnalysis.ordered (via build_mhp) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     ia, ib = summary.instance(a.instance), summary.instance(b.instance)
     if ia.id == ib.id:
         # Same abstract thread: a single dynamic thread is sequential

@@ -1,0 +1,537 @@
+"""Static predicate classification: which detection fast path is *provably* safe.
+
+The paper motivates general-purpose enumeration because an **arbitrary**
+predicate forces visiting every global state (§1, §6.2) — but most
+predicates users actually write are not arbitrary.  This module assigns
+every predicate object a class in the routing lattice
+
+    ``local ⊂ conjunctive ⊂ linear ⊂ stable ⊂ arbitrary``
+
+(read left-to-right as "cheapest applicable fast path" to "no fast path";
+it is a detection-difficulty chain, not a semantic containment — see
+DESIGN §7e) and emits a machine-checkable
+:class:`ClassificationCertificate` that the
+:class:`~repro.detector.planner.DetectionPlanner` consumes.
+
+The certificate carries *evidence*, not trust:
+
+* **conjunctive/local** claims are proven: each conjunct's function source
+  is parsed (the same ``inspect.getsource`` + AST walk idiom as
+  :mod:`repro.staticcheck.extract`) and verified to read only the event
+  parameter's thread-local attributes (``tid``, ``idx``, ``kind``,
+  ``obj``, ``accesses``, ``eid``), whitelisted pure builtins, and
+  immutable closure constants.  Every verified conjunct contributes a
+  :class:`LocalityWitness`; any violation contributes a :class:`Demotion`
+  carrying the *concrete offending sub-expression* (e.g. ``e.vc[0]`` — a
+  cross-thread clock read disguised as a local predicate) and the whole
+  predicate drops to ``arbitrary``.
+* **linear/stable** claims are structural: the predicate must subclass
+  :class:`~repro.predicates.linear.LinearPredicate` /
+  :class:`~repro.predicates.stable.StablePredicate` *and* supply a
+  non-empty meet-closure / upward-closure argument, which is recorded in
+  the certificate for audit; claims without an argument are demoted.
+  Cross-validation (:mod:`repro.staticcheck.crossval`) additionally checks
+  every routed verdict against full enumeration.
+* everything else — including the data-race predicate — is ``arbitrary``
+  and keeps the full ParaMount path, byte-for-byte.
+
+The soundness contract: a demotion can only ever *widen* the route toward
+full enumeration, so a wrong (too conservative) classification costs time,
+never a verdict.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Set, Tuple, Union
+
+__all__ = [
+    "PredicateClass",
+    "LocalityWitness",
+    "Demotion",
+    "ClassificationCertificate",
+    "classify_predicate",
+    "verify_certificate",
+]
+
+
+class PredicateClass(enum.Enum):
+    """The routing lattice, cheapest fast path first."""
+
+    LOCAL = "local"
+    CONJUNCTIVE = "conjunctive"
+    LINEAR = "linear"
+    STABLE = "stable"
+    ARBITRARY = "arbitrary"
+
+    @property
+    def rank(self) -> int:
+        """Position in the routing chain (higher ⇒ more general ⇒ slower)."""
+        return _RANK[self]
+
+    def __lt__(self, other: "PredicateClass") -> bool:
+        return self.rank < other.rank
+
+    def __le__(self, other: "PredicateClass") -> bool:
+        return self.rank <= other.rank
+
+
+_RANK = {
+    PredicateClass.LOCAL: 0,
+    PredicateClass.CONJUNCTIVE: 1,
+    PredicateClass.LINEAR: 2,
+    PredicateClass.STABLE: 3,
+    PredicateClass.ARBITRARY: 4,
+}
+
+
+@dataclass(frozen=True)
+class LocalityWitness:
+    """Proof that one conjunct reads only its own thread's frontier event."""
+
+    #: Thread the conjunct constrains.
+    tid: int
+    #: Function name (``<lambda>`` for anonymous conjuncts).
+    func: str
+    #: Event attributes the conjunct reads (sorted).
+    reads: Tuple[str, ...] = ()
+    #: Immutable closure constants the conjunct captures (sorted names).
+    captures: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Demotion:
+    """Why a claim was rejected, with the offending sub-expression."""
+
+    #: What was being analyzed (``conjunct[tid=2]``, ``predicate``, …).
+    subject: str
+    reason: str
+    #: Source of the sub-expression that forced the demotion ("" when the
+    #: failure is structural, e.g. unavailable source).
+    expr: str = ""
+
+    def describe(self) -> str:
+        tail = f": {self.expr}" if self.expr else ""
+        return f"{self.subject}: {self.reason}{tail}"
+
+
+@dataclass(frozen=True)
+class ClassificationCertificate:
+    """The classifier's machine-checkable output for one predicate.
+
+    ``claimed`` is the class the predicate's structure (or its registry
+    declaration) asserts; ``assigned`` is what the classifier could prove.
+    ``assigned`` ranks strictly above ``claimed`` exactly when the claim
+    was unsound (:attr:`demoted`) — the planner then takes the assigned
+    (safe) route, and ``repro-tools check --predicates --strict`` fails.
+    """
+
+    predicate: str
+    claimed: PredicateClass
+    assigned: PredicateClass
+    witnesses: Tuple[LocalityWitness, ...] = ()
+    demotions: Tuple[Demotion, ...] = ()
+    #: Human-auditable closure arguments (meet-closure for conjunctive /
+    #: linear, upward-closure for stable).
+    arguments: Tuple[str, ...] = ()
+
+    @property
+    def fast_path_eligible(self) -> bool:
+        """May the planner route this predicate around full enumeration?"""
+        return self.assigned is not PredicateClass.ARBITRARY
+
+    @property
+    def demoted(self) -> bool:
+        """True when the claim could not be proven (assigned ⊃ claimed)."""
+        return self.assigned.rank > self.claimed.rank
+
+    def format(self) -> str:
+        lines = [
+            f"predicate {self.predicate!r}: claimed={self.claimed.value} "
+            f"assigned={self.assigned.value}"
+            + (" (DEMOTED)" if self.demoted else "")
+        ]
+        for w in self.witnesses:
+            reads = ",".join(w.reads) or "∅"
+            caps = f" captures={{{','.join(w.captures)}}}" if w.captures else ""
+            lines.append(
+                f"  conjunct[tid={w.tid}] {w.func}: thread-local "
+                f"(reads {{{reads}}}{caps})"
+            )
+        for d in self.demotions:
+            lines.append(f"  demotion — {d.describe()}")
+        for a in self.arguments:
+            lines.append(f"  argument: {a}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# AST locality analysis of one conjunct
+
+
+#: Event attributes a thread-local predicate may read.  ``vc`` and
+#: ``weak_vc`` are excluded on purpose: a vector clock encodes *other*
+#: threads' progress, so reading it breaks thread locality (the classic
+#: way to smuggle a non-conjunctive condition into a "local" predicate).
+_ALLOWED_EVENT_ATTRS = frozenset(
+    {"tid", "idx", "kind", "obj", "accesses", "eid"}
+)
+
+#: Pure builtins a local predicate may call.
+_ALLOWED_BUILTINS = frozenset(
+    {
+        "abs", "all", "any", "bool", "enumerate", "float", "frozenset",
+        "int", "isinstance", "len", "max", "min", "range", "repr",
+        "sorted", "str", "sum", "tuple", "zip", "set",
+    }
+)
+
+
+def _is_immutable(value: object) -> bool:
+    if isinstance(value, (bool, int, float, complex, str, bytes, range)):
+        return True
+    if value is None:
+        return True
+    if isinstance(value, (tuple, frozenset)):
+        return all(_is_immutable(v) for v in value)
+    return False
+
+
+def _candidate_nodes(tree: ast.AST, fn: Callable) -> List[ast.AST]:
+    name = getattr(fn, "__name__", "<lambda>")
+    out: List[ast.AST] = []
+    for node in ast.walk(tree):
+        if name == "<lambda>":
+            if isinstance(node, ast.Lambda):
+                out.append(node)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == name:
+                out.append(node)
+    return out
+
+
+def _bound_names(node: ast.AST) -> Set[str]:
+    """Names bound *inside* the predicate body: parameters, comprehension
+    targets, walrus targets, assignments, for-loop targets, nested
+    function parameters.  Reads of these never leave the event's data."""
+    bound: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            a = sub.args
+            for arg in (
+                list(a.posonlyargs) + list(a.args) + list(a.kwonlyargs)
+            ):
+                bound.add(arg.arg)
+            if a.vararg:
+                bound.add(a.vararg.arg)
+            if a.kwarg:
+                bound.add(a.kwarg.arg)
+        elif isinstance(sub, ast.Name) and isinstance(
+            sub.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(sub.id)
+    return bound
+
+
+def _unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failure is cosmetic
+        return "<unprintable>"
+
+
+def analyze_local_predicate(
+    fn: Callable, tid: int
+) -> Union[LocalityWitness, Demotion]:
+    """Prove one conjunct thread-local, or explain why it is not.
+
+    A conjunct is thread-local when its value depends only on the frontier
+    event of its own thread: it may read the event's non-clock attributes
+    (and anything reachable from them), call whitelisted pure builtins,
+    and capture immutable constants.  Anything else — vector clocks,
+    mutable captures, helper calls, unresolvable names — yields a
+    :class:`Demotion` quoting the offending sub-expression.
+    """
+    subject = f"conjunct[tid={tid}]"
+    if not callable(fn):
+        return Demotion(subject, f"not callable: {type(fn).__name__}")
+    try:
+        src = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError):
+        return Demotion(subject, "source unavailable (builtin or C callable)")
+    try:
+        tree: ast.AST = ast.parse(src)
+    except SyntaxError:
+        # A lambda extracted from mid-expression (trailing comma, operator
+        # continuation) often fails to parse bare; wrapping in parentheses
+        # recovers the common cases.
+        try:
+            tree = ast.parse(f"({src.strip()})")
+        except SyntaxError:
+            return Demotion(subject, "source does not parse in isolation")
+
+    candidates = _candidate_nodes(tree, fn)
+    if len(candidates) != 1:
+        return Demotion(
+            subject,
+            f"ambiguous source: {len(candidates)} candidate function(s) "
+            f"in the defining statement",
+        )
+    node = candidates[0]
+    args = node.args  # type: ignore[attr-defined]
+    positional = list(args.posonlyargs) + list(args.args)
+    if not positional:
+        return Demotion(subject, "predicate takes no event parameter")
+    param = positional[0].arg
+
+    try:
+        closure = inspect.getclosurevars(fn)
+    except TypeError:
+        return Demotion(subject, "closure variables unavailable")
+
+    bound = _bound_names(node)
+    reads: Set[str] = set()
+    captures: Set[str] = set()
+
+    body = node.body  # type: ignore[attr-defined]
+    body_nodes = body if isinstance(body, list) else [body]
+    for stmt in body_nodes:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, (ast.Global, ast.Nonlocal)):
+                return Demotion(subject, "global/nonlocal declaration", _unparse(sub))
+            if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                return Demotion(subject, "import inside predicate", _unparse(sub))
+            if isinstance(sub, ast.Attribute):
+                if isinstance(sub.ctx, (ast.Store, ast.Del)):
+                    return Demotion(
+                        subject, "attribute mutation (side effect)", _unparse(sub)
+                    )
+                if isinstance(sub.value, ast.Name) and sub.value.id == param:
+                    if sub.attr not in _ALLOWED_EVENT_ATTRS:
+                        reason = (
+                            "reads cross-thread vector clock"
+                            if sub.attr in ("vc", "weak_vc")
+                            else f"reads unknown event attribute {sub.attr!r}"
+                        )
+                        return Demotion(subject, reason, _unparse(sub))
+                    reads.add(sub.attr)
+            elif isinstance(sub, ast.Subscript):
+                if isinstance(sub.value, ast.Name) and sub.value.id == param:
+                    return Demotion(
+                        subject, "subscripts the event object", _unparse(sub)
+                    )
+            elif isinstance(sub, ast.Call):
+                func = sub.func
+                if isinstance(func, ast.Name):
+                    fname = func.id
+                    if fname in bound or fname == param:
+                        return Demotion(
+                            subject,
+                            "calls a locally bound value (purity unprovable)",
+                            _unparse(sub),
+                        )
+                    if not (
+                        fname in _ALLOWED_BUILTINS
+                        and fname in closure.builtins
+                    ):
+                        return Demotion(
+                            subject,
+                            f"calls non-builtin helper {fname!r}",
+                            _unparse(sub),
+                        )
+                # Method calls (Attribute func) are covered by the
+                # attribute rules: a method on thread-local or immutable
+                # data stays thread-local.
+            elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                name = sub.id
+                if name == param or name in bound:
+                    continue
+                if name in closure.builtins:
+                    if name not in _ALLOWED_BUILTINS:
+                        return Demotion(
+                            subject,
+                            f"uses non-whitelisted builtin {name!r}",
+                            _unparse(sub),
+                        )
+                    continue
+                if name in closure.nonlocals:
+                    value = closure.nonlocals[name]
+                elif name in closure.globals:
+                    value = closure.globals[name]
+                else:
+                    return Demotion(
+                        subject, f"unresolvable name {name!r}", _unparse(sub)
+                    )
+                if not _is_immutable(value):
+                    return Demotion(
+                        subject,
+                        f"captures mutable value {name!r} "
+                        f"({type(value).__name__})",
+                        _unparse(sub),
+                    )
+                captures.add(name)
+
+    return LocalityWitness(
+        tid=tid,
+        func=getattr(fn, "__qualname__", getattr(fn, "__name__", "<callable>")),
+        reads=tuple(sorted(reads)),
+        captures=tuple(sorted(captures)),
+    )
+
+
+# --------------------------------------------------------------------- #
+# whole-predicate classification
+
+
+_MEET_CLOSURE_ARGUMENT = (
+    "each conjunct constrains only its own thread's frontier position, so "
+    "the satisfying set is closed under componentwise min and max "
+    "(Garg–Waldecker): the slice [least, greatest] is exact"
+)
+
+
+def classify_predicate(
+    pred: object,
+    name: Optional[str] = None,
+    claimed: Optional[PredicateClass] = None,
+) -> ClassificationCertificate:
+    """Classify a predicate object (or a raw per-thread locals list).
+
+    ``claimed`` overrides the structural claim — registries use it to
+    record what the *author* declared, so a declaration the classifier
+    cannot prove shows up as a demotion rather than silently passing.
+    """
+    from repro.predicates.conjunctive import ConjunctivePredicate
+    from repro.predicates.linear import LinearPredicate
+    from repro.predicates.stable import StablePredicate
+
+    pname = name or getattr(pred, "name", None) or type(pred).__name__
+
+    locals_: Optional[List[Optional[Callable]]] = None
+    if isinstance(pred, ConjunctivePredicate):
+        locals_ = list(pred.locals_)
+    elif isinstance(pred, (list, tuple)):
+        locals_ = list(pred)
+
+    if locals_ is not None:
+        constrained = [(t, f) for t, f in enumerate(locals_) if f is not None]
+        structural = (
+            PredicateClass.LOCAL
+            if len(constrained) <= 1
+            else PredicateClass.CONJUNCTIVE
+        )
+        claim = claimed if claimed is not None else structural
+        witnesses: List[LocalityWitness] = []
+        demotions: List[Demotion] = []
+        for t, f in constrained:
+            outcome = analyze_local_predicate(f, t)
+            if isinstance(outcome, Demotion):
+                demotions.append(outcome)
+            else:
+                witnesses.append(outcome)
+        if demotions:
+            assigned = PredicateClass.ARBITRARY
+            arguments: Tuple[str, ...] = ()
+        else:
+            assigned = structural
+            arguments = (_MEET_CLOSURE_ARGUMENT,)
+        return ClassificationCertificate(
+            predicate=pname,
+            claimed=claim,
+            assigned=assigned,
+            witnesses=tuple(witnesses),
+            demotions=tuple(demotions),
+            arguments=arguments,
+        )
+
+    if isinstance(pred, LinearPredicate):
+        claim = claimed if claimed is not None else PredicateClass.LINEAR
+        argument = pred.linearity_argument()
+        if not argument.strip():
+            return ClassificationCertificate(
+                predicate=pname,
+                claimed=claim,
+                assigned=PredicateClass.ARBITRARY,
+                demotions=(
+                    Demotion(
+                        "predicate",
+                        "linear claim carries no meet-closure argument",
+                    ),
+                ),
+            )
+        return ClassificationCertificate(
+            predicate=pname,
+            claimed=claim,
+            assigned=PredicateClass.LINEAR,
+            arguments=(argument,),
+        )
+
+    if isinstance(pred, StablePredicate):
+        claim = claimed if claimed is not None else PredicateClass.STABLE
+        argument = pred.stability_argument()
+        if not argument.strip():
+            return ClassificationCertificate(
+                predicate=pname,
+                claimed=claim,
+                assigned=PredicateClass.ARBITRARY,
+                demotions=(
+                    Demotion(
+                        "predicate",
+                        "stable claim carries no upward-closure argument",
+                    ),
+                ),
+            )
+        return ClassificationCertificate(
+            predicate=pname,
+            claimed=claim,
+            assigned=PredicateClass.STABLE,
+            arguments=(argument,),
+        )
+
+    claim = claimed if claimed is not None else PredicateClass.ARBITRARY
+    cert = ClassificationCertificate(
+        predicate=pname,
+        claimed=claim,
+        assigned=PredicateClass.ARBITRARY,
+        arguments=(
+            f"no exploitable structure declared by {type(pred).__name__}: "
+            f"full enumeration",
+        ),
+    )
+    if claim is not PredicateClass.ARBITRARY:
+        # An author-declared fast class on a structureless object is an
+        # unsound declaration, not a silent fallback.
+        cert = ClassificationCertificate(
+            predicate=pname,
+            claimed=claim,
+            assigned=PredicateClass.ARBITRARY,
+            demotions=(
+                Demotion(
+                    "predicate",
+                    f"declared {claim.value!r} but exposes no "
+                    f"conjunctive/linear/stable structure",
+                ),
+            ),
+        )
+    return cert
+
+
+def verify_certificate(
+    cert: ClassificationCertificate, pred: object
+) -> bool:
+    """Machine-check a certificate: re-derive the classification from the
+    predicate object and compare the load-bearing fields.  Used by the
+    planner before trusting a cached or externally supplied certificate."""
+    fresh = classify_predicate(pred, name=cert.predicate, claimed=cert.claimed)
+    return (
+        fresh.assigned is cert.assigned
+        and fresh.claimed is cert.claimed
+        and {(w.tid, w.reads) for w in fresh.witnesses}
+        == {(w.tid, w.reads) for w in cert.witnesses}
+        and {(d.subject, d.reason) for d in fresh.demotions}
+        == {(d.subject, d.reason) for d in cert.demotions}
+    )

@@ -87,10 +87,22 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         pruner = StaticPruner.from_program(program)
         print(pruner.describe())
 
+    if args.detector != "paramount" and args.plan != "auto":
+        print("error: --plan requires --detector paramount", file=sys.stderr)
+        return 2
+
     if args.detector == "paramount":
-        report = ParaMountDetector(
-            subroutine=args.subroutine, static_pruner=pruner
-        ).run(trace, benign)
+        from repro.errors import PlannerError
+
+        try:
+            report = ParaMountDetector(
+                subroutine=args.subroutine,
+                static_pruner=pruner,
+                plan=args.plan,
+            ).run(trace, benign)
+        except PlannerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     elif args.detector == "rv":
         report = RVRuntimeDetector().run(trace, benign)
     else:
@@ -99,7 +111,11 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     print(f"detector:   {report.detector}")
     print(f"benchmark:  {report.benchmark}")
     print(f"status:     {report.status}")
+    if report.plan_route:
+        print(f"plan:       {report.plan_route} ({report.predicate_class})")
     print(f"elapsed:    {format_duration(report.elapsed)}")
+    if report.witness is not None:
+        print(f"witness:    {report.witness}")
     if report.states_enumerated:
         print(f"states:     {report.states_enumerated}")
     if report.poset_events:
@@ -123,23 +139,13 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
 
 def _cmd_capture_poset(args: argparse.Namespace) -> int:
-    from collections import defaultdict
-
-    from repro.detector.hb import events_from_trace
+    from repro.detector.hb import poset_from_trace
     from repro.poset.io import save_poset
-    from repro.poset.poset import Poset
     from repro.workloads.registry import detection_workload
 
     workload = detection_workload(args.workload)
     trace = workload.trace()
-    events = events_from_trace(trace, merge_collections=not args.raw)
-    chains = defaultdict(list)
-    for e in events:
-        chains[e.tid].append(e)
-    poset = Poset(
-        [chains.get(t, []) for t in range(trace.num_threads)],
-        insertion=[e.eid for e in events],
-    )
+    poset = poset_from_trace(trace, merge_collections=not args.raw)
     save_poset(poset, args.out)
     kind = "raw access" if args.raw else "event-collection"
     print(
@@ -344,6 +350,61 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_predicates(args: argparse.Namespace, names: List[str]) -> int:
+    """The ``check --predicates`` lint: classify every registered predicate
+    under its author-declared class, surface demotions (unsound
+    declarations), and — unless ``--static-only`` — cross-validate each
+    planner fast path against full enumeration."""
+    from repro.detector.hb import poset_from_trace
+    from repro.predicates.registry import predicates_for
+    from repro.staticcheck import cross_validate_planner
+    from repro.staticcheck.predclass import PredicateClass, classify_predicate
+    from repro.workloads.registry import detection_workload
+
+    demotions = 0
+    failures = 0
+    for name in names:
+        workload = detection_workload(name)
+        poset = poset_from_trace(workload.trace(), merge_collections=True)
+        print(f"predicate classification for {name!r}:")
+        for spec in predicates_for(name, include_adversarial=args.adversarial):
+            cert = classify_predicate(
+                spec.build(poset),
+                name=spec.name,
+                claimed=PredicateClass(spec.claimed),
+            )
+            tag = "DEMOTED" if cert.demoted else "ok"
+            print(
+                f"  {spec.name:15s} claimed={cert.claimed.value:11s} "
+                f"assigned={cert.assigned.value:11s} {tag}"
+            )
+            if cert.demoted:
+                demotions += 1
+                for d in cert.demotions:
+                    print(f"    {d.describe()}")
+        if not args.static_only:
+            cv = cross_validate_planner(
+                name, include_adversarial=args.adversarial
+            )
+            print(cv.format())
+            if not cv.ok:
+                failures += 1
+        print()
+    if failures:
+        print(
+            f"{failures} workload(s) FAILED planner cross-validation "
+            "(fast-path verdict differs from full enumeration)"
+        )
+        return 1
+    if args.strict and demotions:
+        print(
+            f"strict mode: {demotions} unsound predicate declaration(s) "
+            "demoted to arbitrary"
+        )
+        return 1
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.staticcheck import analyze_program, cross_validate
     from repro.workloads.registry import ALL_DETECTION_WORKLOADS, detection_workload
@@ -355,6 +416,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
     else:
         print("error: give one or more workload names or --all", file=sys.stderr)
         return 2
+    if args.adversarial and not args.predicates:
+        print("error: --adversarial requires --predicates", file=sys.stderr)
+        return 2
+    if args.predicates:
+        return _check_predicates(args, names)
 
     failures = 0
     warnings_emitted = 0
@@ -442,6 +508,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip variables the static MHP analysis proves race-free "
         "(paramount only; workload must be in the registry)",
+    )
+    p.add_argument(
+        "--plan",
+        choices=("auto", "full", "slice"),
+        default="auto",
+        help="detection-planner mode (paramount only): auto routes "
+        "provably structured predicates to the slicing fast paths, full "
+        "disables planning (baseline), slice demands a fast path and "
+        "fails on arbitrary predicates",
     )
     p.set_defaults(func=_cmd_detect)
 
@@ -553,6 +628,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--mhp",
         action="store_true",
         help="also print the static MHP segment graph per workload",
+    )
+    p.add_argument(
+        "--predicates",
+        action="store_true",
+        help="lint registered predicate declarations instead: classify "
+        "each under its declared class and (unless --static-only) "
+        "cross-validate every planner fast path against full enumeration; "
+        "with --strict, exit nonzero on any demoted (unsound) declaration",
+    )
+    p.add_argument(
+        "--adversarial",
+        action="store_true",
+        help="with --predicates: include the deliberately misdeclared "
+        "predicate suite (they MUST be demoted; combined with --strict "
+        "the exit status is expected nonzero)",
     )
     p.set_defaults(func=_cmd_check)
 

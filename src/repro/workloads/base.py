@@ -20,7 +20,7 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.detector.hb import events_from_trace
+from repro.detector.hb import poset_from_trace
 from repro.poset.poset import Poset
 from repro.runtime.program import Program
 from repro.runtime.scheduler import run_program
@@ -97,14 +97,5 @@ def poset_from_program(
     """Observed-execution poset of a program: run once, capture raw access
     events (no collection merging) with full HB clocks — the paper's
     "execution path converted to a poset of events" for Table 1."""
-    from collections import defaultdict
-
     trace = run_program(program, seed=seed, stickiness=stickiness)
-    events = events_from_trace(trace, merge_collections=False)
-    chains = defaultdict(list)
-    for e in events:
-        chains[e.tid].append(e)
-    return Poset(
-        [chains.get(t, []) for t in range(trace.num_threads)],
-        insertion=[e.eid for e in events],
-    )
+    return poset_from_trace(trace, merge_collections=False)

@@ -1,0 +1,257 @@
+"""The detection planner: linear/stable fast paths, certificate-driven
+routing, the ParaMountDetector integration, observability, and the
+planner-vs-enumeration cross-validation over the workload registry."""
+
+import sys
+
+import pytest
+
+from repro.detector.hb import poset_from_trace
+from repro.detector.paramount_detector import ParaMountDetector
+from repro.detector.planner import (
+    ROUTE_CONJUNCTIVE_SLICE,
+    ROUTE_FULL,
+    ROUTE_LINEAR_SLICE,
+    ROUTE_STABLE_SWEEP,
+    DetectionPlanner,
+)
+from repro.errors import DetectorError, PlannerError
+from repro.obs import Observer
+from repro.poset.event import Event
+from repro.predicates.conjunctive import ConjunctivePredicate
+from repro.predicates.data_race import DataRacePredicate
+from repro.predicates.linear import (
+    DominancePredicate,
+    detect_linear,
+    linear_slice,
+)
+from repro.predicates.modalities import possibly
+from repro.predicates.stable import ProgressPredicate, detect_stable
+from repro.staticcheck.crossval import cross_validate_planner
+from repro.workloads.registry import ALL_DETECTION_WORKLOADS
+
+from tests.conftest import build_chain_poset, build_figure4_poset
+
+
+def _even_index(e: Event) -> bool:
+    return e.idx % 2 == 0
+
+
+# --------------------------------------------------------------------- #
+# the linear fast path
+
+
+def test_linear_detection_finds_least_witness():
+    poset = build_chain_poset(2, 3)
+    pred = DominancePredicate(leader=0, follower=1, margin=2)
+    witness = detect_linear(poset, pred)
+    assert witness == (2, 0)
+    # The least satisfying state is also the lexicographically first one,
+    # so the fast path must agree with the short-circuiting full walk.
+    assert witness == possibly(poset, DominancePredicate(0, 1, margin=2))
+
+
+def test_linear_detection_none_when_unsatisfiable():
+    poset = build_chain_poset(2, 3)
+    assert detect_linear(poset, DominancePredicate(0, 1, margin=99)) is None
+
+
+def test_linear_slice_trail_is_bounded_by_events():
+    poset = build_figure4_poset()
+    s = linear_slice(poset, DominancePredicate(leader=1, follower=0))
+    assert s is not None
+    assert s.trail[-1] == s.least
+    assert s.states_examined <= poset.num_events + 1
+
+
+def test_linear_slice_accepts_conjunctive_predicates():
+    poset = build_figure4_poset()
+    pred = ConjunctivePredicate([_even_index, None])
+    s = linear_slice(poset, pred)
+    assert s is not None
+    assert s.least == possibly(poset, ConjunctivePredicate([_even_index, None]))
+
+
+def test_linear_slice_requires_a_crucial_thread_rule():
+    poset = build_chain_poset(2, 2)
+    with pytest.raises(DetectorError, match="crucial_thread"):
+        linear_slice(poset, DataRacePredicate())
+
+
+# --------------------------------------------------------------------- #
+# the stable fast path
+
+
+def test_stable_detection_single_eval_when_false():
+    poset = build_chain_poset(2, 2)
+    sd = detect_stable(poset, ProgressPredicate((3, 3)))
+    assert not sd.detected and sd.witness is None
+    assert sd.states_examined == 1
+
+
+def test_stable_detection_sweeps_to_a_smaller_witness():
+    poset = build_chain_poset(2, 3)
+    sd = detect_stable(poset, ProgressPredicate((1, 2)))
+    assert sd.detected
+    assert sd.witness == (1, 2)  # swept all the way down to the targets
+    assert poset.is_consistent(sd.witness)
+
+
+def test_stable_detection_budget_caps_the_sweep():
+    poset = build_chain_poset(3, 3)
+    sd = detect_stable(poset, ProgressPredicate((0, 0, 0)), budget=2)
+    assert sd.detected
+    assert sd.states_examined <= 2
+
+
+# --------------------------------------------------------------------- #
+# planner routing
+
+
+def test_planner_routes_by_certificate():
+    planner = DetectionPlanner()
+    assert (
+        planner.plan(ConjunctivePredicate([_even_index, None])).route
+        == ROUTE_CONJUNCTIVE_SLICE
+    )
+    assert planner.plan(DominancePredicate(0, 1)).route == ROUTE_LINEAR_SLICE
+    assert planner.plan(ProgressPredicate((1,))).route == ROUTE_STABLE_SWEEP
+    plan = planner.plan(DataRacePredicate())
+    assert plan.route == ROUTE_FULL and not plan.fast_path
+
+
+def test_planner_mode_full_disables_routing():
+    planner = DetectionPlanner(mode="full")
+    plan = planner.plan(DominancePredicate(0, 1))
+    assert plan.route == ROUTE_FULL
+    assert "disabled" in plan.rationale
+
+
+def test_planner_mode_slice_raises_on_arbitrary():
+    planner = DetectionPlanner(mode="slice")
+    with pytest.raises(PlannerError, match="arbitrary"):
+        planner.plan(DataRacePredicate())
+
+
+def test_planner_rejects_unknown_mode():
+    with pytest.raises(PlannerError, match="unknown planner mode"):
+        DetectionPlanner(mode="bogus")
+
+
+def test_planner_detect_matches_possibly_on_every_route():
+    poset = build_chain_poset(2, 4)
+    planner = DetectionPlanner()
+    cases = [
+        ConjunctivePredicate([_even_index, _even_index]),
+        DominancePredicate(0, 1),
+        ProgressPredicate((4, 4)),
+        # Arbitrary object routed to full enumeration.
+        ConjunctivePredicate([lambda e: e.vc[1] >= 1, None]),
+    ]
+    for pred in cases:
+        planned = planner.detect(poset, pred)
+        full = possibly(poset, pred)
+        assert planned.detected == (full is not None)
+        if planned.plan.route in (
+            ROUTE_CONJUNCTIVE_SLICE,
+            ROUTE_LINEAR_SLICE,
+            ROUTE_FULL,
+        ):
+            assert planned.witness == full
+
+
+def test_planner_with_slice_materializes_the_box():
+    poset = build_chain_poset(2, 4)
+    planner = DetectionPlanner()
+    pred = ConjunctivePredicate([_even_index, _even_index])
+    lean = planner.detect(poset, pred)
+    rich = planner.detect(poset, pred, with_slice=True)
+    assert lean.slice is None
+    assert rich.slice is not None
+    assert rich.witness == lean.witness == rich.slice.least
+    assert rich.witness in rich.slice.states
+
+
+def test_planner_emits_instants_and_counters():
+    obs = Observer()
+    planner = DetectionPlanner(observer=obs)
+    planner.plan(DominancePredicate(0, 1))
+    planner.plan(DataRacePredicate())  # arbitrary: not fast-pathed
+    planner.plan(
+        ConjunctivePredicate([lambda e: e.vc[0] > 0, None])
+    )  # demoted
+    instants = [s for s in obs.spans() if s.name == "plan"]
+    assert len(instants) == 3
+    assert {s.attrs["route"] for s in instants} == {
+        ROUTE_LINEAR_SLICE,
+        ROUTE_FULL,
+    }
+    assert obs.counter("predicates_fast_pathed_total").value() == 1
+    assert obs.counter("predicates_demoted_total").value() == 1
+
+
+# --------------------------------------------------------------------- #
+# ParaMountDetector integration
+
+
+def _banking_trace():
+    return ALL_DETECTION_WORKLOADS["banking"].trace()
+
+
+def test_detector_fast_paths_a_conjunctive_predicate():
+    trace = _banking_trace()
+
+    def factory(report, benign):
+        locals_ = [None] * trace.num_threads
+        locals_[0] = _even_index
+        return ConjunctivePredicate(locals_)
+
+    report = ParaMountDetector(predicate_factory=factory, plan="auto").run(
+        trace
+    )
+    assert report.plan_route == ROUTE_CONJUNCTIVE_SLICE
+    assert report.predicate_class == "local"
+    poset = poset_from_trace(trace, merge_collections=True)
+    locals_ = [None] * trace.num_threads
+    locals_[0] = _even_index
+    assert report.witness == possibly(poset, ConjunctivePredicate(locals_))
+    assert report.poset_events == poset.num_events
+
+
+def test_detector_arbitrary_path_is_unchanged_under_auto():
+    trace = _banking_trace()
+    auto = ParaMountDetector(plan="auto").run(trace)
+    full = ParaMountDetector(plan="full").run(trace)
+    assert auto.plan_route == ROUTE_FULL
+    assert auto.predicate_class == "arbitrary"
+    assert full.plan_route == ""  # planner never consulted
+    # Same enumeration, same detections, byte-for-byte.
+    assert auto.states_enumerated == full.states_enumerated
+    assert auto.poset_events == full.poset_events
+    assert auto.sorted_vars() == full.sorted_vars()
+
+
+def test_detector_mode_slice_fails_fast_on_arbitrary():
+    trace = _banking_trace()
+    with pytest.raises(PlannerError):
+        ParaMountDetector(plan="slice").run(trace)
+
+
+# --------------------------------------------------------------------- #
+# cross-validation: the acceptance proof
+
+
+@pytest.mark.parametrize("name", list(ALL_DETECTION_WORKLOADS))
+def test_planner_crossval_over_registry(name):
+    cv = cross_validate_planner(name, include_adversarial=True)
+    assert cv.ok, cv.format()
+    # The sound suite fast-paths local/conjunctive/linear/stable…
+    assert cv.fast_pathed >= 4
+    # …and every adversarial misdeclaration lands on full enumeration.
+    for check in cv.checks:
+        if check.adversarial:
+            assert check.demoted and check.route == ROUTE_FULL
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q"]))

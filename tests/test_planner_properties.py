@@ -1,0 +1,124 @@
+"""Property tests for the planner fast paths on seeded random posets.
+
+Instances come from :func:`repro.poset.random_posets.random_computation`
+with seeds derived through :mod:`repro.util.rng` — fully deterministic,
+no hypothesis shrinking needed.  Two contracts:
+
+* the conjunctive slice's state set equals the brute-force filter of a
+  full :class:`~repro.enumeration.bfs.BFSEnumerator` pass;
+* every planner route's verdict (and, where a unique least witness
+  exists, the witness itself) equals full enumeration's.
+"""
+
+import sys
+
+import pytest
+
+from repro.detector.planner import (
+    ROUTE_CONJUNCTIVE_SLICE,
+    ROUTE_LINEAR_SLICE,
+    DetectionPlanner,
+)
+from repro.enumeration.bfs import BFSEnumerator
+from repro.poset.event import Event
+from repro.poset.random_posets import RandomComputationSpec, random_computation
+from repro.predicates.conjunctive import ConjunctivePredicate
+from repro.predicates.linear import DominancePredicate
+from repro.predicates.modalities import possibly
+from repro.predicates.stable import ProgressPredicate
+from repro.util.rng import DeterministicRng, derive_seed
+
+BASE_SEED = 0xC0FFEE
+NUM_INSTANCES = 12
+
+
+def _random_poset(i: int):
+    rng = DeterministicRng(derive_seed(BASE_SEED, "planner-props", i))
+    n = rng.randint(2, 4)  # ≥ 2 threads: DominancePredicate needs a pair
+    return random_computation(
+        RandomComputationSpec(
+            num_processes=n,
+            num_events=rng.randint(n, 14),
+            message_prob=rng.random(),
+            seed=derive_seed(BASE_SEED, "poset", i),
+        )
+    )
+
+
+def _even_index(e: Event) -> bool:
+    return e.idx % 2 == 0
+
+
+def _all_states(poset):
+    found = []
+    BFSEnumerator(poset).enumerate(found.append)
+    return found
+
+
+def _conjunction_holds(poset, locals_, cut):
+    for t, pred in enumerate(locals_):
+        if pred is None:
+            continue
+        if cut[t] == 0 or not pred(poset.event(t, cut[t])):
+            return False
+    return True
+
+
+@pytest.mark.parametrize("i", range(NUM_INSTANCES))
+def test_conjunctive_slice_matches_bfs_brute_force(i):
+    from repro.predicates.slicing import conjunctive_slice
+
+    poset = _random_poset(i)
+    locals_ = [
+        _even_index if poset.lengths[t] > 0 else None
+        for t in range(poset.num_threads)
+    ]
+    brute = [
+        cut
+        for cut in _all_states(poset)
+        if _conjunction_holds(poset, locals_, cut)
+    ]
+    s = conjunctive_slice(poset, locals_)
+    if not brute:
+        assert s is None
+        return
+    assert s is not None
+    assert set(s.states) == set(brute)
+    assert s.least == min(brute)
+
+
+@pytest.mark.parametrize("i", range(NUM_INSTANCES))
+def test_planner_verdicts_match_full_enumeration(i):
+    poset = _random_poset(i)
+    planner = DetectionPlanner()
+    even = [
+        _even_index if poset.lengths[t] > 0 else None
+        for t in range(poset.num_threads)
+    ]
+    half = tuple((length + 1) // 2 for length in poset.lengths)
+    cases = [
+        ConjunctivePredicate(even),
+        DominancePredicate(leader=0, follower=1),
+        ProgressPredicate(half),
+    ]
+    for build in cases:
+        planned = planner.detect(poset, build)
+        assert planned.plan.fast_path  # every case has a provable class
+        full = possibly(poset, build)
+        assert planned.detected == (full is not None), planned.plan.route
+        if planned.detected and planned.plan.route in (
+            ROUTE_CONJUNCTIVE_SLICE,
+            ROUTE_LINEAR_SLICE,
+        ):
+            # Meet-closed sets: unique least witness == lexical first.
+            assert planned.witness == full
+        elif planned.detected:
+            # Stable route: any consistent satisfying state is a witness.
+            assert poset.is_consistent(planned.witness)
+            assert build.check(
+                planned.witness, poset.frontier_events(planned.witness)
+            )
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q"]))

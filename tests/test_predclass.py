@@ -1,0 +1,254 @@
+"""The static predicate classifier: locality proofs, certificates,
+demotions (including the adversarial misdeclaration suite), and the
+certificate verifier."""
+
+import sys
+
+import pytest
+
+from repro.predicates.conjunctive import ConjunctivePredicate
+from repro.predicates.data_race import DataRacePredicate
+from repro.predicates.linear import DominancePredicate, LinearPredicate
+from repro.predicates.registry import adversarial_predicates
+from repro.predicates.stable import ProgressPredicate, StablePredicate
+from repro.staticcheck.predclass import (
+    Demotion,
+    LocalityWitness,
+    PredicateClass,
+    analyze_local_predicate,
+    classify_predicate,
+    verify_certificate,
+)
+
+from tests.conftest import build_chain_poset
+
+
+# --------------------------------------------------------------------- #
+# the routing lattice
+
+
+def test_class_ranks_are_a_chain():
+    chain = [
+        PredicateClass.LOCAL,
+        PredicateClass.CONJUNCTIVE,
+        PredicateClass.LINEAR,
+        PredicateClass.STABLE,
+        PredicateClass.ARBITRARY,
+    ]
+    assert [c.rank for c in chain] == [0, 1, 2, 3, 4]
+    for lo, hi in zip(chain, chain[1:]):
+        assert lo < hi and lo <= hi and not hi < lo
+
+
+# --------------------------------------------------------------------- #
+# per-conjunct locality analysis
+
+_THRESHOLD = 2  # immutable module-level capture
+
+
+def _sound_conjunct(e):
+    return e.idx >= _THRESHOLD and e.kind != "read"
+
+
+def test_locality_witness_for_sound_conjunct():
+    outcome = analyze_local_predicate(_sound_conjunct, tid=3)
+    assert isinstance(outcome, LocalityWitness)
+    assert outcome.tid == 3
+    assert set(outcome.reads) == {"idx", "kind"}
+    assert outcome.captures == ("_THRESHOLD",)
+
+
+def test_locality_witness_for_lambda():
+    outcome = analyze_local_predicate(lambda e: e.idx % 2 == 0, tid=0)
+    assert isinstance(outcome, LocalityWitness)
+    assert outcome.func.endswith("<lambda>")
+    assert outcome.reads == ("idx",)
+
+
+def test_comprehension_targets_are_locally_bound():
+    fn = lambda e: any(k == e.idx for k in range(3))  # noqa: E731
+    assert isinstance(analyze_local_predicate(fn, 0), LocalityWitness)
+
+
+def test_vector_clock_read_is_demoted():
+    outcome = analyze_local_predicate(lambda e: e.vc[1] > 0, tid=0)
+    assert isinstance(outcome, Demotion)
+    assert "vector clock" in outcome.reason
+    assert "e.vc" in outcome.expr
+    assert "vector clock" in outcome.describe()
+
+
+def test_weak_vc_read_is_demoted():
+    outcome = analyze_local_predicate(lambda e: len(e.weak_vc) > 0, tid=0)
+    assert isinstance(outcome, Demotion)
+    assert "vector clock" in outcome.reason
+
+
+def test_mutable_capture_is_demoted():
+    state = []
+    outcome = analyze_local_predicate(lambda e: len(state) < 5, tid=0)
+    assert isinstance(outcome, Demotion)
+    assert "mutable" in outcome.reason
+
+
+def test_helper_call_is_demoted():
+    def helper(e):
+        return True
+
+    outcome = analyze_local_predicate(lambda e: helper(e), tid=0)
+    assert isinstance(outcome, Demotion)
+    assert "helper" in outcome.reason
+
+
+def test_event_subscript_is_demoted():
+    outcome = analyze_local_predicate(lambda e: e[0] > 1, tid=0)
+    assert isinstance(outcome, Demotion)
+    assert "subscript" in outcome.reason
+
+
+def test_builtin_without_source_is_demoted():
+    outcome = analyze_local_predicate(len, tid=0)
+    assert isinstance(outcome, Demotion)
+    assert "source" in outcome.reason
+
+
+def test_non_callable_is_demoted():
+    outcome = analyze_local_predicate(42, tid=0)
+    assert isinstance(outcome, Demotion)
+    assert "not callable" in outcome.reason
+
+
+# --------------------------------------------------------------------- #
+# whole-predicate classification
+
+
+def test_conjunctive_predicate_classifies_conjunctive():
+    # One lambda per line: two on one line would make getsource ambiguous.
+    first = lambda e: e.idx > 0  # noqa: E731
+    second = lambda e: e.idx > 1  # noqa: E731
+    pred = ConjunctivePredicate([first, second])
+    cert = classify_predicate(pred)
+    assert cert.assigned is PredicateClass.CONJUNCTIVE
+    assert cert.claimed is PredicateClass.CONJUNCTIVE
+    assert not cert.demoted
+    assert cert.fast_path_eligible
+    assert len(cert.witnesses) == 2
+    assert cert.arguments  # meet-closure argument recorded
+    assert "conjunctive" in cert.format()
+
+
+def test_single_constrained_thread_classifies_local():
+    cert = classify_predicate(ConjunctivePredicate([lambda e: True, None]))
+    assert cert.assigned is PredicateClass.LOCAL
+
+
+def test_raw_locals_list_is_accepted():
+    cert = classify_predicate([None, lambda e: e.idx == 1])
+    assert cert.assigned is PredicateClass.LOCAL
+    assert cert.witnesses[0].tid == 1
+
+
+def test_one_bad_conjunct_demotes_the_whole_predicate():
+    good = lambda e: e.idx > 0  # noqa: E731
+    bad = lambda e: e.vc[0] > 0  # noqa: E731
+    pred = ConjunctivePredicate([good, bad])
+    cert = classify_predicate(pred)
+    assert cert.assigned is PredicateClass.ARBITRARY
+    assert cert.demoted
+    assert not cert.fast_path_eligible
+    assert len(cert.demotions) == 1 and len(cert.witnesses) == 1
+    assert "DEMOTED" in cert.format()
+
+
+def test_linear_predicate_with_argument():
+    cert = classify_predicate(DominancePredicate(0, 1))
+    assert cert.assigned is PredicateClass.LINEAR
+    assert cert.claimed is PredicateClass.LINEAR
+    assert not cert.demoted
+    assert "meet-closed" in cert.arguments[0]
+
+
+def test_linear_claim_without_argument_is_demoted():
+    class Bare(LinearPredicate):
+        def check(self, cut, frontier, new_event=None):
+            return True
+
+        def crucial_thread(self, poset, cut, frontier):
+            return 0
+
+    cert = classify_predicate(Bare())
+    assert cert.assigned is PredicateClass.ARBITRARY
+    assert cert.demoted
+    assert "no meet-closure argument" in cert.demotions[0].reason
+
+
+def test_stable_predicate_with_argument():
+    cert = classify_predicate(ProgressPredicate((1, 1)))
+    assert cert.assigned is PredicateClass.STABLE
+    assert not cert.demoted
+
+
+def test_stable_claim_without_argument_is_demoted():
+    class Bare(StablePredicate):
+        def check(self, cut, frontier, new_event=None):
+            return True
+
+        def stability_argument(self):
+            return "   "
+
+    cert = classify_predicate(Bare())
+    assert cert.assigned is PredicateClass.ARBITRARY
+    assert cert.demoted
+
+
+def test_arbitrary_predicate_stays_arbitrary_without_demotion():
+    cert = classify_predicate(DataRacePredicate())
+    assert cert.assigned is PredicateClass.ARBITRARY
+    assert cert.claimed is PredicateClass.ARBITRARY
+    assert not cert.demoted  # no claim was broken
+
+
+def test_claimed_override_turns_structureless_claim_into_demotion():
+    cert = classify_predicate(
+        DataRacePredicate(), claimed=PredicateClass.CONJUNCTIVE
+    )
+    assert cert.claimed is PredicateClass.CONJUNCTIVE
+    assert cert.assigned is PredicateClass.ARBITRARY
+    assert cert.demoted
+    assert "declared 'conjunctive'" in cert.demotions[0].reason
+
+
+@pytest.mark.parametrize(
+    "spec", adversarial_predicates(), ids=lambda s: s.name
+)
+def test_every_adversarial_misdeclaration_is_caught(spec):
+    poset = build_chain_poset(3, 2)
+    cert = classify_predicate(
+        spec.build(poset), name=spec.name, claimed=PredicateClass(spec.claimed)
+    )
+    assert cert.claimed is PredicateClass.CONJUNCTIVE
+    assert cert.assigned is PredicateClass.ARBITRARY
+    assert cert.demoted and not cert.fast_path_eligible
+    assert cert.demotions  # concrete counterexample recorded
+    assert all(d.reason for d in cert.demotions)
+
+
+# --------------------------------------------------------------------- #
+# certificate verification
+
+
+def test_verify_certificate_accepts_fresh_and_rejects_tampered():
+    import dataclasses
+
+    pred = ConjunctivePredicate([lambda e: e.idx > 0, None])
+    cert = classify_predicate(pred)
+    assert verify_certificate(cert, pred)
+    forged = dataclasses.replace(cert, assigned=PredicateClass.LINEAR)
+    assert not verify_certificate(forged, pred)
+    # A certificate for a different predicate object does not transfer.
+    other = ConjunctivePredicate([lambda e: e.vc[0] > 0, None])
+    assert not verify_certificate(cert, other)
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q"]))

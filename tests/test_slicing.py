@@ -86,6 +86,46 @@ def test_satisfying_states_form_sublattice(poset):
             assert cut_meet(a, b) in brute
 
 
+# --------------------------------------------------------------------- #
+# edge cases
+
+
+def test_one_unsatisfiable_conjunct_empties_the_slice(grid_poset):
+    """One conjunct with no satisfying event kills the whole conjunction,
+    even when every other conjunct is trivially satisfiable."""
+    locals_ = [lambda e: True, lambda e: e.idx > 99, None]
+    assert least_satisfying(grid_poset, locals_) is None
+    assert greatest_satisfying(grid_poset, locals_) is None
+    assert conjunctive_slice(grid_poset, locals_) is None
+
+
+def test_single_thread_poset_slice_is_the_satisfying_suffix():
+    """n=1: no concurrency, the slice degenerates to the contiguous range
+    of satisfying positions (every cut of a chain is consistent)."""
+    from tests.conftest import build_chain_poset
+
+    poset = build_chain_poset(1, 4)
+    s = conjunctive_slice(poset, [lambda e: e.idx >= 2])
+    assert s is not None
+    assert s.least == (2,)
+    assert s.greatest == (4,)
+    assert s.states == ((2,), (3,), (4,))
+    assert s.count == s.box_volume() == 3
+
+
+def test_all_unconstrained_box_is_the_full_lattice(grid_poset):
+    """Every thread unconstrained: least is the empty cut, greatest is the
+    final cut, and the box degenerates to the entire lattice."""
+    locals_ = [None, None, None]
+    s = conjunctive_slice(grid_poset, locals_)
+    assert s is not None
+    assert s.least == (0, 0, 0)
+    assert s.greatest == tuple(grid_poset.lengths) == (3, 3, 3)
+    assert s.count == s.box_volume() == 64  # i(P) of the 3×3 grid
+    brute = brute_satisfying(grid_poset, locals_)
+    assert set(s.states) == set(brute)
+
+
 @settings(max_examples=30, deadline=None)
 @given(small_posets())
 def test_extremes_consistent_and_satisfying(poset):

@@ -109,14 +109,14 @@ def test_ruff_lint_gate():
 
 
 def test_mypy_type_gate():
-    """Run the configured mypy pass over the static analysis package when
-    the binary is available; skip (don't fail) in environments without
-    mypy."""
+    """Run the configured mypy pass over the typed packages (staticcheck,
+    predicates, detector) when the binary is available; skip (don't fail)
+    in environments without mypy."""
     mypy = shutil.which("mypy")
     if mypy is None:
         pytest.skip("mypy not installed in this environment")
     proc = subprocess.run(
-        [mypy, "src/repro/staticcheck"],
+        [mypy, "src/repro/staticcheck", "src/repro/predicates", "src/repro/detector"],
         capture_output=True,
         text=True,
     )

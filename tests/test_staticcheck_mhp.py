@@ -17,6 +17,11 @@ from repro.staticcheck import (
 from repro.staticcheck.values import names_may_alias
 from repro.workloads.registry import ALL_DETECTION_WORKLOADS
 
+# The legacy heuristic is deprecated (kept only to measure the precision
+# gap); the tests below exercising that gap silence the warning, and
+# test_legacy_heuristic_warns pins it explicitly.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 def _mhp_of(program):
     summary = extract_summary(program)
@@ -221,6 +226,21 @@ def test_mhp_strictly_sharper_on_structured_workloads(name):
     mhp_warned = {(w.category, str(w.var)) for w in analyze_races(summary)}
     legacy_warned = _legacy_warned_vars(summary)
     assert mhp_warned < legacy_warned, (name, mhp_warned, legacy_warned)
+
+
+def test_legacy_heuristic_warns():
+    """The legacy heuristic is deprecated: it must raise DeprecationWarning
+    on every call and must no longer be exported from the package."""
+    import repro.staticcheck as sc
+
+    summary, _ = _mhp_of(_nested_fork_program())
+    a, b = summary.accesses[0], summary.accesses[-1]
+    with pytest.warns(DeprecationWarning, match="legacy_may_be_concurrent"):
+        legacy_may_be_concurrent(a, b, summary)
+    assert "legacy_may_be_concurrent" not in sc.__all__
+    from repro.staticcheck.mhp import __all__ as mhp_all
+
+    assert "legacy_may_be_concurrent" not in mhp_all
 
 
 def test_handmade_site_falls_back_to_instance_ordering():
