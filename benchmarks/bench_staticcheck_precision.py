@@ -1,0 +1,122 @@
+"""Interprocedural precision — static warnings before vs after summaries.
+
+For every registered detection workload the static pipeline runs twice:
+``interprocedural=False`` (the pre-summary worst case: nested defs and
+helper calls widen to UNKNOWN) and the default interprocedural mode
+(closure-aware fork targets, memoized helper inlining, abstract pure
+calls).  Recorded per workload: active warning counts in both modes,
+approximation-note counts, the variables the :class:`StaticPruner` may
+skip, extraction wall time, and the call-summary cache counters.
+
+Acceptance bars asserted here and re-checked by ``test_emit_json``:
+
+* interprocedural mode never emits **more** warnings than legacy mode;
+* on the helper-heavy workloads (``mapreduce``, ``lockfarm``) it emits
+  **strictly fewer**, with a complete (approximation-free) summary;
+* completeness unlocks pruning: strictly more prunable variables there.
+
+Results land in ``benchmarks/results/BENCH_staticcheck_precision.json``.
+``BENCH_STATICCHECK_SMOKE=1`` drops the timing repetitions to one round
+(CI smoke); counts and assertions are identical either way.
+"""
+
+import json
+import os
+import statistics
+import time
+
+import pytest
+
+from repro.staticcheck import StaticPruner, analyze_program
+from repro.staticcheck.extract import extract_summary
+from repro.workloads.registry import ALL_DETECTION_WORKLOADS
+
+from conftest import RESULTS_DIR
+
+SMOKE = os.environ.get("BENCH_STATICCHECK_SMOKE") == "1"
+ROUNDS = 1 if SMOKE else 5
+
+#: The workloads built to measure what the summaries buy (strict bars).
+HELPER_WORKLOADS = ("mapreduce", "lockfarm")
+
+_results: dict = {}
+
+
+def _measure(name: str, interprocedural: bool) -> dict:
+    workload = ALL_DETECTION_WORKLOADS[name]
+    samples = []
+    for _ in range(ROUNDS):
+        program = workload.build()
+        t0 = time.perf_counter()
+        report = analyze_program(program, interprocedural=interprocedural)
+        samples.append(time.perf_counter() - t0)
+    pruner = StaticPruner(
+        extract_summary(workload.build(), interprocedural=interprocedural)
+    )
+    return {
+        "warnings": len(report.warnings),
+        "race_warnings": len(report.race_warnings()),
+        "notes": len(report.summary.approximations),
+        "diagnostics": len(report.diagnostics()),
+        "prunable_vars": pruner.prunable_static_vars() if pruner.trusted else [],
+        "pruner_trusted": pruner.trusted,
+        "seconds": statistics.median(samples),
+        "call_stats": dict(report.summary.call_stats),
+    }
+
+
+@pytest.mark.parametrize("name", list(ALL_DETECTION_WORKLOADS))
+def test_precision_never_regresses(name):
+    entry = {
+        "legacy": _measure(name, interprocedural=False),
+        "interprocedural": _measure(name, interprocedural=True),
+    }
+    _results[name] = entry
+    assert entry["interprocedural"]["warnings"] <= entry["legacy"]["warnings"], (
+        name,
+        entry,
+    )
+
+
+@pytest.mark.parametrize("name", HELPER_WORKLOADS)
+def test_summaries_strictly_sharper_on_helper_workloads(name):
+    entry = _results.get(name) or {
+        "legacy": _measure(name, interprocedural=False),
+        "interprocedural": _measure(name, interprocedural=True),
+    }
+    _results.setdefault(name, entry)
+    inter, legacy = entry["interprocedural"], entry["legacy"]
+    assert inter["warnings"] < legacy["warnings"], entry
+    assert inter["notes"] == 0, "the helper summaries must be complete"
+    assert inter["pruner_trusted"] and not legacy["pruner_trusted"]
+    assert len(inter["prunable_vars"]) > len(legacy["prunable_vars"])
+    stats = inter["call_stats"]
+    assert stats.get("pure_calls", 0) > 0 and stats.get("pure_hits", 0) > 0
+
+
+def test_emit_json(artifact_sink):
+    assert set(_results) == set(ALL_DETECTION_WORKLOADS)
+    payload = {
+        "benchmark": "staticcheck_precision",
+        "smoke": SMOKE,
+        "workloads": _results,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_staticcheck_precision.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    lines = ["interprocedural precision benchmark (static warnings):"]
+    lines.append(
+        f"  {'workload':14s} {'legacy':>7s} {'interpro':>9s} "
+        f"{'notes':>6s} {'prunable':>9s} {'time':>9s}"
+    )
+    for name, entry in sorted(_results.items()):
+        inter, legacy = entry["interprocedural"], entry["legacy"]
+        marker = " *" if inter["warnings"] < legacy["warnings"] else ""
+        lines.append(
+            f"  {name:14s} {legacy['warnings']:>7d} {inter['warnings']:>9d} "
+            f"{inter['notes']:>6d} {len(inter['prunable_vars']):>9d} "
+            f"{inter['seconds'] * 1e3:>7.2f}ms{marker}"
+        )
+    lines.append("  (* = strictly fewer warnings with interprocedural summaries)")
+    artifact_sink("BENCH_staticcheck_precision", "\n".join(lines))

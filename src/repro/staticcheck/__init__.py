@@ -4,6 +4,10 @@ ParaMount detects races *dynamically* by enumerating the consistent global
 states of one observed execution; this package adds the complementary
 *static* pass over the program text plus an opt-in runtime *sanitizer*:
 
+* :mod:`~repro.staticcheck.diag` — the unified diagnostics layer: stable
+  rule IDs (``RR001`` data race, ``LO001`` lock cycle, …) with severity,
+  source spans, ``# repro: noqa[RULE]`` suppressions, SARIF 2.1.0 and
+  JSONL exporters, and per-workload precision baselines;
 * :mod:`~repro.staticcheck.extract` — an AST extractor that walks every
   thread-body generator **without executing it** and produces a
   conservative op-flow summary (variables read/written, the lockset held
@@ -52,12 +56,19 @@ from repro.staticcheck.extract import (
     ThreadInstance,
     extract_summary,
 )
+from repro.staticcheck.diag import (
+    Diagnostic,
+    Rule,
+    RULES,
+    SourceSpan,
+    rule_for_category,
+    validate_sarif,
+)
 from repro.staticcheck.lockorder import analyze_lock_order
 from repro.staticcheck.mhp import (
     MHPAnalysis,
     Segment,
     build_mhp,
-    legacy_may_be_concurrent,  # noqa: F401  (deprecated; kept importable)
 )
 from repro.staticcheck.predclass import (
     ClassificationCertificate,
@@ -84,10 +95,13 @@ __all__ = [
     "ClockSanitizer",
     "CrossValidation",
     "Demotion",
+    "Diagnostic",
     "EnumerationSanitizer",
     "LocalityWitness",
     "LockOrderEdge",
     "MHPAnalysis",
+    "RULES",
+    "Rule",
     "PipelineSanitizer",
     "PlannerCrossValidation",
     "PredicateCheck",
@@ -95,6 +109,7 @@ __all__ = [
     "ProgramSummary",
     "SanitizerViolation",
     "Segment",
+    "SourceSpan",
     "StaticPruner",
     "StaticReport",
     "StaticWarning",
@@ -112,7 +127,7 @@ __all__ = [
     "cross_validate_planner_registry",
     "cross_validate_registry",
     "extract_summary",
+    "rule_for_category",
+    "validate_sarif",
     "verify_certificate",
-    # "legacy_may_be_concurrent" is deliberately absent: deprecated in
-    # favor of MHPAnalysis.ordered (still importable for the transition).
 ]

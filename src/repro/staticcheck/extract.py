@@ -28,7 +28,17 @@ Precision strategy (everything degrades conservatively, never silently):
 * ``yield from helper(...)`` inlines the helper's AST with the caller's
   lock/fork state; factory calls such as ``Fork(_worker(i))`` are resolved
   by evaluating the (assumed pure) factory to obtain the closure analyzed
-  next.
+  next;
+* **interprocedural summaries** (default on): a nested ``def`` becomes a
+  :class:`_StaticClosure` — its AST plus a snapshot of the defining
+  scope — so nested thread bodies forked via ``Fork(worker)`` are analyzed
+  with their closure environment, nested generator helpers inline through
+  ``yield from``, and nested *non-generator* helpers are evaluated
+  abstractly at call sites (a bounded, memoized pure interpreter over
+  their ASTs).  Helper inlining is memoized per (callee, bindings, entry
+  lock/fork/join state) — the classic call-summary cache — and recursion
+  is *widened* conservatively (lockset knowledge dropped, note recorded)
+  instead of being unrolled.
 
 Whenever resolution fails the extractor records an ``approximation`` note
 and errs toward *larger* race reports: locksets shrink, threads replicate,
@@ -42,6 +52,7 @@ from __future__ import annotations
 import ast
 import inspect
 import textwrap
+import types
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
@@ -85,6 +96,8 @@ class AccessSite:
     instance: int
     line: int
     func: str
+    #: Source file of the access (absolute line numbers refer into it).
+    file: str = ""
     #: Instance ids possibly already forked when this site runs (union over
     #: paths) — a site is ordered *before* every instance not in here.
     forked_before: frozenset = frozenset()
@@ -127,6 +140,7 @@ class LockOrderEdge:
     acquired: str
     thread: str
     line: int
+    file: str = ""
 
 
 @dataclass
@@ -137,10 +151,13 @@ class ProgramSummary:
     instances: List[ThreadInstance] = field(default_factory=list)
     accesses: List[AccessSite] = field(default_factory=list)
     lock_edges: List[LockOrderEdge] = field(default_factory=list)
-    #: (thread label, lock, line) — acquire of a lock already held.
-    self_deadlocks: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: (thread label, lock, line, file) — acquire of a lock already held.
+    self_deadlocks: List[Tuple[str, str, int, str]] = field(default_factory=list)
     #: Human-readable notes where precision was lost.
     approximations: List[str] = field(default_factory=list)
+    #: Interprocedural machinery counters: memoized helper-inline hits and
+    #: misses, abstract pure calls of nested helpers and their cache hits.
+    call_stats: Dict[str, int] = field(default_factory=dict)
 
     def instance(self, iid: int) -> ThreadInstance:
         return self.instances[iid]
@@ -253,8 +270,103 @@ class _AccessDraft:
     instance: int
     line: int
     func: str
+    file: str
     fork_snapshot: Dict[int, int]
     join_snapshot: Dict[int, int]
+
+    def clone(self) -> "_AccessDraft":
+        return _AccessDraft(
+            op=self.op,
+            var=self.var,
+            is_init=self.is_init,
+            lockset=self.lockset,
+            lockset_exact=self.lockset_exact,
+            instance=self.instance,
+            line=self.line,
+            func=self.func,
+            file=self.file,
+            fork_snapshot=dict(self.fork_snapshot),
+            join_snapshot=dict(self.join_snapshot),
+        )
+
+
+# --------------------------------------------------------------------- #
+# interprocedural machinery: static closures and call summaries
+
+
+class _PureEvalError(Exception):
+    """A nested helper call could not be evaluated purely."""
+
+
+def _ast_is_generator(node: ast.FunctionDef) -> bool:
+    """Whether the function body contains a yield outside nested scopes."""
+    stack: List[ast.AST] = list(node.body)
+    while stack:
+        n = stack.pop()
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(n, (ast.Yield, ast.YieldFrom)):
+            return True
+        stack.extend(ast.iter_child_nodes(n))
+    return False
+
+
+def _free_names(node: ast.FunctionDef) -> frozenset:
+    """Names the nested function may read from its defining scope.
+
+    Over-approximated (every loaded name minus the parameters): the set
+    only drives conservative invalidation and instance-merge keys, where
+    *larger* is always safe."""
+    args = node.args
+    bound = {a.arg for a in list(args.args) + list(args.kwonlyargs) + list(args.posonlyargs)}
+    if args.vararg is not None:
+        bound.add(args.vararg.arg)
+    if args.kwarg is not None:
+        bound.add(args.kwarg.arg)
+    loads = set()
+    for n in ast.walk(node):
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load):
+            loads.add(n.id)
+    return frozenset(loads - bound)
+
+
+@dataclass(eq=False, repr=False)
+class _StaticClosure:
+    """A nested ``def`` captured with its defining environment.
+
+    Behaves enough like a function for the extractor's three use sites:
+    as a ``Fork(...)`` body (analyzed as a fresh thread instance), as a
+    ``yield from`` generator helper (inlined), and — via :meth:`__call__`
+    inside the guarded evaluator — as an abstractly-interpreted pure
+    helper (e.g. a name-construction function)."""
+
+    node: ast.FunctionDef
+    qualname: str
+    file: str
+    frees: frozenset
+    is_generator: bool
+    extractor: "SummaryExtractor"
+    env: Dict[str, Any] = field(default_factory=dict)
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.extractor._pure_call(self, args, kwargs)
+
+    def __repr__(self) -> str:
+        return f"<static closure {self.qualname}>"
+
+    @property
+    def __name__(self) -> str:  # fork-label fallback parity with functions
+        return self.node.name
+
+
+@dataclass
+class _CallMemo:
+    """Cached effects of one memoized helper inlining."""
+
+    drafts: List[_AccessDraft]
+    lock_edges: frozenset
+    self_deadlocks: Tuple[Tuple[str, str, int, str], ...]
+    exit_frame: _Frame
 
 
 # --------------------------------------------------------------------- #
@@ -284,22 +396,37 @@ class SummaryExtractor:
         unroll_limit: int = 32,
         max_depth: int = 16,
         max_instances: int = 64,
+        interprocedural: bool = True,
     ):
         self.program = program
         self.unroll_limit = unroll_limit
         self.max_depth = max_depth
         self.max_instances = max_instances
+        #: When False, nested defs fall back to the pre-interprocedural
+        #: worst case (UNKNOWN binding + note) — kept for the precision
+        #: benchmark's before/after comparison.
+        self.interprocedural = interprocedural
         self._instances: List[ThreadInstance] = []
         self._accesses: List[_AccessDraft] = []
         self._instance_joins_at_fork: Dict[int, Dict[int, int]] = {}
         self._lock_edges: Set[LockOrderEdge] = set()
-        self._self_deadlocks: List[Tuple[str, str, int]] = []
+        self._self_deadlocks: List[Tuple[str, str, int, str]] = []
         self._notes: List[str] = []
         self._fork_keys: Dict[Any, int] = {}
         self._ast_cache: Dict[Any, Optional[ast.FunctionDef]] = {}
         self._code_stack: List[Any] = []
         #: > 0 while analyzing a non-unrolled (approximate) loop body.
         self._approx_loop = 0
+        #: Memoized helper-inline summaries and abstract pure-call results.
+        self._call_cache: Dict[Any, _CallMemo] = {}
+        self._pure_cache: Dict[Any, Any] = {}
+        self._pure_stack: List[ast.FunctionDef] = []
+        self.call_stats: Dict[str, int] = {
+            "memo_hits": 0,
+            "memo_misses": 0,
+            "pure_calls": 0,
+            "pure_hits": 0,
+        }
 
     # -------------------------------------------------------------- #
 
@@ -319,6 +446,7 @@ class SummaryExtractor:
         )
         summary.self_deadlocks = self._self_deadlocks
         summary.approximations = self._notes
+        summary.call_stats = dict(self.call_stats)
         for inst in self._instances:
             inst.replicated = inst.replicated or inst.times_forked > 1
             joins = self._instance_joins_at_fork.get(inst.id, {})
@@ -338,6 +466,7 @@ class SummaryExtractor:
                     instance=draft.instance,
                     line=draft.line,
                     func=draft.func,
+                    file=draft.file,
                     forked_before=frozenset(
                         iid for iid, cnt in draft.fork_snapshot.items() if cnt > 0
                     ),
@@ -379,26 +508,138 @@ class SummaryExtractor:
             frame.lockset_exact = False
             return
         code = getattr(fn, "__code__", None)
-        if code in self._code_stack:
-            self._note(f"{instance.label}: recursive helper {fn.__name__!r} not re-inlined")
+        self._run_node(
+            node=node,
+            code_key=code,
+            env=self._closure_env(fn),
+            bindings=bindings,
+            frame=frame,
+            instance=instance,
+            qualname=getattr(fn, "__qualname__", "<body>"),
+            file=getattr(code, "co_filename", ""),
+            helper_name=getattr(fn, "__name__", "<body>"),
+        )
+
+    def _run_closure(
+        self,
+        closure: _StaticClosure,
+        bindings: Dict[str, Any],
+        frame: _Frame,
+        instance: ThreadInstance,
+    ) -> None:
+        """Inline-analyze a nested-``def`` closure's body."""
+        self._run_node(
+            node=closure.node,
+            code_key=closure.node,
+            env=closure.env,
+            bindings=bindings,
+            frame=frame,
+            instance=instance,
+            qualname=closure.qualname,
+            file=closure.file,
+            helper_name=closure.node.name,
+        )
+
+    def _run_node(
+        self,
+        node: ast.FunctionDef,
+        code_key: Any,
+        env: Dict[str, Any],
+        bindings: Dict[str, Any],
+        frame: _Frame,
+        instance: ThreadInstance,
+        qualname: str,
+        file: str,
+        helper_name: str,
+    ) -> None:
+        """Shared body analysis for real functions and static closures,
+        with recursion widening and memoized call summaries."""
+        if code_key in self._code_stack:
+            # Conservative widening: the recursive tail may do anything to
+            # the lockset, so drop that knowledge rather than unrolling.
+            self._note(
+                f"{instance.label}: recursive helper {helper_name!r} "
+                "widened conservatively"
+            )
+            frame.lockset.clear()
+            frame.lockset_exact = False
             return
         if len(self._code_stack) >= self.max_depth:
             self._note(f"{instance.label}: helper inlining depth limit reached")
             frame.lockset_exact = False
             return
-        env = self._closure_env(fn)
+        memo_key = self._memo_key(code_key, bindings, frame, instance)
+        if memo_key is not None:
+            memo = self._call_cache.get(memo_key)
+            if memo is not None:
+                self._replay_memo(memo, frame)
+                return
+        accesses_before = len(self._accesses)
+        instances_before = len(self._instances)
+        edges_before = set(self._lock_edges)
+        deadlocks_before = len(self._self_deadlocks)
+        entry_forks = dict(frame.fork_counts)
+        entry_joins = dict(frame.join_counts)
+
         locals_: Dict[str, Any] = dict(bindings)
-        for i, arg in enumerate(node.args.args):
+        for arg in node.args.args:
             if arg.arg not in locals_:
                 locals_[arg.arg] = UNKNOWN
-        ctx = _FnCtx(fn=fn, env=env, qualname=getattr(fn, "__qualname__", "<body>"))
-        self._code_stack.append(code)
+        ctx = _FnCtx(env=env, qualname=qualname, file=file)
+        self._code_stack.append(code_key)
         try:
             self._exec_block(node.body, frame, locals_, instance, ctx)
         finally:
             self._code_stack.pop()
         if frame.terminated == "return":
             frame.terminated = None  # a return only ends the helper
+        if memo_key is None:
+            return
+        self.call_stats["memo_misses"] += 1
+        # A call summary is only valid when the run had no fork/join or
+        # instance effects: everything else (accesses, lock edges, the
+        # exit frame) is then a pure function of the entry state.
+        cacheable = (
+            frame.terminated is None
+            and len(self._instances) == instances_before
+            and frame.fork_counts == entry_forks
+            and frame.join_counts == entry_joins
+        )
+        if cacheable:
+            self._call_cache[memo_key] = _CallMemo(
+                drafts=[d.clone() for d in self._accesses[accesses_before:]],
+                lock_edges=frozenset(self._lock_edges - edges_before),
+                self_deadlocks=tuple(self._self_deadlocks[deadlocks_before:]),
+                exit_frame=frame.copy(),
+            )
+
+    def _memo_key(
+        self, code_key: Any, bindings: Dict[str, Any], frame: _Frame, instance: ThreadInstance
+    ) -> Optional[Tuple[Any, ...]]:
+        try:
+            bind_key = tuple(sorted((k, repr(v)) for k, v in bindings.items()))
+        except Exception:
+            return None
+        return (
+            code_key,
+            bind_key,
+            frozenset(frame.lockset),
+            frame.lockset_exact,
+            instance.id,
+            tuple(sorted(frame.fork_counts.items())),
+            tuple(sorted(frame.join_counts.items())),
+            self._approx_loop > 0,
+        )
+
+    def _replay_memo(self, memo: _CallMemo, frame: _Frame) -> None:
+        self.call_stats["memo_hits"] += 1
+        for draft in memo.drafts:
+            self._accesses.append(draft.clone())
+        self._lock_edges |= memo.lock_edges
+        for entry in memo.self_deadlocks:
+            if entry not in self._self_deadlocks:
+                self._self_deadlocks.append(entry)
+        frame.assign_from(memo.exit_frame)
 
     def _function_ast(self, fn: Any) -> Optional[ast.FunctionDef]:
         code = getattr(fn, "__code__", None)
@@ -410,6 +651,9 @@ class SummaryExtractor:
         try:
             source = textwrap.dedent(inspect.getsource(fn))
             module = ast.parse(source)
+            # Shift to absolute line numbers so diagnostics can carry real
+            # (file, line) source spans.
+            ast.increment_lineno(module, code.co_firstlineno - 1)
             for stmt in ast.walk(module):
                 if isinstance(stmt, ast.FunctionDef) and stmt.name == fn.__name__:
                     result = stmt
@@ -419,6 +663,116 @@ class SummaryExtractor:
         self._ast_cache[code] = result
         return result
 
+    # -------------------------------------------------------------- #
+    # abstract (pure) evaluation of nested non-generator helpers
+
+    def _pure_call(self, closure: _StaticClosure, args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> Any:
+        """Abstractly evaluate a call of a nested helper (memoized).
+
+        Raises :class:`_PureEvalError` — which the guarded evaluator turns
+        into UNKNOWN — whenever the helper is a generator, recursive, too
+        deep, or contains anything but pure straight-line/branching code."""
+        self.call_stats["pure_calls"] += 1
+        if closure.is_generator:
+            raise _PureEvalError(f"{closure.qualname} is a generator")
+        memo_key: Optional[Tuple[Any, ...]]
+        try:
+            env_key = tuple(
+                sorted((n, repr(closure.env.get(n, UNKNOWN))) for n in closure.frees)
+            )
+            memo_key = (closure.node, env_key, repr(args), repr(tuple(sorted(kwargs.items()))))
+        except Exception:
+            memo_key = None
+        if memo_key is not None and memo_key in self._pure_cache:
+            self.call_stats["pure_hits"] += 1
+            return self._pure_cache[memo_key]
+        if closure.node in self._pure_stack or len(self._pure_stack) >= self.max_depth:
+            raise _PureEvalError(f"recursive or too-deep pure call of {closure.qualname}")
+        arg_spec = closure.node.args
+        names = [a.arg for a in arg_spec.args]
+        if len(args) > len(names) or arg_spec.vararg or arg_spec.kwarg:
+            raise _PureEvalError(f"unsupported call signature for {closure.qualname}")
+        loc: Dict[str, Any] = dict(zip(names, args))
+        for key, value in kwargs.items():
+            if key not in names:
+                raise _PureEvalError(f"unknown keyword {key!r} for {closure.qualname}")
+            loc[key] = value
+        defaults = arg_spec.defaults
+        for name, default in zip(names[len(names) - len(defaults):], defaults):
+            if name not in loc:
+                ok, value = try_eval(default, closure.env)
+                if not ok:
+                    raise _PureEvalError(f"unresolvable default for {closure.qualname}")
+                loc[name] = value
+        if len(loc) < len(names):
+            raise _PureEvalError(f"missing arguments for {closure.qualname}")
+        self._pure_stack.append(closure.node)
+        try:
+            value, returned = self._pure_block(closure.node.body, closure, loc)
+        finally:
+            self._pure_stack.pop()
+        result = value if returned else None
+        if memo_key is not None:
+            self._pure_cache[memo_key] = result
+        return result
+
+    def _pure_block(
+        self, stmts: List[ast.stmt], closure: _StaticClosure, loc: Dict[str, Any]
+    ) -> Tuple[Any, bool]:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Return):
+                if stmt.value is None:
+                    return None, True
+                return self._pure_expr(stmt.value, closure, loc), True
+            if isinstance(stmt, ast.Assign) and all(
+                isinstance(t, ast.Name) for t in stmt.targets
+            ):
+                value = self._pure_expr(stmt.value, closure, loc)
+                for target in stmt.targets:
+                    loc[target.id] = value  # type: ignore[attr-defined]
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if stmt.value is not None:
+                    loc[stmt.target.id] = self._pure_expr(stmt.value, closure, loc)
+            elif isinstance(stmt, ast.If):
+                cond = self._pure_expr(stmt.test, closure, loc)
+                value, returned = self._pure_block(
+                    stmt.body if cond else stmt.orelse, closure, loc
+                )
+                if returned:
+                    return value, True
+            elif isinstance(stmt, ast.FunctionDef):
+                loc[stmt.name] = self._make_closure(stmt, closure.qualname, closure.file, {**closure.env, **loc})
+            elif isinstance(stmt, ast.Pass):
+                pass
+            elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                pass  # docstring
+            else:
+                raise _PureEvalError(
+                    f"impure statement {type(stmt).__name__} in {closure.qualname}"
+                )
+        return None, False
+
+    def _pure_expr(self, node: ast.expr, closure: _StaticClosure, loc: Dict[str, Any]) -> Any:
+        ok, value = try_eval(node, {**closure.env, **loc})
+        if not ok:
+            raise _PureEvalError(f"unresolvable expression in {closure.qualname}")
+        return value
+
+    def _make_closure(
+        self, stmt: ast.FunctionDef, parent_qualname: str, file: str, scope: Dict[str, Any]
+    ) -> _StaticClosure:
+        closure = _StaticClosure(
+            node=stmt,
+            qualname=f"{parent_qualname}.<locals>.{stmt.name}",
+            file=file,
+            frees=_free_names(stmt),
+            is_generator=_ast_is_generator(stmt),
+            extractor=self,
+        )
+        closure.env = dict(scope)
+        closure.env[stmt.name] = closure  # self-reference for recursion
+        return closure
+
     def _closure_env(self, fn: Any) -> Dict[str, Any]:
         env: Dict[str, Any] = {}
         try:
@@ -427,6 +781,23 @@ class SummaryExtractor:
             return dict(getattr(fn, "__globals__", {}) or {})
         env.update(cv.globals)
         env.update(cv.nonlocals)
+        # getclosurevars only sees the outer code object; globals referenced
+        # solely inside nested defs (their own co_names) would be invisible
+        # to the closures we build for them.  Pull those in too.
+        globals_ = getattr(fn, "__globals__", {}) or {}
+        code = getattr(fn, "__code__", None)
+        if code is not None:
+            stack = [code]
+            while stack:
+                current = stack.pop()
+                for name in current.co_names:
+                    if name not in env and name in globals_:
+                        env[name] = globals_[name]
+                stack.extend(
+                    const
+                    for const in current.co_consts
+                    if isinstance(const, types.CodeType)
+                )
         return env
 
     # -------------------------------------------------------------- #
@@ -472,8 +843,14 @@ class SummaryExtractor:
         elif isinstance(stmt, ast.Assert):
             pass
         elif isinstance(stmt, ast.FunctionDef):
-            locals_[stmt.name] = UNKNOWN
-            self._note(f"{ctx.qualname}: nested def {stmt.name!r} not modeled")
+            if self.interprocedural:
+                closure = self._make_closure(
+                    stmt, ctx.qualname, ctx.file, {**ctx.env, **locals_}
+                )
+                locals_[stmt.name] = closure
+            else:
+                locals_[stmt.name] = UNKNOWN
+                self._note(f"{ctx.qualname}: nested def {stmt.name!r} not modeled")
         elif isinstance(stmt, ast.Try):
             before = frame.copy()
             self._exec_block(stmt.body, frame, locals_, instance, ctx)
@@ -538,11 +915,25 @@ class SummaryExtractor:
     def _bind_targets(self, targets, value, locals_) -> None:
         for target in targets:
             if isinstance(target, ast.Name):
+                self._invalidate_captures(target.id, value, locals_)
                 locals_[target.id] = value
             elif isinstance(target, (ast.Tuple, ast.List)):
                 for elt in target.elts:
                     self._bind_targets([elt], UNKNOWN, locals_)
             # attribute/subscript targets: no tracked binding
+
+    def _invalidate_captures(self, name: str, value: Any, locals_: Dict[str, Any]) -> None:
+        """Rebinding a captured name after a nested ``def`` would make the
+        closure's def-time snapshot stale (Python closures late-bind).
+        Soundly degrade the capture to UNKNOWN instead of chasing it."""
+        for existing in locals_.values():
+            if (
+                isinstance(existing, _StaticClosure)
+                and existing is not value
+                and name in existing.frees
+                and existing.env.get(name) is not value
+            ):
+                existing.env[name] = UNKNOWN
 
     # ---- control flow ---------------------------------------------- #
 
@@ -707,6 +1098,7 @@ class SummaryExtractor:
                     instance=instance.id,
                     line=line,
                     func=ctx.qualname,
+                    file=ctx.file,
                     fork_snapshot=dict(frame.fork_counts),
                     join_snapshot=dict(frame.join_counts),
                 )
@@ -716,10 +1108,16 @@ class SummaryExtractor:
             lock = self._lock_name(call, env)
             if isinstance(lock, str):
                 if lock in frame.lockset:
-                    self._self_deadlocks.append((instance.label, lock, line))
+                    self._self_deadlocks.append((instance.label, lock, line, ctx.file))
                 for held in sorted(frame.lockset):
                     self._lock_edges.add(
-                        LockOrderEdge(held=held, acquired=lock, thread=instance.label, line=line)
+                        LockOrderEdge(
+                            held=held,
+                            acquired=lock,
+                            thread=instance.label,
+                            line=line,
+                            file=ctx.file,
+                        )
                     )
                 frame.lockset.add(lock)
             else:
@@ -775,7 +1173,10 @@ class SummaryExtractor:
                 "an unanalyzed thread exists"
             )
             return UNKNOWN
-        key = (line, getattr(body, "__code__", body), self._closure_key(body))
+        if isinstance(body, _StaticClosure):
+            key = (line, body.node, self._static_closure_key(body))
+        else:
+            key = (line, getattr(body, "__code__", body), self._closure_key(body))
         existing = self._fork_keys.get(key)
         if existing is not None:
             inst = self._instances[existing]
@@ -812,8 +1213,20 @@ class SummaryExtractor:
         self._fork_keys[key] = iid
         frame.fork_counts[iid] = frame.fork_counts.get(iid, 0) + 1
         child_frame = _Frame()
-        self._run_function(body, {}, child_frame, inst)
+        if isinstance(body, _StaticClosure):
+            self._run_closure(body, {}, child_frame, inst)
+        else:
+            self._run_function(body, {}, child_frame, inst)
         return _Handle(iid)
+
+    def _static_closure_key(self, closure: _StaticClosure) -> Any:
+        parts = []
+        for name in sorted(closure.frees):
+            try:
+                parts.append((name, repr(closure.env.get(name, UNKNOWN))))
+            except Exception:
+                parts.append((name, "<unrepresentable>"))
+        return tuple(parts)
 
     def _closure_key(self, fn: Any) -> Any:
         cells = getattr(fn, "__closure__", None)
@@ -832,6 +1245,10 @@ class SummaryExtractor:
         if isinstance(value, ast.Call):
             env = {**ctx.env, **locals_}
             ok, fn = try_eval(value.func, env)
+            if ok and isinstance(fn, _StaticClosure) and fn.is_generator:
+                bindings = self._bind_closure_call(fn, value, env)
+                self._run_closure(fn, bindings, frame, instance)
+                return
             if ok and callable(fn) and inspect.isgeneratorfunction(fn):
                 bindings = self._bind_call(fn, value, env)
                 self._run_function(fn, bindings, frame, instance, )
@@ -842,6 +1259,24 @@ class SummaryExtractor:
         )
         frame.lockset.clear()
         frame.lockset_exact = False
+
+    def _bind_closure_call(self, closure: _StaticClosure, call: ast.Call, env) -> Dict[str, Any]:
+        bindings: Dict[str, Any] = {}
+        names = [a.arg for a in closure.node.args.args]
+        for i, arg in enumerate(call.args):
+            if i < len(names):
+                ok, value = try_eval(arg, env)
+                bindings[names[i]] = value if ok else UNKNOWN
+        for kw in call.keywords:
+            if kw.arg is not None:
+                ok, value = try_eval(kw.value, env)
+                bindings[kw.arg] = value if ok else UNKNOWN
+        defaults = closure.node.args.defaults
+        for name, default in zip(names[len(names) - len(defaults):], defaults):
+            if name not in bindings:
+                ok, value = try_eval(default, closure.env)
+                bindings[name] = value if ok else UNKNOWN
+        return bindings
 
     def _bind_call(self, fn, call: ast.Call, env) -> Dict[str, Any]:
         bindings: Dict[str, Any] = {}
@@ -873,9 +1308,9 @@ class SummaryExtractor:
 class _FnCtx:
     """Per-function analysis context (env + diagnostics label)."""
 
-    fn: Any
     env: Dict[str, Any]
     qualname: str
+    file: str = ""
 
 
 def extract_summary(program: Program, **kwargs) -> ProgramSummary:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Set, Tuple
 
 from repro.runtime.waitgraph import WaitEdge, WaitForGraph
+from repro.staticcheck.diag import SourceSpan
 from repro.staticcheck.extract import LockOrderEdge, ProgramSummary
 from repro.staticcheck.report import StaticWarning
 
@@ -90,9 +91,18 @@ def analyze_lock_order(summary: ProgramSummary) -> List[StaticWarning]:
                 threads=threads,
                 graph=_hypothetical_graph(cycle),
                 sites=tuple(f"line {e.line}: {e.held} -> {e.acquired}" for e in cycle),
+                rule="LO001",
+                spans=tuple(SourceSpan(file=e.file, line=e.line) for e in cycle),
+                evidence={
+                    "cycle": [
+                        {"held": e.held, "acquired": e.acquired, "thread": e.thread, "line": e.line}
+                        for e in cycle
+                    ]
+                },
+                fix=f"acquire locks in one global order: {', '.join(sorted(set(locks)))}",
             )
         )
-    for thread, lock, line in summary.self_deadlocks:
+    for thread, lock, line, file in summary.self_deadlocks:
         warnings.append(
             StaticWarning(
                 category="self-deadlock",
@@ -104,6 +114,10 @@ def analyze_lock_order(summary: ProgramSummary) -> List[StaticWarning]:
                 threads=(thread,),
                 locks=(lock,),
                 sites=(f"line {line}",),
+                rule="LO002",
+                spans=(SourceSpan(file=file, line=line),),
+                evidence={"thread": thread, "lock": lock, "line": line},
+                fix=f"release {lock!r} before re-acquiring, or use a reentrant lock",
             )
         )
     return warnings

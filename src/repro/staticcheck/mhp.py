@@ -64,8 +64,6 @@ __all__ = [
     "MHPAnalysis",
     "Segment",
     "build_mhp",
-    # "legacy_may_be_concurrent" is deprecated (superseded by
-    # MHPAnalysis.ordered) and deliberately left out of __all__.
 ]
 
 #: Segment grouping key: (instance id, forked_before, joined_before).
@@ -287,54 +285,3 @@ class MHPAnalysis:
 def build_mhp(summary: ProgramSummary) -> MHPAnalysis:
     """Construct the MHP analysis for an extracted summary."""
     return MHPAnalysis(summary)
-
-
-# --------------------------------------------------------------------- #
-# the pre-MHP heuristic, kept as a reference point
-
-def legacy_may_be_concurrent(
-    a: AccessSite, b: AccessSite, summary: ProgramSummary
-) -> bool:
-    """The coarse pairwise fork/join heuristic that MHP replaced.
-
-    Kept verbatim so tests (and curious users) can measure the precision
-    gap: the heuristic sees direct parent/child and direct sibling
-    ordering but no transitive composition, and treats every replicated
-    instance as self-concurrent.  Both it and MHP err toward "concurrent",
-    but MHP strictly refines it: whenever the heuristic answers ``False``
-    (ordered), :meth:`MHPAnalysis.ordered` answers ``True`` as well, so
-    MHP-based race warnings are always a subset of the heuristic's.
-
-    .. deprecated::
-        Superseded by the MHP segment-graph analysis; use
-        ``build_mhp(summary).ordered(a, b)`` (negated) instead.  Calling
-        this emits :class:`DeprecationWarning` and it will be removed
-        once nothing measures the precision gap anymore.
-    """
-    import warnings
-
-    warnings.warn(
-        "legacy_may_be_concurrent is deprecated; use "
-        "MHPAnalysis.ordered (via build_mhp) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    ia, ib = summary.instance(a.instance), summary.instance(b.instance)
-    if ia.id == ib.id:
-        # Same abstract thread: a single dynamic thread is sequential
-        # with itself; only a replicated instance (fork site in a loop)
-        # stands for several dynamic threads that can race pairwise.
-        return ia.replicated
-    # Parent/child: the parent's accesses before the fork — or after all
-    # copies are surely joined — are ordered with the child.
-    for parent_site, child in ((a, ib), (b, ia)):
-        if child.parent == parent_site.instance:
-            if child.id not in parent_site.forked_before:
-                return False  # access happens-before the fork
-            if child.id in parent_site.joined_before:
-                return False  # access happens-after the join(s)
-    # Siblings: instance Y forked only after every copy of X was joined
-    # is fully ordered after X.
-    if ib.id in ia.forked_after_joins or ia.id in ib.forked_after_joins:
-        return False
-    return True

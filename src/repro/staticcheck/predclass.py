@@ -168,6 +168,37 @@ class ClassificationCertificate:
             lines.append(f"  argument: {a}")
         return "\n".join(lines)
 
+    def diagnostics(self, program: str = "") -> List["Diagnostic"]:
+        """The certificate's demotions as ``PC001`` diagnostics."""
+        from repro.staticcheck.diag import Diagnostic
+
+        out: List[Diagnostic] = []
+        for d in self.demotions:
+            out.append(
+                Diagnostic(
+                    rule="PC001",
+                    message=(
+                        f"predicate {self.predicate!r} claimed "
+                        f"{self.claimed.value} but assigned "
+                        f"{self.assigned.value} — {d.describe()}"
+                    ),
+                    program=program,
+                    var=self.predicate,
+                    evidence={
+                        "claimed": self.claimed.value,
+                        "assigned": self.assigned.value,
+                        "subject": d.subject,
+                        "reason": d.reason,
+                        "expr": d.expr,
+                    },
+                    fix=(
+                        f"declare the predicate as {self.assigned.value}, or "
+                        "restructure it to satisfy the claimed class"
+                    ),
+                )
+            )
+        return out
+
 
 # --------------------------------------------------------------------- #
 # AST locality analysis of one conjunct

@@ -7,8 +7,8 @@ Two access sites race when, conservatively:
 3. they are **not** provably happens-before ordered — decided by the
    static MHP analysis (:class:`~repro.staticcheck.mhp.MHPAnalysis`),
    whose reachability closure over the fork/join segment graph strictly
-   refines the old pairwise heuristic (kept as
-   :func:`~repro.staticcheck.mhp.legacy_may_be_concurrent`); and
+   refines the old pairwise heuristic (removed in favour of the segment
+   graph; tests keep a reference copy); and
 4. the locksets surely held at the two sites are disjoint.
 
 Honoring the ParaMount §5.2 init-write filter, a pair whose witness
@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.staticcheck.diag import SourceSpan
 from repro.staticcheck.extract import AccessSite, ProgramSummary
 from repro.staticcheck.mhp import MHPAnalysis
 from repro.staticcheck.report import StaticWarning
@@ -93,6 +94,36 @@ def analyze_races(
                 message=message,
                 threads=tuple(sorted({la, lb})),
                 sites=(f"{a.func}:{a.line}", f"{b.func}:{b.line}"),
+                rule="RR002" if category == "init-race" else "RR001",
+                spans=(
+                    SourceSpan(file=a.file, line=a.line, func=a.func),
+                    SourceSpan(file=b.file, line=b.line, func=b.func),
+                ),
+                evidence={
+                    "variable": str(var),
+                    "sites": [
+                        {
+                            "op": a.op,
+                            "thread": la,
+                            "func": a.func,
+                            "line": a.line,
+                            "lockset": sorted(a.lockset),
+                            "is_init": a.is_init,
+                        },
+                        {
+                            "op": b.op,
+                            "thread": lb,
+                            "func": b.func,
+                            "line": b.line,
+                            "lockset": sorted(b.lockset),
+                            "is_init": b.is_init,
+                        },
+                    ],
+                },
+                fix=(
+                    f"guard both accesses to {var} with one common lock, or "
+                    "order them with a fork/join edge"
+                ),
             )
         )
     return warnings

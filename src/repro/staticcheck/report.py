@@ -33,14 +33,17 @@ Warning categories:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.runtime.program import Program
 from repro.runtime.waitgraph import WaitForGraph
+from repro.staticcheck import diag as _diag
+from repro.staticcheck.diag import Diagnostic, SourceSpan
 from repro.staticcheck.values import VarName, names_may_alias
 
 if TYPE_CHECKING:  # import cycle at runtime (extract imports report users)
     from repro.staticcheck.extract import ProgramSummary
+    from repro.staticcheck.mhp import MHPAnalysis
 
 __all__ = ["StaticReport", "StaticWarning", "analyze_program"]
 
@@ -72,6 +75,34 @@ class StaticWarning:
     graph: Optional[WaitForGraph] = None
     #: ``func:line`` witnesses.
     sites: Tuple[str, ...] = ()
+    #: Stable rule ID (:data:`repro.staticcheck.diag.RULES`); derived from
+    #: the category when empty.
+    rule: str = ""
+    #: Structured witness spans (file/line/function) driving SARIF export
+    #: and ``# repro: noqa`` suppression lookup.
+    spans: Tuple[SourceSpan, ...] = ()
+    #: Machine-readable facts behind the finding (excluded from eq/hash).
+    evidence: Dict[str, Any] = field(default_factory=dict, compare=False)
+    #: Suggested remediation, when one is known.
+    fix: str = ""
+
+    @property
+    def rule_id(self) -> str:
+        return self.rule or _diag.rule_for_category(self.category)
+
+    def as_diagnostic(self, program: str = "", suppressed: bool = False) -> Diagnostic:
+        return Diagnostic(
+            rule=self.rule_id,
+            message=self.message,
+            program=program,
+            var=str(self.var) if self.var is not None else None,
+            threads=tuple(self.threads),
+            locks=tuple(self.locks),
+            spans=tuple(self.spans),
+            evidence=dict(self.evidence),
+            fix=self.fix,
+            suppressed=suppressed,
+        )
 
     def format(self) -> str:
         head = f"[{self.category}]"
@@ -93,6 +124,14 @@ class StaticReport:
     warnings: List[StaticWarning] = field(default_factory=list)
     #: The extraction summary (kept for tests and diagnostics).
     summary: Optional["ProgramSummary"] = None
+    #: Findings silenced by ``# repro: noqa`` directives.  Kept separate
+    #: from ``warnings`` (strict gating and baselines ignore them) but
+    #: still consulted by :meth:`covers_var` — suppression must never
+    #: weaken the static ⊇ dynamic coverage argument.
+    suppressed: List[StaticWarning] = field(default_factory=list)
+    #: The MHP analysis built by the driver (shared with the pruner and
+    #: the MH001 overlap notes).
+    mhp: Optional["MHPAnalysis"] = None
 
     def by_category(self, category: str) -> List[StaticWarning]:
         return [w for w in self.warnings if w.category == category]
@@ -117,10 +156,76 @@ class StaticReport:
         is *covered* when a static warning's (possibly pattern-valued)
         variable may-aliases it.
         """
+        candidates = self.race_warnings() + [
+            w for w in self.suppressed if w.category in ("race", "init-race")
+        ]
         return any(
-            w.var is not None and names_may_alias(w.var, var)
-            for w in self.race_warnings()
+            w.var is not None and names_may_alias(w.var, var) for w in candidates
         )
+
+    def diagnostics(self, include_mhp_notes: bool = True) -> List[Diagnostic]:
+        """All findings as :class:`~repro.staticcheck.diag.Diagnostic`\\ s.
+
+        Includes the suppressed findings (marked) and, when the MHP
+        analysis is available, the informational ``MH001`` notes: access
+        pairs that are lock-serialized (no race) but not happens-before
+        ordered, i.e. schedule-dependent orderings the dynamic detector
+        still has to resolve.
+        """
+        out = [w.as_diagnostic(self.program_name) for w in self.warnings]
+        out.extend(w.as_diagnostic(self.program_name, suppressed=True) for w in self.suppressed)
+        if include_mhp_notes:
+            out.extend(self._mhp_overlap_notes())
+        return out
+
+    def _mhp_overlap_notes(self) -> List[Diagnostic]:
+        if self.summary is None or self.mhp is None:
+            return []
+        notes: List[Diagnostic] = []
+        seen: set = set()
+        sites = self.summary.accesses
+        for i, a in enumerate(sites):
+            for b in sites[i:]:
+                if a.op == "read" and b.op == "read":
+                    continue
+                if not names_may_alias(a.var, b.var):
+                    continue
+                if not (a.lockset & b.lockset):
+                    continue  # disjoint locksets are RR001 territory
+                if self.mhp.ordered(a, b):
+                    continue
+                var = a.var if isinstance(a.var, str) else b.var
+                if str(var) in seen:
+                    continue
+                seen.add(str(var))
+                la = self.summary.instance(a.instance).label
+                lb = self.summary.instance(b.instance).label
+                shared = ",".join(sorted(a.lockset & b.lockset))
+                notes.append(
+                    Diagnostic(
+                        rule="MH001",
+                        message=(
+                            f"{a.op} by {la} and {b.op} by {lb} are serialized "
+                            f"by {{{shared}}} but not happens-before ordered"
+                        ),
+                        program=self.program_name,
+                        var=str(var),
+                        threads=tuple(sorted({la, lb})),
+                        locks=tuple(sorted(a.lockset & b.lockset)),
+                        spans=(
+                            SourceSpan(file=a.file, line=a.line, func=a.func),
+                            SourceSpan(file=b.file, line=b.line, func=b.func),
+                        ),
+                        evidence={
+                            "sites": [
+                                {"op": a.op, "func": a.func, "line": a.line},
+                                {"op": b.op, "func": b.func, "line": b.line},
+                            ]
+                        },
+                    )
+                )
+        notes.sort(key=lambda d: str(d.var))
+        return notes
 
     def format(self) -> str:
         if not self.warnings:
@@ -134,18 +239,25 @@ class StaticReport:
 _ORDER = {c: i for i, c in enumerate(CATEGORIES)}
 
 
-def analyze_program(program: Program) -> StaticReport:
+def analyze_program(program: Program, interprocedural: bool = True) -> StaticReport:
     """Run the full static pipeline on ``program``: extract → races +
-    lock-order → combined report."""
+    lock-order → combined report.
+
+    ``interprocedural=False`` re-enables the pre-interprocedural
+    worst-case handling of nested defs and helper calls (used by the
+    precision benchmark's before/after comparison).
+    """
     # function-body imports: races/lockorder produce StaticWarning, so a
     # module-level import here would be circular.
     from repro.staticcheck.extract import extract_summary
     from repro.staticcheck.lockorder import analyze_lock_order
+    from repro.staticcheck.mhp import MHPAnalysis
     from repro.staticcheck.races import analyze_races
 
-    summary = extract_summary(program)
+    summary = extract_summary(program, interprocedural=interprocedural)
+    mhp = MHPAnalysis(summary)
     warnings: List[StaticWarning] = []
-    warnings.extend(analyze_races(summary))
+    warnings.extend(analyze_races(summary, mhp=mhp))
     warnings.extend(analyze_lock_order(summary))
     for note in summary.approximations:
         category = (
@@ -155,4 +267,17 @@ def analyze_program(program: Program) -> StaticReport:
         )
         warnings.append(StaticWarning(category=category, message=note))
     warnings.sort(key=lambda w: (_ORDER.get(w.category, len(_ORDER)), str(w.var or ""), w.message))
-    return StaticReport(program_name=program.name, warnings=warnings, summary=summary)
+    active: List[StaticWarning] = []
+    silenced: List[StaticWarning] = []
+    for warning in warnings:
+        if _diag.is_suppressed(warning.rule_id, warning.spans):
+            silenced.append(warning)
+        else:
+            active.append(warning)
+    return StaticReport(
+        program_name=program.name,
+        warnings=active,
+        summary=summary,
+        suppressed=silenced,
+        mhp=mhp,
+    )

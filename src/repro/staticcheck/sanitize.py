@@ -56,6 +56,17 @@ class SanitizerViolation:
     def __str__(self) -> str:
         return f"[{self.invariant}] {self.message}"
 
+    def as_diagnostic(self, program: str = "") -> "Diagnostic":
+        """This violation as an ``SN001`` (error-severity) diagnostic."""
+        from repro.staticcheck.diag import Diagnostic
+
+        return Diagnostic(
+            rule="SN001",
+            message=self.message,
+            program=program,
+            evidence={"invariant": self.invariant},
+        )
+
 
 class _Checker:
     """Shared collect-or-raise behavior."""

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -350,6 +351,29 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_diagnostics(args: argparse.Namespace, per_program, names: List[str]) -> None:
+    """Shared ``--format``/``--sarif`` emission for the check sub-modes."""
+    from repro.staticcheck import diag as diagmod
+
+    all_diags = [d for name in names for d in per_program.get(name, ())]
+    if args.format == "json":
+        doc = {
+            "version": 1,
+            "programs": {
+                name: [d.to_json() for d in per_program.get(name, ())]
+                for name in names
+            },
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    elif args.format == "jsonl":
+        for d in all_diags:
+            print(json.dumps(d.to_json(), sort_keys=True))
+    if args.sarif:
+        diagmod.write_sarif(args.sarif, all_diags)
+        if args.format == "text":
+            print(f"SARIF report written to {args.sarif}")
+
+
 def _check_predicates(args: argparse.Namespace, names: List[str]) -> int:
     """The ``check --predicates`` lint: classify every registered predicate
     under its author-declared class, surface demotions (unsound
@@ -361,12 +385,16 @@ def _check_predicates(args: argparse.Namespace, names: List[str]) -> int:
     from repro.staticcheck.predclass import PredicateClass, classify_predicate
     from repro.workloads.registry import detection_workload
 
+    text = args.format == "text"
     demotions = 0
     failures = 0
+    per_program = {}
     for name in names:
         workload = detection_workload(name)
         poset = poset_from_trace(workload.trace(), merge_collections=True)
-        print(f"predicate classification for {name!r}:")
+        diags = []
+        if text:
+            print(f"predicate classification for {name!r}:")
         for spec in predicates_for(name, include_adversarial=args.adversarial):
             cert = classify_predicate(
                 spec.build(poset),
@@ -374,22 +402,29 @@ def _check_predicates(args: argparse.Namespace, names: List[str]) -> int:
                 claimed=PredicateClass(spec.claimed),
             )
             tag = "DEMOTED" if cert.demoted else "ok"
-            print(
-                f"  {spec.name:15s} claimed={cert.claimed.value:11s} "
-                f"assigned={cert.assigned.value:11s} {tag}"
-            )
+            if text:
+                print(
+                    f"  {spec.name:15s} claimed={cert.claimed.value:11s} "
+                    f"assigned={cert.assigned.value:11s} {tag}"
+                )
             if cert.demoted:
                 demotions += 1
-                for d in cert.demotions:
-                    print(f"    {d.describe()}")
+                diags.extend(cert.diagnostics(program=name))
+                if text:
+                    for d in cert.demotions:
+                        print(f"    {d.describe()}")
+        per_program[name] = diags
         if not args.static_only:
             cv = cross_validate_planner(
                 name, include_adversarial=args.adversarial
             )
-            print(cv.format())
+            if text:
+                print(cv.format())
             if not cv.ok:
                 failures += 1
-        print()
+        if text:
+            print()
+    _emit_diagnostics(args, per_program, names)
     if failures:
         print(
             f"{failures} workload(s) FAILED planner cross-validation "
@@ -407,6 +442,7 @@ def _check_predicates(args: argparse.Namespace, names: List[str]) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.staticcheck import analyze_program, cross_validate
+    from repro.staticcheck import diag as diagmod
     from repro.workloads.registry import ALL_DETECTION_WORKLOADS, detection_workload
 
     if args.all:
@@ -419,30 +455,73 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.adversarial and not args.predicates:
         print("error: --adversarial requires --predicates", file=sys.stderr)
         return 2
+    if args.baseline and args.predicates:
+        print(
+            "error: --baseline applies to the static check, not --predicates",
+            file=sys.stderr,
+        )
+        return 2
+    if args.update_baseline and not args.baseline:
+        print("error: --update-baseline requires --baseline", file=sys.stderr)
+        return 2
     if args.predicates:
         return _check_predicates(args, names)
 
+    text = args.format == "text"
     failures = 0
     warnings_emitted = 0
+    per_program = {}
     for name in names:
         workload = detection_workload(name)
-        if args.mhp:
+        if args.mhp and text:
             from repro.staticcheck import build_mhp
             from repro.staticcheck.extract import extract_summary
 
             print(build_mhp(extract_summary(workload.build())).describe())
         if args.static_only:
             report = analyze_program(workload.build())
-            print(report.format())
-            warnings_emitted += len(report.warnings)
+            if text:
+                print(report.format())
         else:
             cv = cross_validate(name)
-            print(cv.static_report.format())
-            print(cv.format())
-            warnings_emitted += len(cv.static_report.warnings)
+            report = cv.static_report
+            if text:
+                print(report.format())
+                print(cv.format())
             if not cv.ok:
                 failures += 1
-        print()
+        per_program[name] = report.diagnostics()
+        warnings_emitted += len(report.warnings)
+        if text:
+            print()
+    _emit_diagnostics(args, per_program, names)
+    baseline_rc = 0
+    if args.baseline:
+        current = diagmod.baseline_from_diagnostics(per_program)
+        if args.update_baseline:
+            diagmod.write_baseline(args.baseline, current)
+            if text:
+                print(f"baseline updated: {args.baseline}")
+        else:
+            try:
+                baseline = diagmod.load_baseline(args.baseline)
+            except FileNotFoundError:
+                print(
+                    f"error: baseline file {args.baseline!r} not found "
+                    "(run with --update-baseline to create it)",
+                    file=sys.stderr,
+                )
+                return 2
+            deltas = diagmod.diff_baseline(baseline, current)
+            if deltas:
+                for delta in deltas:
+                    print(f"baseline delta: {delta}", file=sys.stderr)
+                print(
+                    f"{len(deltas)} precision delta(s) vs {args.baseline} — "
+                    "fix the regression or update the baseline explicitly",
+                    file=sys.stderr,
+                )
+                baseline_rc = 1
     if failures:
         print(
             f"{failures} workload(s) have dynamically confirmed races with "
@@ -452,7 +531,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.strict and warnings_emitted:
         print(f"strict mode: {warnings_emitted} static warning(s) emitted")
         return 1
-    return 0
+    return baseline_rc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -643,6 +722,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --predicates: include the deliberately misdeclared "
         "predicate suite (they MUST be demoted; combined with --strict "
         "the exit status is expected nonzero)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json", "jsonl"),
+        default="text",
+        help="diagnostic output format: human text (default), one JSON "
+        "document keyed by workload, or one JSON object per line",
+    )
+    p.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="additionally write all diagnostics as a SARIF 2.1.0 report",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="compare diagnostic fingerprints against this per-workload "
+        "baseline JSON and exit nonzero on any delta",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with --baseline: (re)write the baseline file instead of "
+        "diffing against it",
     )
     p.set_defaults(func=_cmd_check)
 

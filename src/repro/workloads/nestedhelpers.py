@@ -1,0 +1,162 @@
+"""Helper-heavy detection workloads for the interprocedural extractor.
+
+The Table-2 programs define every thread body at module level, so the
+pre-interprocedural extractor (nested ``def``\\ s and helper calls modeled
+as worst-case UNKNOWN) analyzes them fully.  These two programs do the
+opposite — thread bodies are nested ``def``\\ s closed over main's locals,
+variable names come from nested pure helper functions, and shared helper
+generators are inlined via ``yield from`` — so they measure exactly what
+the interprocedural summaries (:mod:`repro.staticcheck.extract` with
+``interprocedural=True``) buy:
+
+``mapreduce``
+    main nests a ``part(i)`` name helper, a ``mapper`` generator body
+    (locked partition update through a shared module-level ``_drain``
+    generator, then an **unlocked** scratch write — the one real race)
+    and a ``reducer`` body with its own inner ``gather`` generator.
+    Legacy mode cannot resolve any of the three nested defs: every fork
+    target is an unanalyzed thread and the report drowns in EX001/EX002
+    notes.  Interprocedural mode analyzes all of them and reports exactly
+    the scratch race.
+
+``lockfarm``
+    main nests a ``cell(i)`` name helper and a ``worker`` body that
+    touches every cell under one lock; two workers are forked from a
+    single loop fork site (a replicated instance).  Fully lock-protected
+    and join-ordered: interprocedural mode proves it warning-free, while
+    legacy mode reports the unresolved nested defs.
+
+Neither program uses monitors, so the RV baseline completes; ``lockfarm``
+is race-free for every dynamic tool, ``mapreduce`` has one confirmed
+race (``MR.scratch``).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.ops import Acquire, Compute, Fork, Join, Read, Release, Write
+from repro.runtime.program import Program, ThreadContext
+from repro.workloads.base import DetectionExpectation, DetectionWorkload
+
+__all__ = [
+    "build_lockfarm",
+    "build_mapreduce",
+    "WORKLOAD_LOCKFARM",
+    "WORKLOAD_MAPREDUCE",
+]
+
+
+# --------------------------------------------------------------------- #
+# a module-level shared helper generator, inlined via `yield from`
+
+
+def _drain(name):
+    """Read one shared slot and hand the value back to the caller."""
+    v = yield Read(name)
+    return v
+
+
+# --------------------------------------------------------------------- #
+# mapreduce: nested mapper/reducer bodies with a scratch race
+
+
+def _mapreduce_main(ctx: ThreadContext):
+    def part(i):
+        return f"MR.part{i}"
+
+    def mapper(mctx):
+        yield Acquire("MR.lock")
+        v = yield from _drain(part(0))
+        yield Write(part(0), (v or 0) + 1)
+        yield Release("MR.lock")
+        yield Compute(1)
+        yield Write("MR.scratch", 1)  # BUG: unlocked, races with the twin
+
+    def reducer(rctx):
+        def gather(i):
+            v = yield Read(part(i))
+            return v
+
+        total = yield from gather(0)
+        yield Write("MR.result", (total or 0))
+        yield Read("MR.scratch")
+
+    m1 = yield Fork(mapper, name="map1")
+    m2 = yield Fork(mapper, name="map2")
+    yield Join(m1)
+    yield Join(m2)
+    r = yield Fork(reducer, name="reduce")
+    yield Join(r)
+    yield Read("MR.result")
+
+
+def build_mapreduce() -> Program:
+    """The nested mapper/reducer program (4 threads)."""
+    return Program(
+        name="mapreduce",
+        main=_mapreduce_main,
+        max_threads=4,
+        shared={},
+        description="nested-def mappers + reducer; MR.scratch raced unlocked",
+    )
+
+
+WORKLOAD_MAPREDUCE = DetectionWorkload(
+    name="mapreduce",
+    build=build_mapreduce,
+    expected=DetectionExpectation(
+        paramount=1, fasttrack=1, rv_detections=1, rv_status="ok"
+    ),
+    seed=3,
+    description="closure-heavy map/reduce; one unlocked scratch race",
+)
+
+
+# --------------------------------------------------------------------- #
+# lockfarm: nested worker bodies, fully lock-protected (race-free)
+
+
+def _lockfarm_main(ctx: ThreadContext):
+    width = 3
+
+    def cell(i):
+        return f"Farm.cell{i}"
+
+    def worker(wctx):
+        yield Acquire("Farm.lock")
+        for i in range(width):
+            v = yield Read(cell(i))
+            yield Write(cell(i), (v or 0) + 1)
+        yield Release("Farm.lock")
+
+    yield Write("Farm.round", 0, True)
+    kids = []
+    for _ in range(2):
+        k = yield Fork(worker, name="farmhand")
+        kids.append(k)
+    for k in kids:
+        yield Join(k)
+    yield Read("Farm.round")
+    for i in range(width):
+        yield Read(cell(i))
+
+
+def build_lockfarm() -> Program:
+    """The lock-protected farm program (3 threads)."""
+    return Program(
+        name="lockfarm",
+        main=_lockfarm_main,
+        max_threads=3,
+        shared={},
+        description="nested-def workers over helper-named cells, one lock",
+    )
+
+
+WORKLOAD_LOCKFARM = DetectionWorkload(
+    name="lockfarm",
+    build=build_lockfarm,
+    expected=DetectionExpectation(
+        paramount=0, fasttrack=0, rv_detections=0, rv_status="ok"
+    ),
+    seed=3,
+    description="replicated nested-def workers; fully lock-protected",
+)

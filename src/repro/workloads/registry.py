@@ -15,6 +15,7 @@ from repro.workloads import (
     banking,
     elevator,
     hedc,
+    nestedhelpers,
     pipeline,
     raytracer,
     sets,
@@ -55,13 +56,18 @@ DETECTION_WORKLOADS: Dict[str, DetectionWorkload] = {
 }
 
 #: Detection workloads beyond Table 2: fork/join structures (nested forks,
-#: serial fork/join loops) added to exercise the MHP analysis.  They take
-#: part in cross-validation and the CLI but not in the Table 2 figures.
+#: serial fork/join loops) added to exercise the MHP analysis, and
+#: helper-heavy programs (nested-def thread bodies, name helpers, shared
+#: generator helpers) added to exercise the interprocedural summaries.
+#: They take part in cross-validation and the CLI but not in the Table 2
+#: figures.
 EXTRA_DETECTION_WORKLOADS: Dict[str, DetectionWorkload] = {
     w.name: w
     for w in (
         pipeline.WORKLOAD_PIPELINE,
         pipeline.WORKLOAD_PHASED,
+        nestedhelpers.WORKLOAD_MAPREDUCE,
+        nestedhelpers.WORKLOAD_LOCKFARM,
     )
 }
 

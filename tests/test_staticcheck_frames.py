@@ -1,0 +1,320 @@
+"""Property tests for the extractor's conservative path-join machinery.
+
+Two private surfaces carry the soundness argument of the whole static
+layer, so they get randomized scrutiny:
+
+* :func:`repro.staticcheck.extract._join_frames` — the lattice join of
+  branch states (lockset intersection, exactness demotion, fork max /
+  join min);
+* ``SummaryExtractor._exec_approx_loop`` — the two-pass widened loop
+  analysis, checked against a brute-force oracle that enumerates every
+  concrete lock state reachable in 0..3 iterations of randomly generated
+  loop bodies (acquires, releases, opaque branches).
+
+Plus the three concrete conservative-join programs from the issue: a
+lock held on one branch only, a lock acquired in a ``while`` body, and a
+re-assignment of a lock variable.
+"""
+
+import ast
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.ops import Acquire, Fork, Join, Read, Release, Write
+from repro.runtime.program import Program
+from repro.staticcheck.extract import (
+    SummaryExtractor,
+    ThreadInstance,
+    _FnCtx,
+    _Frame,
+    _join_frames,
+    extract_summary,
+)
+from repro.staticcheck.races import analyze_races
+
+LOCKS = ("A", "B", "C")
+IIDS = (1, 2)
+
+
+# --------------------------------------------------------------------- #
+# _join_frames: the branch-join lattice
+
+
+@st.composite
+def frames(draw):
+    f = _Frame()
+    f.lockset = set(draw(st.sets(st.sampled_from(LOCKS))))
+    f.lockset_exact = draw(st.booleans())
+    f.fork_counts = {
+        iid: draw(st.integers(0, 3)) for iid in draw(st.sets(st.sampled_from(IIDS)))
+    }
+    f.join_counts = {
+        iid: draw(st.integers(0, 3)) for iid in draw(st.sets(st.sampled_from(IIDS)))
+    }
+    f.terminated = draw(st.sampled_from([None, None, None, "return"]))
+    return f
+
+
+@given(st.lists(frames(), min_size=1, max_size=5))
+@settings(max_examples=200, deadline=None)
+def test_join_frames_is_the_conservative_lattice_join(frame_list):
+    out = _join_frames(frame_list)
+    live = [f for f in frame_list if f.terminated is None]
+    if not live:
+        # every path returned/broke: the join is a terminated state
+        assert out.terminated == "return"
+        return
+    assert out.terminated is None
+    # lockset: only locks held on EVERY live path survive
+    expected = set.intersection(*(f.lockset for f in live))
+    assert out.lockset == expected
+    # exactness survives only when every live path agrees exactly
+    if out.lockset_exact:
+        assert all(f.lockset_exact for f in live)
+        assert all(f.lockset == expected for f in live)
+    # fork counts: a fork on ANY path may have happened (max) …
+    for iid in IIDS:
+        assert out.fork_counts.get(iid, 0) == max(
+            f.fork_counts.get(iid, 0) for f in live
+        )
+        # … while a join must have happened on EVERY path to count (min)
+        assert out.join_counts.get(iid, 0) == min(
+            f.join_counts.get(iid, 0) for f in live
+        )
+
+
+@given(frames())
+@settings(max_examples=100, deadline=None)
+def test_join_frames_single_frame_is_identity(frame):
+    out = _join_frames([frame])
+    if frame.terminated is None:
+        assert out.lockset == frame.lockset
+        assert out.lockset_exact == frame.lockset_exact
+        assert out.fork_counts == frame.fork_counts
+        assert out.join_counts == frame.join_counts
+
+
+@given(st.lists(frames(), min_size=2, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_join_frames_is_order_insensitive(frame_list):
+    a = _join_frames([f.copy() for f in frame_list])
+    b = _join_frames([f.copy() for f in reversed(frame_list)])
+    assert a.terminated == b.terminated
+    if a.terminated is not None:
+        return  # all paths terminated: the joined state is never read
+    assert a.lockset == b.lockset
+    assert a.lockset_exact == b.lockset_exact
+    assert {i: c for i, c in a.fork_counts.items() if c} == {
+        i: c for i, c in b.fork_counts.items() if c
+    }
+
+
+# --------------------------------------------------------------------- #
+# _exec_approx_loop vs a brute-force reachable-lock-state oracle
+#
+# A loop body is a list of items: ("acquire", L), ("release", L), or
+# ("if", [simple items]) — the branch condition is opaque to the
+# extractor, so the oracle treats it as a free choice.
+
+_simple = st.tuples(st.sampled_from(["acquire", "release"]), st.sampled_from(LOCKS))
+
+
+@st.composite
+def loop_bodies(draw):
+    items = []
+    for _ in range(draw(st.integers(0, 4))):
+        if draw(st.booleans()):
+            items.append(draw(_simple))
+        else:
+            items.append(("if", draw(st.lists(_simple, max_size=3))))
+    return items
+
+
+def _render(items):
+    lines = []
+    for item in items:
+        if item[0] == "if":
+            lines.append("if cond:")  # `cond` is unbound: opaque branch
+            lines.extend(
+                f"    yield {op.capitalize()}({lock!r})" for op, lock in item[1]
+            )
+            if not item[1]:
+                lines.append("    pass")
+        else:
+            op, lock = item
+            lines.append(f"yield {op.capitalize()}({lock!r})")
+    lines.append("yield Write('V.sink', 1)")
+    src = "def body(ctx):\n" + "".join(f"    {line}\n" for line in lines)
+    return ast.parse(src).body[0].body
+
+
+def _oracle_step(items, states):
+    """All lock states reachable by one concrete execution of the body."""
+    out = set(states)
+    for item in items:
+        if item[0] == "if":
+            taken = _oracle_step(item[1], out)
+            out = out | taken  # the branch may or may not run
+        else:
+            op, lock = item
+            if op == "acquire":
+                out = {s | {lock} for s in out}
+            else:
+                out = {s - {lock} for s in out}
+    return out
+
+
+def _oracle_exits(items, entry, may_skip, max_iters=3):
+    """Every lock state reachable at loop exit (and at the trailing
+    write) over 0..max_iters concrete iterations."""
+    states = {frozenset(entry)}
+    exits = set(states) if may_skip else set()
+    at_write = set()
+    for _ in range(max_iters):
+        states = _oracle_step(items, states)
+        at_write |= states  # the write is the last op of the body
+        exits |= states
+    return exits, at_write
+
+
+def _drive_loop(items, entry, may_skip):
+    def _unused_main(ctx):
+        yield Write("Unused.x", 1)
+
+    program = Program(name="prop", main=_unused_main, max_threads=1, shared={})
+    ex = SummaryExtractor(program)
+    root = ThreadInstance(id=0, label="main", parent=None, times_forked=1)
+    ex._instances.append(root)
+    ex._instance_joins_at_fork[0] = {}
+    frame = _Frame()
+    frame.lockset = set(entry)
+    ctx = _FnCtx(
+        env={"Acquire": Acquire, "Release": Release, "Write": Write},
+        qualname="body",
+    )
+    ex._exec_approx_loop(_render(items), frame, {}, root, ctx, may_skip=may_skip)
+    return ex, frame
+
+
+@given(
+    loop_bodies(),
+    st.sets(st.sampled_from(LOCKS)),
+    st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_approx_loop_exit_lockset_is_sound(items, entry, may_skip):
+    """The exit lockset claims only locks held on EVERY reachable path."""
+    ex, frame = _drive_loop(items, entry, may_skip)
+    exits, _ = _oracle_exits(items, entry, may_skip)
+    for reachable in exits:
+        assert frame.lockset <= reachable, (
+            f"exit claims {frame.lockset} but a concrete run ends with "
+            f"{set(reachable)}"
+        )
+    if frame.lockset_exact:
+        # an exact claim must pin the one reachable state
+        assert exits == {frozenset(frame.lockset)}
+
+
+@given(
+    loop_bodies(),
+    st.sets(st.sampled_from(LOCKS)),
+    st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_approx_loop_site_locksets_are_sound(items, entry, may_skip):
+    """Some recorded draft of the in-loop write claims only locks held on
+    every concrete execution of that write (Eraser-soundness: races can
+    not be masked by an optimistic lockset)."""
+    ex, _ = _drive_loop(items, entry, may_skip)
+    _, at_write = _oracle_exits(items, entry, may_skip)
+    drafts = [d for d in ex._accesses if d.var == "V.sink"]
+    assert drafts, "the loop body write must be recorded"
+    surely_held = frozenset.intersection(*at_write) if at_write else frozenset()
+    assert any(d.lockset <= surely_held for d in drafts), (
+        f"drafts {[set(d.lockset) for d in drafts]} all over-claim vs "
+        f"surely-held {set(surely_held)}"
+    )
+
+
+# --------------------------------------------------------------------- #
+# the three concrete conservative-join programs from the issue
+
+
+def _two_of(body, name):
+    def main(ctx):
+        a = yield Fork(body, name="one")
+        b = yield Fork(body, name="two")
+        yield Join(a)
+        yield Join(b)
+
+    return Program(name=name, main=main, max_threads=3, shared={})
+
+
+def test_lock_held_on_one_branch_only_is_dropped():
+    def body(ctx):
+        flag = yield Read("C.flag")
+        if flag:
+            yield Acquire("C.lock")
+        yield Write("C.x", 1)
+        if flag:
+            yield Release("C.lock")
+
+    summary = extract_summary(_two_of(body, "branchlock"))
+    sites = [s for s in summary.accesses if s.var == "C.x"]
+    assert sites
+    for site in sites:
+        assert site.lockset == frozenset()  # maybe-held is not held
+        assert not site.lockset_exact
+    # … so the pair is conservatively reported as a race
+    assert {str(w.var) for w in analyze_races(summary)} >= {"C.x"}
+
+
+def test_lock_acquired_in_while_body_does_not_leak_past_the_loop():
+    def body(ctx):
+        n = yield Read("W.n")
+        while n:
+            yield Acquire("W.lock")
+            yield Write("W.x", 1)
+            n = yield Read("W.n")
+        yield Write("W.y", 1)
+
+    summary = extract_summary(_two_of(body, "whilelock"))
+    in_loop = [s for s in summary.accesses if s.var == "W.x"]
+    assert in_loop and all("W.lock" in s.lockset for s in in_loop)
+    after = [s for s in summary.accesses if s.var == "W.y"]
+    assert after
+    for site in after:
+        # the loop may run zero times: W.lock is only maybe-held
+        assert "W.lock" not in site.lockset
+        assert not site.lockset_exact
+    assert {str(w.var) for w in analyze_races(summary)} >= {"W.y"}
+
+
+def test_reassigned_lock_variable_demotes_exactness():
+    def body(ctx):
+        lk = "R.lock1"
+        flag = yield Read("R.flag")
+        if flag:
+            lk = "R.lock2"
+        yield Acquire(lk)
+        yield Write("R.x", 1)
+        yield Release(lk)
+
+    summary = extract_summary(_two_of(body, "relock"))
+    sites = [s for s in summary.accesses if s.var == "R.x"]
+    assert sites
+    for site in sites:
+        # the joined `lk` is unknown: neither concrete lock may be claimed
+        assert "R.lock1" not in site.lockset
+        assert "R.lock2" not in site.lockset
+        assert not site.lockset_exact
+    # mutual exclusion can not be proven, so the write pair is reported
+    assert {str(w.var) for w in analyze_races(summary)} >= {"R.x"}
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q"]))

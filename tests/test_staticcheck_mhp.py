@@ -1,6 +1,12 @@
 """The static MHP analysis: segment graph, reachability queries, the
-refinement contract against the legacy heuristic, and the precision wins
-on the fork/join-structured workloads."""
+refinement contract against the (now-removed) legacy heuristic, and the
+precision wins on the fork/join-structured workloads.
+
+``legacy_may_be_concurrent`` was deprecated in PR 6 and removed from
+``repro.staticcheck.mhp``; a verbatim reference copy lives below so the
+refinement contract (MHP race warnings ⊆ heuristic race warnings) stays
+measurable without keeping dead code in the package.
+"""
 
 import sys
 
@@ -12,15 +18,25 @@ from repro.staticcheck import (
     analyze_races,
     build_mhp,
     extract_summary,
-    legacy_may_be_concurrent,
 )
 from repro.staticcheck.values import names_may_alias
 from repro.workloads.registry import ALL_DETECTION_WORKLOADS
 
-# The legacy heuristic is deprecated (kept only to measure the precision
-# gap); the tests below exercising that gap silence the warning, and
-# test_legacy_heuristic_warns pins it explicitly.
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+def _reference_may_be_concurrent(a, b, summary):
+    """Reference copy of the removed pre-MHP pairwise heuristic."""
+    ia, ib = summary.instance(a.instance), summary.instance(b.instance)
+    if ia.id == ib.id:
+        return ia.replicated
+    for parent_site, child in ((a, ib), (b, ia)):
+        if child.parent == parent_site.instance:
+            if child.id not in parent_site.forked_before:
+                return False  # access happens-before the fork
+            if child.id in parent_site.joined_before:
+                return False  # access happens-after the join(s)
+    if ib.id in ia.forked_after_joins or ia.id in ib.forked_after_joins:
+        return False
+    return True
 
 
 def _mhp_of(program):
@@ -71,9 +87,9 @@ def test_transitive_join_fork_ordering():
     (r_a,) = [s for s in summary.accesses if s.var == "Buf.a" and s.op == "read"]
     # The MHP closure composes join(stage0) → fork(coord) → fork(stage1).
     assert mhp.ordered(w_a, r_a)
-    # The legacy heuristic cannot: stage0 and stage1 are neither
+    # The reference heuristic cannot: stage0 and stage1 are neither
     # parent/child nor direct siblings.
-    assert legacy_may_be_concurrent(w_a, r_a, summary)
+    assert _reference_may_be_concurrent(w_a, r_a, summary)
 
 
 def test_true_concurrency_is_preserved():
@@ -124,8 +140,9 @@ def test_serial_refork_orders_replicated_self_pairs():
     assert r.replicated and not r.serial_refork
     assert mhp.ordered(acc, acc)
     assert not mhp.ordered(out, out)
-    # Legacy treats every replicated instance as self-concurrent.
-    assert legacy_may_be_concurrent(acc, acc, summary)
+    # The reference heuristic treats every replicated instance as
+    # self-concurrent.
+    assert _reference_may_be_concurrent(acc, acc, summary)
 
 
 def test_serial_refork_drops_the_loop_false_positive():
@@ -178,16 +195,16 @@ def test_segment_graph_shape():
 
 @pytest.mark.parametrize("name", list(ALL_DETECTION_WORKLOADS))
 def test_mhp_refines_legacy_heuristic(name):
-    """Whenever the legacy heuristic proves a pair ordered, MHP does too —
-    so MHP race warnings can only shrink, never grow."""
+    """Whenever the reference heuristic proves a pair ordered, MHP does
+    too — so MHP race warnings can only shrink, never grow."""
     summary = extract_summary(ALL_DETECTION_WORKLOADS[name].build())
     mhp = build_mhp(summary)
     sites = summary.accesses
     for i, a in enumerate(sites):
         for b in sites[i:]:
-            if not legacy_may_be_concurrent(a, b, summary):
+            if not _reference_may_be_concurrent(a, b, summary):
                 assert mhp.ordered(a, b), (
-                    f"{name}: legacy orders {a.func}:{a.line} vs "
+                    f"{name}: heuristic orders {a.func}:{a.line} vs "
                     f"{b.func}:{b.line} but MHP does not"
                 )
 
@@ -201,7 +218,7 @@ def _legacy_warned_vars(summary):
                 continue
             if not names_may_alias(a.var, b.var):
                 continue
-            if not legacy_may_be_concurrent(a, b, summary):
+            if not _reference_may_be_concurrent(a, b, summary):
                 continue
             if a.lockset & b.lockset:
                 continue
@@ -221,26 +238,23 @@ def test_mhp_warnings_subset_of_legacy(name):
 @pytest.mark.parametrize("name", ["pipeline", "phased"])
 def test_mhp_strictly_sharper_on_structured_workloads(name):
     """The acceptance criterion: on ≥ 2 workloads the MHP warnings are a
-    *strict* subset of the legacy heuristic's (false positives removed)."""
+    *strict* subset of the reference heuristic's (false positives removed)."""
     summary = extract_summary(ALL_DETECTION_WORKLOADS[name].build())
     mhp_warned = {(w.category, str(w.var)) for w in analyze_races(summary)}
     legacy_warned = _legacy_warned_vars(summary)
     assert mhp_warned < legacy_warned, (name, mhp_warned, legacy_warned)
 
 
-def test_legacy_heuristic_warns():
-    """The legacy heuristic is deprecated: it must raise DeprecationWarning
-    on every call and must no longer be exported from the package."""
+def test_legacy_heuristic_removed():
+    """The deprecated heuristic (PR 6) is gone: no longer importable from
+    the package or the mhp module, and absent from both ``__all__``s."""
     import repro.staticcheck as sc
+    import repro.staticcheck.mhp as mhp_mod
 
-    summary, _ = _mhp_of(_nested_fork_program())
-    a, b = summary.accesses[0], summary.accesses[-1]
-    with pytest.warns(DeprecationWarning, match="legacy_may_be_concurrent"):
-        legacy_may_be_concurrent(a, b, summary)
+    assert not hasattr(sc, "legacy_may_be_concurrent")
+    assert not hasattr(mhp_mod, "legacy_may_be_concurrent")
     assert "legacy_may_be_concurrent" not in sc.__all__
-    from repro.staticcheck.mhp import __all__ as mhp_all
-
-    assert "legacy_may_be_concurrent" not in mhp_all
+    assert "legacy_may_be_concurrent" not in mhp_mod.__all__
 
 
 def test_handmade_site_falls_back_to_instance_ordering():
