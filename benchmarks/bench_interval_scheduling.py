@@ -34,8 +34,7 @@ for the CI smoke job; the raytracer acceptance asserts are skipped.
 import json
 import os
 import time
-from collections import Counter, defaultdict
-from dataclasses import replace
+from collections import Counter
 
 import pytest
 
@@ -43,10 +42,7 @@ from repro.core.executors import WorkStealingThreadExecutor
 from repro.core.paramount import ParaMount
 from repro.core.scheduling import plan_schedule
 from repro.core.simulated import CostModel, simulate_schedule
-from repro.detector.hb import events_from_trace
-from repro.poset.event import INTERNAL, Event
-from repro.poset.poset import Poset
-from repro.workloads.registry import DETECTION_WORKLOADS
+from repro.workloads.extensions import EXTRA_EVENTS, extended_poset
 
 from conftest import RESULTS_DIR
 
@@ -56,11 +52,6 @@ NAMES = ("sor",) if SMOKE else ("sor", "raytracer")
 EXTENSIONS = ("skewed", "fair")
 POLICIES = ("fifo", "largest", "split-steal")
 WORKERS = (1, 2, 4, 8)
-
-#: Straggler events appended per workload — sized so the skewed raytracer
-#: poset stays tractable (each sync-free event multiplies the state count
-#: by roughly the base lattice size).
-EXTRA_EVENTS = {"sor": 4, "raytracer": 1}
 
 #: Makespan ratio split+steal must beat FIFO by on the skewed raytracer
 #: poset at 8 workers.
@@ -72,34 +63,6 @@ IMBALANCE_GATE = (8.0, 2.0)
 MODEL = CostModel()
 
 _results: dict = {}
-_cache: dict = {}
-
-
-def extended_poset(name: str, extension: str) -> Poset:
-    """The workload's raw access poset plus a straggler thread."""
-    key = (name, extension)
-    if key not in _cache:
-        trace = DETECTION_WORKLOADS[name].trace()
-        events = events_from_trace(trace, merge_collections=False)
-        n = trace.num_threads
-        chains = defaultdict(list)
-        for event in events:
-            # widen every clock for the extra thread's coordinate
-            chains[event.tid].append(replace(event, vc=tuple(event.vc) + (0,)))
-        lengths = tuple(len(chains.get(t, [])) for t in range(n))
-        extra = []
-        for k in range(1, EXTRA_EVENTS[name] + 1):
-            if extension == "skewed":
-                vc = (0,) * n + (k,)  # sync-free: Gmin is the unit cut
-            else:
-                vc = lengths + (k,)  # joined with every base thread's end
-            extra.append(Event(tid=n, idx=k, vc=vc, kind=INTERNAL))
-        _cache[key] = Poset(
-            [chains.get(t, []) for t in range(n)] + [extra],
-            insertion=[event.eid for event in events]
-            + [event.eid for event in extra],
-        )
-    return _cache[key]
 
 
 def _entry(name: str, extension: str) -> dict:

@@ -135,6 +135,15 @@ class ParaMountResult:
     steals: int = 0
     #: Measured per-worker busy seconds (stealing executors only).
     worker_load: List[float] = field(default_factory=list)
+    #: True when a ``--deadline`` budget expired before every interval ran;
+    #: the result then covers only the intervals that finished in time.
+    deadline_expired: bool = False
+    #: Leases re-dispatched to a surviving worker (distributed runs only).
+    redispatches: int = 0
+    #: Leases that expired unacknowledged (crashed/hung/partitioned worker).
+    leases_expired: int = 0
+    #: Remote hosts that committed at least one interval (distributed runs).
+    hosts: List[str] = field(default_factory=list)
 
     def add_interval(self, stats: IntervalStats) -> None:
         """Fold one interval's stats into the aggregate."""
@@ -204,8 +213,9 @@ class ParaMountResult:
 
     @property
     def complete(self) -> bool:
-        """True when every interval was enumerated (no permanent failures)."""
-        return not self.failures
+        """True when every interval was enumerated — no permanent failures
+        and no intervals abandoned to a wall-clock deadline."""
+        return not self.failures and not self.deadline_expired
 
     @property
     def degraded(self) -> bool:

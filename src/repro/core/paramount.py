@@ -28,6 +28,7 @@ exceeds its memory budget can fall back to the bounded lexical subroutine
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -121,6 +122,13 @@ class ParaMount:
         an unobserved run.  The observer's injected clock also times every
         interval task, so ``IntervalStats.seconds`` is measured on the
         same timeline as the recorded spans.
+    deadline:
+        Global wall-clock budget in seconds.  Once it expires, no further
+        interval task starts (in-flight ones finish and are kept); the
+        run returns a partial result with ``deadline_expired=True``
+        instead of running past the budget.  By Theorem 2 the partial
+        result undercounts by exactly the skipped intervals' states, and
+        a checkpoint journal lets a later run finish only those.
     """
 
     def __init__(
@@ -135,6 +143,7 @@ class ParaMount:
         degrade_on_oom: bool = False,
         schedule: ScheduleSpec = None,
         observer: Optional[Observer] = None,
+        deadline: Optional[float] = None,
     ):
         self.poset = poset
         self.subroutine_name = subroutine
@@ -144,6 +153,11 @@ class ParaMount:
         self.degrade_on_oom = degrade_on_oom
         self.schedule = SchedulePolicy.parse(schedule)
         self.observer = ensure_observer(observer)
+        #: Global wall-clock budget in seconds (``None`` = unbounded).
+        #: When it expires mid-run, dispatch stops, in-flight intervals
+        #: drain, and the result comes back partial with
+        #: ``deadline_expired=True`` (so ``complete`` is False).
+        self.deadline = deadline
         if isinstance(checkpoint, (str, Path)):
             from repro.resilience.checkpoint import CheckpointJournal
 
@@ -210,6 +224,24 @@ class ParaMount:
         journal = self.checkpoint
         degradations: List[DegradationEvent] = []
         log_lock = threading.Lock()
+        deadline_at = (
+            time.monotonic() + self.deadline
+            if self.deadline is not None
+            else None
+        )
+        deadline_skips: List[EventId] = []
+        # Distributed (and other descriptor-shipping) executors get the run
+        # context the closures close over, so they can re-run tasks from
+        # (event, lo, hi) descriptors on remote hosts.
+        bind = getattr(self.executor, "bind_run", None)
+        if callable(bind):
+            bind(
+                self.poset,
+                self.subroutine_name,
+                memory_budget=self.memory_budget,
+                journal=journal,
+                deadline_at=deadline_at,
+            )
         # The observer's clock times every task on every executor path, so
         # IntervalStats.seconds and the recorded spans share one timeline.
         # The null observer passes None: bounded_enumeration then reads
@@ -239,7 +271,15 @@ class ParaMount:
                     if wrapped is not None:
                         wrapped(cut)
 
-            def task() -> IntervalStats:
+            def task() -> Optional[IntervalStats]:
+                if (
+                    deadline_at is not None
+                    and time.monotonic() >= deadline_at
+                ):
+                    # past the wall-clock budget: skip instead of starting
+                    with log_lock:
+                        deadline_skips.append(interval.event)
+                    return None
                 t_start = task_clock() if task_clock is not None else 0.0
                 try:
                     stats = bounded_enumeration(
@@ -305,6 +345,9 @@ class ParaMount:
 
             # Work-stealing executors deal and steal by this weight.
             task.weight = interval.size_bound
+            # Descriptor-shipping executors read the interval back off the
+            # closure instead of sending the closure itself over the wire.
+            task.interval = interval
             return task
 
         result = ParaMountResult()
@@ -344,6 +387,12 @@ class ParaMount:
         result.schedule = plan.policy.name
         result.workers = self.executor.num_workers
         result.split_intervals = plan.split_intervals
+        if deadline_skips:
+            result.deadline_expired = True
+            logger.warning(
+                "deadline expired with %d task(s) unstarted",
+                len(deadline_skips),
+            )
         self._drain_schedule_observability(result)
         self._drain_executor_log(result, pending)
         return result
@@ -363,7 +412,7 @@ class ParaMount:
         )
 
     def _drain_schedule_observability(self, result: ParaMountResult) -> None:
-        """Pull steal/busy counters off a stealing executor (or ladder)."""
+        """Pull steal/busy/robustness counters off the executor (or ladder)."""
         candidates = [self.executor]
         candidates.extend(getattr(self.executor, "ladder", None) or ())
         inner = getattr(self.executor, "inner", None)
@@ -376,6 +425,16 @@ class ParaMount:
                 result.steals += steals
             if busy:
                 result.worker_load = list(busy)
+            # distributed backend provenance
+            result.redispatches += getattr(executor, "last_redispatches", 0)
+            result.leases_expired += getattr(
+                executor, "last_leases_expired", 0
+            )
+            hosts = getattr(executor, "last_hosts", None)
+            if hosts:
+                result.hosts = list(hosts)
+            if getattr(executor, "last_deadline_expired", False):
+                result.deadline_expired = True
 
     def _drain_executor_log(
         self, result: ParaMountResult, pending: Sequence[Interval]

@@ -42,7 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.intervals import Interval
 from repro.errors import IntervalError
 from repro.poset.poset import Poset
-from repro.types import EventId
+from repro.types import Cut, EventId
 from repro.util.cuts import cut_join, cut_leq
 
 __all__ = [
@@ -138,6 +138,17 @@ class SchedulePlan:
     split_intervals: int = 0
     #: Pieces per split parent event (1 for unsplit parents is omitted).
     parts_of: Dict[EventId, int] = field(default_factory=dict)
+
+    def descriptors(self) -> List[Tuple[EventId, Cut, Cut]]:
+        """The task triples in dispatch order — the wire form of the plan.
+
+        Each ``(event, lo, hi)`` triple is simultaneously the checkpoint
+        :class:`~repro.resilience.checkpoint.TaskKey` and everything a
+        remote worker needs (with the poset) to re-run the task, which is
+        what lets the distributed backend ship descriptors instead of
+        closures.
+        """
+        return [(iv.event, iv.lo, iv.hi) for iv in self.tasks]
 
 
 def pivot_split(

@@ -1,0 +1,40 @@
+"""Distributed coordinator/worker backend on the checkpoint substrate.
+
+Theorem 2 makes every ``(event, lo, hi)`` interval idempotent and
+independently re-runnable, which is exactly the contract a crash-tolerant
+distributed executor needs.  This package composes the existing building
+blocks — :func:`~repro.core.scheduling.plan_schedule`,
+:class:`~repro.resilience.checkpoint.CheckpointJournal` as the commit log,
+the typed :class:`~repro.errors.ExecutorError` hierarchy, and the
+observability facade — into a multi-host runtime:
+
+* :mod:`repro.dist.wire` — length-prefixed JSON/pickle frames over stdlib
+  sockets, plus seeded wire-level fault injection;
+* :mod:`repro.dist.lease` — the lease table: pending → leased → committed,
+  with heartbeat-extended expiry and exactly-one-commit semantics;
+* :mod:`repro.dist.coordinator` — plans the schedule, leases interval
+  descriptors to workers, re-dispatches expired leases, commits
+  acknowledgements to the journal;
+* :mod:`repro.dist.worker` — connects, verifies the poset digest,
+  enumerates leased intervals, acknowledges results;
+* :mod:`repro.dist.executor` — :class:`DistributedExecutor`, pluggable
+  into :class:`~repro.core.paramount.ParaMount` like any other executor,
+  degrading to in-process execution when no workers remain.
+"""
+
+from repro.dist.coordinator import Coordinator
+from repro.dist.executor import DistributedExecutor
+from repro.dist.lease import LeaseTable
+from repro.dist.wire import WireFaults, decode_frame, encode_frame
+from repro.dist.worker import run_worker, spawn_local_workers
+
+__all__ = [
+    "Coordinator",
+    "DistributedExecutor",
+    "LeaseTable",
+    "WireFaults",
+    "encode_frame",
+    "decode_frame",
+    "run_worker",
+    "spawn_local_workers",
+]

@@ -1,0 +1,465 @@
+"""The coordinator: leases interval descriptors, commits acknowledgements.
+
+One coordinator serves one distributed run.  It binds a listening socket,
+accepts worker connections on a background thread, and answers each
+worker's pull-based ``request`` messages with interval leases; a monitor
+loop in the calling thread watches for lease expiry, wall-clock deadline,
+and worker exhaustion.  All shared state — the :class:`LeaseTable` and
+the connected-worker set — is serialized through one condition variable,
+whose notifications double as the monitor loop's wake-ups.
+
+Robustness properties, and where they live:
+
+* **crash** (``kill -9``, ``os._exit``) — the worker's socket dies; its
+  reader thread reclaims every lease it held (``release_worker``) for
+  immediate re-dispatch;
+* **hang** — no acknowledgement and no heartbeat, so the lease expires
+  after ``lease_seconds`` and :meth:`LeaseTable.expire` re-queues it;
+* **partition** (dropped ack) — same as a hang from the coordinator's
+  viewpoint: lease expiry recovers it, and if the original ack limps in
+  later, :meth:`LeaseTable.commit` drops the duplicate so the journal
+  still holds exactly one record per interval;
+* **stale digest** — every acknowledgement carries the worker's poset
+  digest; a mismatch is counted, refused, and the worker disconnected
+  before it can corrupt the commit log;
+* **no workers left** — the monitor loop notices an empty worker set with
+  work outstanding and returns the undone tasks, which the
+  :class:`~repro.dist.executor.DistributedExecutor` then runs in-process
+  through the ordinary degradation ladder.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import IntervalStats
+from repro.dist.wire import (
+    ConnectionClosedError,
+    recv_message,
+    send_message,
+)
+from repro.errors import WireError
+from repro.obs import NULL_OBSERVER
+from repro.poset.io import poset_to_dict
+from repro.poset.poset import Poset
+from repro.resilience.checkpoint import CheckpointJournal, TaskKey, poset_digest
+
+__all__ = ["Coordinator"]
+
+#: Monitor-loop tick when no lease deadline is nearer (seconds).
+_TICK = 0.25
+
+
+def _key_wire(key: TaskKey) -> Dict[str, Any]:
+    return {"event": list(key[0]), "lo": list(key[1]), "hi": list(key[2])}
+
+
+def _key_from_wire(obj: Dict[str, Any]) -> TaskKey:
+    return (tuple(obj["event"]), tuple(obj["lo"]), tuple(obj["hi"]))
+
+
+class Coordinator:
+    """Coordinates one distributed enumeration run.
+
+    Usage::
+
+        coord = Coordinator(poset, "bounded", journal=journal)
+        coord.start()                      # binds; coord.address is live
+        ...spawn/point workers at coord.address...
+        committed, undone = coord.execute(plan.descriptors(), weights)
+        coord.stop()
+
+    ``journal`` (optional) is the commit log: the first acknowledgement of
+    each task is recorded through it, under its process-level file lock,
+    before the task is considered done.
+    """
+
+    def __init__(
+        self,
+        poset: Poset,
+        subroutine: str,
+        memory_budget: Optional[int] = None,
+        journal: Optional[CheckpointJournal] = None,
+        observer=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_seconds: float = 5.0,
+        heartbeat_seconds: float = 1.0,
+        no_worker_grace: float = 10.0,
+        max_task_attempts: int = 5,
+    ):
+        self.poset = poset
+        self.subroutine = subroutine
+        self.memory_budget = memory_budget
+        self.journal = journal
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self.digest = poset_digest(poset)
+        self._poset_data = poset_to_dict(poset)
+        self.lease_seconds = lease_seconds
+        self.heartbeat_seconds = heartbeat_seconds
+        self.no_worker_grace = no_worker_grace
+        self.max_task_attempts = max_task_attempts
+        self._host = host
+        self._port = port
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._reader_threads: List[threading.Thread] = []
+        self._cond = threading.Condition()
+        # guarded by _cond:
+        from repro.dist.lease import LeaseTable
+
+        self.table = LeaseTable(lease_seconds=lease_seconds)
+        self._workers: Dict[str, socket.socket] = {}
+        self._draining = False
+        self._closing = False
+        self._ever_connected = False
+        self._last_worker_at = time.monotonic()
+        #: permanent task failures: key -> (attempts, error string, worker)
+        self.failures: Dict[TaskKey, Tuple[int, str, str]] = {}
+        self.stale_acks = 0
+        #: hosts that committed at least one interval
+        self.hosts: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self._listener is not None, "coordinator not started"
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "Coordinator":
+        """Bind, listen, and start accepting workers."""
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self._host, self._port))
+        self._listener.listen(16)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="dist-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Close the listener and every worker connection."""
+        with self._cond:
+            self._closing = True
+            self._cond.notify_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._cond:
+            conns = list(self._workers.values())
+        for conn in conns:
+            try:
+                send_message(conn, {"type": "shutdown"})
+            except (WireError, ConnectionClosedError, OSError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        for t in self._reader_threads:
+            t.join(timeout=2.0)
+
+    # ------------------------------------------------------------------ #
+    # the run
+
+    def execute(
+        self,
+        keys: Sequence[TaskKey],
+        weights: Optional[Sequence[int]] = None,
+        completed: Optional[Dict[TaskKey, IntervalStats]] = None,
+        deadline_at: Optional[float] = None,
+    ) -> Tuple[Dict[TaskKey, IntervalStats], List[TaskKey]]:
+        """Run the task list to completion (or deadline / worker loss).
+
+        ``completed`` pre-commits journal-restored tasks so they are never
+        dispatched.  Returns ``(committed, undone)``: stats for every task
+        that committed, and the tasks left neither committed nor
+        permanently failed — the executor's in-process fallback runs those.
+        """
+        obs = self.observer
+        with self._cond:
+            self.table.add_tasks(keys, weights)
+            for key, stats in (completed or {}).items():
+                self.table.mark_committed(key, stats)
+            self._last_worker_at = time.monotonic()
+            while True:
+                if self._closing:
+                    break
+                if self._all_resolved():
+                    break
+                now = time.monotonic()
+                if deadline_at is not None and now >= deadline_at:
+                    if not self._draining:
+                        self._draining = True
+                        if obs.enabled:
+                            obs.instant("deadline", "dist")
+                        # grace: let in-flight leases finish or expire once
+                        deadline_at = now + self.lease_seconds
+                        continue
+                    break  # drain grace elapsed; abandon what's left
+                expired = self.table.expire()
+                if expired and obs.enabled:
+                    obs.counter("leases_expired_total").inc(len(expired))
+                    obs.counter("redispatches_total").inc(len(expired))
+                    for lease in expired:
+                        obs.instant(
+                            "lease-expired",
+                            "dist",
+                            worker=lease.worker,
+                            event=str(lease.key[0]),
+                            attempt=lease.attempt,
+                        )
+                if self._workers:
+                    self._last_worker_at = now
+                elif (
+                    not self.table.done
+                    and now - self._last_worker_at > self.no_worker_grace
+                ):
+                    break  # nobody left to run the rest; degrade locally
+                timeout = _TICK
+                next_expiry = self.table.next_deadline()
+                if next_expiry is not None:
+                    timeout = min(timeout, max(next_expiry - now, 0.01))
+                if deadline_at is not None:
+                    timeout = min(timeout, max(deadline_at - now, 0.01))
+                self._cond.wait(timeout)
+            committed = dict(self.table.committed)
+            undone = [
+                key
+                for key in self.table.outstanding()
+                if key not in self.failures
+            ]
+            self.stale_acks = self.table.stale_acks
+            return committed, undone
+
+    def _all_resolved(self) -> bool:
+        # done means every task committed or permanently failed
+        if self.table.done:
+            return True
+        return all(
+            key in self.failures for key in self.table.outstanding()
+        )
+
+    # ------------------------------------------------------------------ #
+    # accept / reader threads
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            t = threading.Thread(
+                target=self._serve_worker,
+                args=(conn,),
+                name="dist-reader",
+                daemon=True,
+            )
+            t.start()
+            self._reader_threads.append(t)
+
+    def _serve_worker(self, conn: socket.socket) -> None:
+        name = "?"
+        try:
+            hello = recv_message(conn)
+            if hello.get("type") != "hello":
+                raise WireError(f"expected hello, got {hello.get('type')!r}")
+            name = str(hello.get("name") or f"worker-{hello.get('pid')}")
+            worker_digest = hello.get("digest")
+            if worker_digest is not None and worker_digest != self.digest:
+                # stale worker: refuse before it can hold a single lease
+                send_message(
+                    conn,
+                    {
+                        "type": "reject",
+                        "reason": "stale-digest",
+                        "expected": self.digest,
+                        "actual": worker_digest,
+                    },
+                )
+                conn.close()
+                if self.observer.enabled:
+                    self.observer.counter("stale_workers_total").inc()
+                return
+            welcome: Dict[str, Any] = {
+                "type": "welcome",
+                "digest": self.digest,
+                "subroutine": self.subroutine,
+                "memory_budget": self.memory_budget,
+                "lease_seconds": self.lease_seconds,
+                "heartbeat_seconds": self.heartbeat_seconds,
+            }
+            if worker_digest is None:  # worker has no poset: ship ours
+                welcome["poset"] = self._poset_data
+            send_message(conn, welcome)
+            with self._cond:
+                self._workers[name] = conn
+                self._ever_connected = True
+                self._cond.notify_all()
+            if self.observer.enabled:
+                self.observer.instant("worker-join", "dist", worker=name)
+            self._reader_loop(conn, name)
+        except (ConnectionClosedError, WireError, OSError, json.JSONDecodeError):
+            pass
+        finally:
+            self._drop_worker(name, conn)
+
+    def _reader_loop(self, conn: socket.socket, name: str) -> None:
+        while True:
+            msg = recv_message(conn)
+            mtype = msg.get("type")
+            if mtype == "request":
+                self._handle_request(conn, name)
+            elif mtype == "ack":
+                self._handle_ack(conn, name, msg)
+            elif mtype == "heartbeat":
+                tasks = msg.get("tasks")
+                keys = (
+                    None
+                    if tasks is None
+                    else [_key_from_wire(t) for t in tasks]
+                )
+                with self._cond:
+                    self.table.heartbeat(name, keys)
+                    self._cond.notify_all()
+            elif mtype == "task-error":
+                self._handle_task_error(name, msg)
+            elif mtype == "bye":
+                return
+            else:
+                raise WireError(f"unexpected message type {mtype!r}")
+
+    def _handle_request(self, conn: socket.socket, name: str) -> None:
+        with self._cond:
+            if self._closing or self._draining or self._all_resolved():
+                reply: Dict[str, Any] = {"type": "drain"}
+            else:
+                leased = self.table.next_for(name)
+                if leased is None:
+                    reply = {"type": "idle", "seconds": 0.05}
+                else:
+                    key, attempt = leased
+                    reply = {
+                        "type": "lease",
+                        "task": _key_wire(key),
+                        "attempt": attempt,
+                        "digest": self.digest,
+                    }
+            self._cond.notify_all()
+        send_message(conn, reply)
+
+    def _handle_ack(
+        self, conn: socket.socket, name: str, msg: Dict[str, Any]
+    ) -> None:
+        obs = self.observer
+        if msg.get("digest") != self.digest:
+            # a worker that changed posets underneath us must never commit
+            with self._cond:
+                self.table.stale_acks += 1
+                self._cond.notify_all()
+            if obs.enabled:
+                obs.counter("stale_acks_total").inc()
+            raise WireError(
+                f"stale digest in ack from {name}: "
+                f"{str(msg.get('digest'))[:12]}…"
+            )
+        key = _key_from_wire(msg["task"])
+        stats = IntervalStats(
+            event=key[0],
+            lo=key[1],
+            hi=key[2],
+            states=int(msg["states"]),
+            work=int(msg["work"]),
+            peak_live=int(msg["peak_live"]),
+            seconds=float(msg.get("seconds", 0.0)),
+        )
+        with self._cond:
+            first = self.table.commit(key, stats)
+            if first and name not in self.hosts:
+                self.hosts.append(name)
+            self._cond.notify_all()
+        if not first:
+            if obs.enabled:
+                obs.counter("duplicate_acks_total").inc()
+            return
+        # journal outside the condition lock: commit() already decided
+        # uniqueness, and the journal has its own thread + file locks
+        if self.journal is not None:
+            self.journal.record(stats)
+        if obs.enabled:
+            obs.record_epoch(
+                f"I({key[0]})",
+                "enumerate",
+                float(msg.get("epoch_t0", 0.0)),
+                stats.seconds,
+                worker=name,
+                attrs={
+                    "event": str(key[0]),
+                    "states": stats.states,
+                    "attempt": int(msg.get("attempt", 0)),
+                },
+            )
+        obs.task_done(stats)
+
+    def _handle_task_error(self, name: str, msg: Dict[str, Any]) -> None:
+        key = _key_from_wire(msg["task"])
+        payload = msg.get("payload")
+        error = (
+            f"{type(payload).__name__}: {payload}"
+            if isinstance(payload, BaseException)
+            else str(msg.get("error", "unknown remote failure"))
+        )
+        with self._cond:
+            self.table.leased.pop(key, None)
+            attempts = self.table.attempts.get(key, 0)
+            if attempts < self.max_task_attempts:
+                self.table.pending.insert(0, key)
+                self.table.redispatches += 1
+            else:
+                self.failures[key] = (attempts, error, name)
+            self._cond.notify_all()
+        if self.observer.enabled:
+            self.observer.instant(
+                "task-error", "dist", worker=name, event=str(key[0])
+            )
+
+    def _drop_worker(self, name: str, conn: socket.socket) -> None:
+        try:
+            conn.close()
+        except OSError:
+            pass
+        with self._cond:
+            if self._workers.get(name) is conn:
+                del self._workers[name]
+            lost = self.table.release_worker(name)
+            self._cond.notify_all()
+        if lost and self.observer.enabled:
+            self.observer.counter("redispatches_total").inc(len(lost))
+            self.observer.instant(
+                "worker-lost", "dist", worker=name, leases=len(lost)
+            )
+
+    # ------------------------------------------------------------------ #
+    # introspection (executor drains these into ParaMountResult)
+
+    def robustness_counters(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "leases_expired": self.table.leases_expired,
+                "redispatches": self.table.redispatches,
+                "duplicate_acks": self.table.duplicate_acks,
+                "stale_acks": self.table.stale_acks,
+            }

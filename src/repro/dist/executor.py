@@ -1,0 +1,249 @@
+"""``DistributedExecutor`` — the coordinator/worker backend as an executor.
+
+Plugs into :class:`~repro.core.paramount.ParaMount` exactly like the
+serial/thread/process executors: ``map_tasks`` takes the driver's task
+closures and returns their stats in order.  The closures themselves never
+cross the wire — the driver stamps each one with its ``.interval``, and
+this executor ships only the ``(event, lo, hi)`` descriptor plus the
+poset digest; the worker re-runs the bounded subroutine from the
+descriptor, which Theorem 2 guarantees is the identical computation.
+
+The driver hands over run context through the duck-typed ``bind_run``
+hook (poset, subroutine, memory budget, journal, deadline), mirroring how
+it wires ``executor.observer`` today.
+
+Degradation: when every remote worker is lost (or none ever connects),
+the coordinator returns the undone tasks and this executor runs their
+*original closures* on the in-process fallback (serial by default) —
+those closures journal and observe themselves, so the degraded tail is
+indistinguishable from a normal local run.  The step is recorded as an
+``"executor"`` :class:`~repro.core.metrics.DegradationEvent` and drained
+into the result like the resilience ladder's.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.core.executors import Executor, SerialExecutor
+from repro.core.metrics import DegradationEvent, TaskFailure
+from repro.dist.coordinator import Coordinator
+from repro.dist.wire import WireFaults
+from repro.dist.worker import spawn_local_workers
+from repro.errors import ExecutorError
+
+__all__ = ["DistributedExecutor"]
+
+T = TypeVar("T")
+
+
+class DistributedExecutor(Executor):
+    """Executes interval tasks on remote worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Planned parallelism; with ``spawn=True`` (default) also the number
+        of local worker processes to start per run.
+    spawn:
+        Start ``workers`` local worker subprocesses for each ``map_tasks``
+        call.  With ``spawn=False`` the executor only listens — workers
+        are started externally with ``repro-tools worker --connect``.
+    wire_faults / fault_workers:
+        Seeded :class:`~repro.dist.wire.WireFaults` injected into the
+        first ``fault_workers`` spawned workers (the victim/survivor
+        split recovery tests rely on).
+    lease_seconds:
+        Acknowledgement deadline per leased interval; crashed, hung, or
+        partitioned workers are detected within one lease period.
+    fallback:
+        In-process executor for tasks no remote worker could run
+        (default :class:`~repro.core.executors.SerialExecutor`).
+    poset_path:
+        Optional poset file for spawned workers to load themselves
+        (otherwise the poset ships over the wire in the welcome).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn: bool = True,
+        lease_seconds: float = 5.0,
+        heartbeat_seconds: float = 1.0,
+        no_worker_grace: float = 10.0,
+        wire_faults: Optional[WireFaults] = None,
+        fault_workers: int = 1,
+        fallback: Optional[Executor] = None,
+        poset_path: Optional[Path] = None,
+        worker_args: Optional[List[str]] = None,
+    ):
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.spawn = spawn
+        self.lease_seconds = lease_seconds
+        self.heartbeat_seconds = heartbeat_seconds
+        self.no_worker_grace = no_worker_grace
+        self.wire_faults = wire_faults
+        self.fault_workers = fault_workers
+        self.fallback = fallback
+        self.poset_path = poset_path
+        self.worker_args = worker_args
+        #: Wired by the ParaMount driver (like every executor's).
+        self.observer = None
+        # run context, supplied by bind_run
+        self._poset = None
+        self._subroutine: Optional[str] = None
+        self._memory_budget: Optional[int] = None
+        self._journal = None
+        self._deadline_at: Optional[float] = None
+        # per-run provenance, drained by the driver
+        self._failures: List[TaskFailure] = []
+        self._degradations: List[DegradationEvent] = []
+        self.last_redispatches = 0
+        self.last_leases_expired = 0
+        self.last_duplicate_acks = 0
+        self.last_stale_acks = 0
+        self.last_hosts: List[str] = []
+        self.last_deadline_expired = False
+        #: The last run's coordinator (tests inspect its lease table).
+        self.last_coordinator: Optional[Coordinator] = None
+
+    @property
+    def name(self) -> str:
+        return f"dist({self.workers})"
+
+    @property
+    def num_workers(self) -> int:
+        return max(self.workers, 1)
+
+    # ------------------------------------------------------------------ #
+    # driver hooks
+
+    def bind_run(
+        self,
+        poset,
+        subroutine: str,
+        memory_budget: Optional[int] = None,
+        journal=None,
+        deadline_at: Optional[float] = None,
+    ) -> None:
+        """Receive the run context the wire descriptors are relative to."""
+        self._poset = poset
+        self._subroutine = subroutine
+        self._memory_budget = memory_budget
+        self._journal = journal
+        self._deadline_at = deadline_at
+
+    def drain_log(self):
+        """(failures, degradations, retries) — the resilient-executor
+        contract the driver folds into the result."""
+        failures, self._failures = self._failures, []
+        degradations, self._degradations = self._degradations, []
+        return failures, degradations, 0
+
+    # ------------------------------------------------------------------ #
+
+    def map_tasks(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        if self._poset is None or self._subroutine is None:
+            raise ExecutorError(
+                "DistributedExecutor needs bind_run(poset, subroutine, ...) "
+                "before map_tasks — run it through ParaMount"
+            )
+        intervals = [getattr(task, "interval", None) for task in tasks]
+        if any(iv is None for iv in intervals):
+            raise ExecutorError(
+                "DistributedExecutor tasks must carry .interval descriptors"
+            )
+        keys = [(iv.event, iv.lo, iv.hi) for iv in intervals]
+        weights = [iv.size_bound for iv in intervals]
+        coord = Coordinator(
+            self._poset,
+            self._subroutine,
+            memory_budget=self._memory_budget,
+            journal=self._journal,
+            observer=self.observer,
+            host=self.host,
+            port=self.port,
+            lease_seconds=self.lease_seconds,
+            heartbeat_seconds=self.heartbeat_seconds,
+            no_worker_grace=self.no_worker_grace,
+        )
+        self.last_coordinator = coord
+        coord.start()
+        procs = []
+        try:
+            if self.spawn and self.workers > 0:
+                procs = spawn_local_workers(
+                    self.workers,
+                    coord.address,
+                    poset_path=self.poset_path,
+                    wire_faults=self.wire_faults,
+                    fault_workers=self.fault_workers,
+                    worker_args=self.worker_args,
+                )
+            committed, undone = coord.execute(
+                keys, weights, deadline_at=self._deadline_at
+            )
+        finally:
+            coord.stop()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=5.0)
+                except Exception:  # noqa: BLE001 - reap best-effort
+                    proc.kill()
+        counters = coord.robustness_counters()
+        self.last_redispatches = counters["redispatches"]
+        self.last_leases_expired = counters["leases_expired"]
+        self.last_duplicate_acks = counters["duplicate_acks"]
+        self.last_stale_acks = counters["stale_acks"]
+        self.last_hosts = list(coord.hosts)
+        self.last_deadline_expired = False
+        index_of = {key: i for i, key in enumerate(keys)}
+        for key, (attempts, error, worker) in coord.failures.items():
+            self._failures.append(
+                TaskFailure(
+                    task_index=index_of[key],
+                    attempts=attempts,
+                    error=error,
+                    executor=f"{self.name}:{worker}",
+                )
+            )
+        results: List[Optional[T]] = [committed.get(key) for key in keys]
+        undone_set = set(undone)
+        if not undone_set:
+            return results  # type: ignore[return-value]
+        deadline_hit = (
+            self._deadline_at is not None
+            and time.monotonic() >= self._deadline_at
+        )
+        if deadline_hit:
+            # drained what we could; the rest is abandoned, not degraded
+            self.last_deadline_expired = True
+            return results  # type: ignore[return-value]
+        # no workers left: run the original closures in-process
+        fallback = self.fallback if self.fallback is not None else SerialExecutor()
+        idxs = [i for i, key in enumerate(keys) if key in undone_set]
+        self._degradations.append(
+            DegradationEvent(
+                kind="executor",
+                from_name=self.name,
+                to_name=fallback.name,
+                reason=(
+                    f"{len(idxs)} interval(s) undone with no remote "
+                    f"workers remaining"
+                ),
+            )
+        )
+        if self.observer is not None and getattr(self.observer, "enabled", False):
+            self.observer.instant(
+                "degrade_executor", "dist", undone=len(idxs), to=fallback.name
+            )
+        local = fallback.map_tasks([tasks[i] for i in idxs])
+        for i, stats in zip(idxs, local):
+            results[i] = stats
+        return results  # type: ignore[return-value]

@@ -1,0 +1,332 @@
+"""The worker: connects, verifies the digest, enumerates leased intervals.
+
+A worker is one process with one coordinator connection.  It either loads
+its own poset file (``--poset``) — in which case the handshake *compares
+digests* and a stale worker is rejected before holding a single lease —
+or receives the poset from the coordinator's welcome message and verifies
+the shipped digest against its own recomputation, so a corrupted transfer
+can never be enumerated.
+
+The main loop is pull-based: request a lease, enumerate the interval with
+the ordinary :func:`~repro.core.bounded.bounded_enumeration` machinery,
+acknowledge with the stats (and the digest, re-presented so the
+coordinator can refuse a stale commit), repeat.  A background heartbeat
+thread keeps live leases extended; the injected ``hang`` fault suppresses
+it, so a hung worker is indistinguishable from a partitioned one — which
+is the point, since lease expiry must recover both.
+
+Task failures are reported as ``task-error`` messages whose payload is
+the pickled typed exception (:class:`~repro.errors.OutOfMemoryError`
+with its budget, :class:`~repro.errors.DeadlockError` with its wait-for
+graph, …), so the coordinator's failure records keep the same fidelity
+as in-process runs.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dist.wire import (
+    WIRE_CRASH,
+    WIRE_HANG,
+    WIRE_NONE,
+    WireFaults,
+    apply_wire_fault,
+    recv_message,
+    send_message,
+)
+from repro.errors import ConnectionClosedError, ReproError, StaleDigestError
+from repro.poset.io import poset_from_dict
+from repro.poset.poset import Poset
+from repro.resilience.checkpoint import poset_digest
+
+__all__ = ["run_worker", "spawn_local_workers"]
+
+
+class _Heartbeat:
+    """Background lease-extension pulse, suppressible for hang faults.
+
+    Each pulse names the task the worker is *currently* enumerating
+    (``current``, a wire task dict or ``None``) so the coordinator
+    extends only that lease — a task whose acknowledgement was dropped
+    must not be kept alive by the heartbeats of its now-idle worker.
+    """
+
+    def __init__(self, sock: socket.socket, lock: threading.Lock, every: float):
+        self._sock = sock
+        self._lock = lock
+        self._every = max(every, 0.05)
+        self._stop = threading.Event()
+        self._suppressed = threading.Event()
+        #: Wire form of the in-flight task; set/cleared by the work loop.
+        self.current: Optional[Dict[str, Any]] = None
+        self._thread = threading.Thread(
+            target=self._loop, name="dist-heartbeat", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def suppress(self, yes: bool) -> None:
+        if yes:
+            self._suppressed.set()
+        else:
+            self._suppressed.clear()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._every):
+            if self._suppressed.is_set():
+                continue
+            current = self.current
+            pulse: Dict[str, Any] = {
+                "type": "heartbeat",
+                "tasks": [current] if current is not None else [],
+            }
+            try:
+                with self._lock:
+                    send_message(self._sock, pulse)
+            except (ReproError, OSError):
+                return  # connection is gone; the main loop will notice
+
+
+def run_worker(
+    address: Tuple[str, int],
+    name: Optional[str] = None,
+    poset: Optional[Poset] = None,
+    wire_faults: Optional[WireFaults] = None,
+    connect_timeout: float = 10.0,
+) -> int:
+    """Run one worker against ``address`` until the coordinator drains it.
+
+    Returns a process exit code: 0 after a clean drain, 3 when rejected
+    for a stale digest, 1 on a lost coordinator.  ``poset`` (optional) is
+    the worker's own copy; when ``None`` the coordinator's welcome must
+    ship one.
+    """
+    name = name or f"{socket.gethostname()}-{os.getpid()}"
+    faults = wire_faults or WireFaults()
+    sock = socket.create_connection(address, timeout=connect_timeout)
+    sock.settimeout(None)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    send_lock = threading.Lock()
+    try:
+        hello: Dict[str, Any] = {
+            "type": "hello",
+            "name": name,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+        }
+        own_digest = poset_digest(poset) if poset is not None else None
+        if own_digest is not None:
+            hello["digest"] = own_digest
+        with send_lock:
+            send_message(sock, hello)
+        welcome = recv_message(sock)
+        if welcome.get("type") == "reject":
+            # the coordinator compared digests and refused us
+            raise StaleDigestError(
+                str(welcome.get("expected")),
+                str(welcome.get("actual")),
+                where="worker handshake",
+            )
+        if welcome.get("type") != "welcome":
+            raise ConnectionClosedError(
+                f"expected welcome, got {welcome.get('type')!r}"
+            )
+        digest = str(welcome["digest"])
+        if poset is None:
+            poset = poset_from_dict(welcome["poset"])
+            actual = poset_digest(poset)
+            if actual != digest:
+                raise StaleDigestError(digest, actual, where="poset transfer")
+        elif own_digest != digest:
+            raise StaleDigestError(digest, own_digest or "", where="worker")
+        subroutine = str(welcome["subroutine"])
+        memory_budget = welcome.get("memory_budget")
+        heartbeat = _Heartbeat(
+            sock, send_lock, float(welcome.get("heartbeat_seconds", 1.0))
+        )
+        heartbeat.start()
+        try:
+            code = _work_loop(
+                sock,
+                send_lock,
+                heartbeat,
+                poset,
+                subroutine,
+                memory_budget,
+                digest,
+                faults,
+            )
+        finally:
+            heartbeat.stop()
+        return code
+    except StaleDigestError:
+        raise
+    except (ReproError, OSError):
+        return 1
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def _work_loop(
+    sock: socket.socket,
+    send_lock: threading.Lock,
+    heartbeat: _Heartbeat,
+    poset: Poset,
+    subroutine: str,
+    memory_budget: Optional[int],
+    digest: str,
+    faults: WireFaults,
+) -> int:
+    # imported here so a worker that is rejected during the handshake
+    # never pays for the enumeration machinery
+    from repro.enumeration import make_enumerator
+
+    enumerator = make_enumerator(subroutine, poset, memory_budget=memory_budget)
+    acked = 0
+    while True:
+        with send_lock:
+            send_message(sock, {"type": "request"})
+        msg = recv_message(sock)
+        mtype = msg.get("type")
+        if mtype in ("drain", "shutdown"):
+            with send_lock:
+                send_message(sock, {"type": "bye"})
+            return 0
+        if mtype == "idle":
+            time.sleep(float(msg.get("seconds", 0.05)))
+            continue
+        if mtype != "lease":
+            return 1
+        if msg.get("digest") != digest:
+            raise StaleDigestError(
+                digest, str(msg.get("digest")), where="lease"
+            )
+        task = msg["task"]
+        event = tuple(task["event"])
+        lo = tuple(task["lo"])
+        hi = tuple(task["hi"])
+        attempt = int(msg.get("attempt", 0))
+        key = (event, lo, hi)
+        heartbeat.current = task
+        fault = faults.decide(key, attempt) if faults.active else WIRE_NONE
+        if fault == WIRE_CRASH:
+            os._exit(1)
+        if fault == WIRE_HANG:
+            heartbeat.suppress(True)
+        epoch_t0 = time.time()
+        t0 = time.perf_counter()
+        try:
+            result = enumerator.enumerate_interval(lo, hi)
+        except ReproError as exc:
+            heartbeat.current = None
+            heartbeat.suppress(False)
+            with send_lock:
+                send_message(
+                    sock,
+                    {
+                        "type": "task-error",
+                        "task": task,
+                        "attempt": attempt,
+                        "payload": exc,
+                    },
+                )
+            continue
+        seconds = time.perf_counter() - t0
+        if fault in (WIRE_HANG,):
+            # the hang happens *after* the work: results exist but the
+            # heartbeat stayed silent, so the lease may already be gone
+            apply_wire_fault(fault, faults)
+            heartbeat.suppress(False)
+        acked += 1
+        if faults.kill_after is not None and acked >= faults.kill_after:
+            # kill -9 semantics: the interval was fully enumerated but the
+            # acknowledgement dies with the process
+            os._exit(137)
+        drop = False
+        if fault not in (WIRE_NONE, WIRE_CRASH, WIRE_HANG):
+            drop = apply_wire_fault(fault, faults)
+        if drop:
+            # the ack dies here (one-way partition); stop claiming the
+            # task so the coordinator's lease ages out and re-dispatches
+            heartbeat.current = None
+            continue
+        with send_lock:
+            send_message(
+                sock,
+                {
+                    "type": "ack",
+                    "task": task,
+                    "attempt": attempt,
+                    "digest": digest,
+                    "states": result.states,
+                    "work": result.work,
+                    "peak_live": result.peak_live,
+                    "seconds": seconds,
+                    "epoch_t0": epoch_t0,
+                },
+            )
+        heartbeat.current = None
+
+
+# ---------------------------------------------------------------------- #
+# spawning local worker processes (tests, CI, and --dist-workers N)
+
+
+def spawn_local_workers(
+    n: int,
+    address: Tuple[str, int],
+    poset_path: Optional[Path] = None,
+    wire_faults: Optional[WireFaults] = None,
+    fault_workers: int = 1,
+    worker_args: Optional[List[str]] = None,
+    name_prefix: str = "host",
+) -> List[subprocess.Popen]:
+    """Start ``n`` worker subprocesses connected to ``address``.
+
+    Only the first ``fault_workers`` processes receive ``wire_faults`` —
+    the victim/survivor split every recovery test needs.  Workers are
+    named ``host0 … hostN-1`` so traces get one lane per simulated host.
+    """
+    import repro
+
+    procs: List[subprocess.Popen] = []
+    env = dict(os.environ)
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + existing if existing else src_root
+    )
+    for i in range(n):
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.tools",
+            "worker",
+            "--connect",
+            f"{address[0]}:{address[1]}",
+            "--name",
+            f"{name_prefix}{i}",
+        ]
+        if poset_path is not None:
+            cmd += ["--poset", str(poset_path)]
+        if wire_faults is not None and wire_faults.active and i < fault_workers:
+            cmd += ["--wire-faults", wire_faults.spec_string()]
+        if worker_args:
+            cmd += list(worker_args)
+        procs.append(subprocess.Popen(cmd, env=env))
+    return procs

@@ -28,6 +28,10 @@ __all__ = [
     "TaskNotPicklableError",
     "InjectedFaultError",
     "CheckpointError",
+    "WireError",
+    "ConnectionClosedError",
+    "StaleDigestError",
+    "WorkerLostError",
 ]
 
 
@@ -90,6 +94,12 @@ class DeadlockError(SchedulerError):
         super().__init__(message)
         #: The wait-for graph at the moment of deadlock (or ``None``).
         self.wait_for = wait_for
+
+    def __reduce__(self):
+        # Crosses process/wire boundaries (a remote worker may hit a
+        # deadlocked simulated program); the default reduction would drop
+        # the structured wait-for graph.
+        return (DeadlockError, (self.args[0], self.wait_for))
 
 
 class OutOfMemoryError(ReproError):
@@ -184,6 +194,14 @@ class ExecutorTimeoutError(ExecutorError):
         self.task_index = task_index
         #: The timeout that was exceeded, in seconds.
         self.timeout = timeout
+        #: Name of the executor whose gather timed out ("" when unknown).
+        self.executor = executor
+
+    def __reduce__(self):
+        # Shipped across process pools and the dist wire; the default
+        # reduction replays __init__ with the formatted message only,
+        # losing the task index the retry logic charges.
+        return (ExecutorTimeoutError, (self.task_index, self.timeout, self.executor))
 
 
 class BrokenPoolError(ExecutorError):
@@ -205,7 +223,7 @@ class TaskNotPicklableError(ExecutorError):
     :class:`~repro.core.executors.SerialExecutor`.
     """
 
-    def __init__(self, task_index: int, cause: Exception):
+    def __init__(self, task_index: int, cause):
         super().__init__(
             f"task {task_index} is not picklable ({cause}); ProcessExecutor "
             f"needs top-level callables — wrap per-task state with "
@@ -214,6 +232,13 @@ class TaskNotPicklableError(ExecutorError):
         )
         #: Index of the unpicklable task within the submitted batch.
         self.task_index = task_index
+        #: Human-readable description of the original pickling failure.
+        self.cause = str(cause)
+
+    def __reduce__(self):
+        # The original cause exception may itself be unpicklable, so the
+        # reduction ships its string form instead.
+        return (TaskNotPicklableError, (self.task_index, self.cause))
 
 
 class InjectedFaultError(ExecutorError):
@@ -243,3 +268,71 @@ class CheckpointError(ReproError):
     digest or subroutine does not match the current run, or a completed
     record's interval bounds diverge from the recomputed partition (which
     would mean the journal belongs to a different total order)."""
+
+
+class WireError(ExecutorError):
+    """Raised by the distributed wire protocol (:mod:`repro.dist.wire`) for
+    malformed traffic: an oversized frame, an unknown encoding tag, or a
+    message whose body does not decode.
+
+    Like every :class:`ExecutorError` this is an infrastructure failure, not
+    a task failure — interval tasks are idempotent, so the coordinator drops
+    the offending connection and re-leases its work elsewhere.
+    """
+
+
+class ConnectionClosedError(WireError):
+    """Raised when the peer closed the connection mid-frame or mid-run —
+    worker crash, ``kill -9``, or network partition.  The coordinator treats
+    it exactly like a lease expiry: the worker's outstanding leases return
+    to the pending pool for re-dispatch."""
+
+
+class StaleDigestError(ExecutorError):
+    """Raised when the poset SHA-256 digest presented by one end of a
+    distributed run does not match the other end's.
+
+    A stale worker (started against yesterday's poset file, or against a
+    differently-built poset) must never be allowed to commit interval
+    results: its ``Gmin``/``Gbnd`` bounds would be meaningless against the
+    coordinator's partition.  Both ends verify — workers refuse leases whose
+    digest differs from their handshake digest, and the coordinator refuses
+    acknowledgements carrying an unexpected digest.
+    """
+
+    def __init__(self, expected: str, actual: str, where: str = ""):
+        at = f" at {where}" if where else ""
+        super().__init__(
+            f"poset digest mismatch{at}: expected {expected[:12]}…, "
+            f"got {actual[:12]}…"
+        )
+        #: The digest this end computed for its own poset.
+        self.expected = expected
+        #: The digest the peer presented.
+        self.actual = actual
+        #: Which end detected the mismatch (e.g. ``"worker"``).
+        self.where = where
+
+    def __reduce__(self):
+        # Shipped back over the wire as a structured refusal; the default
+        # reduction would replay __init__ with the formatted message only.
+        return (StaleDigestError, (self.expected, self.actual, self.where))
+
+
+class WorkerLostError(ExecutorError):
+    """Raised (or recorded as a failure) when a remote worker vanished —
+    its connection died or its leases expired without acknowledgement —
+    and its in-flight intervals had to be re-dispatched."""
+
+    def __init__(self, worker: str, lost_leases: int = 0):
+        super().__init__(
+            f"worker {worker!r} lost with {lost_leases} in-flight lease(s); "
+            f"re-dispatching to surviving workers"
+        )
+        #: Name of the vanished worker.
+        self.worker = worker
+        #: Number of leases it held when it vanished.
+        self.lost_leases = lost_leases
+
+    def __reduce__(self):
+        return (WorkerLostError, (self.worker, self.lost_leases))

@@ -35,6 +35,11 @@ import threading
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple, Union
 
+try:  # POSIX only; on other platforms the in-process lock still applies
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
 from repro.core.intervals import Interval
 from repro.core.metrics import IntervalStats
 from repro.errors import CheckpointError
@@ -138,10 +143,26 @@ class CheckpointJournal:
             {iv.event for iv in intervals} if intervals is not None else None
         )
         completed: Dict[TaskKey, IntervalStats] = {}
-        for line in lines[1:]:
+        torn_at: Optional[int] = None
+        for lineno, line in enumerate(lines[1:], start=2):
             rec = self._parse_record(line)
-            if rec is None:  # torn tail from a mid-write crash
-                break
+            if rec is None:
+                # Torn line from a mid-write crash.  A crash tears only the
+                # *tail* (possibly several lines, when a multi-record buffer
+                # was cut short), so torn lines may be discarded — but only
+                # if nothing valid follows.  A valid record *after* a torn
+                # line means writers interleaved mid-record (the corruption
+                # flock prevents), and trusting either side would risk
+                # double-counting an interval.
+                if torn_at is None:
+                    torn_at = lineno
+                continue
+            if torn_at is not None:
+                raise CheckpointError(
+                    f"checkpoint {self.path} has a valid record after a "
+                    f"torn line {torn_at} — interleaved concurrent writes "
+                    f"corrupted the journal; delete it and start fresh"
+                )
             event = tuple(rec["event"])
             stats = IntervalStats(
                 event=event,
@@ -191,8 +212,19 @@ class CheckpointJournal:
         t0 = obs.clock() if observe else 0.0
         with self._lock:
             with self.path.open("a") as fh:
-                fh.write(line + "\n")
-                fh.flush()
+                # The thread lock serializes committers in this process; the
+                # OS-level lock serializes against *other* processes — the
+                # coordinator's acknowledgement threads and any in-process
+                # fallback executor commit to the same journal, and an
+                # interleaved write would tear two records at once.
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+                try:
+                    fh.write(line + "\n")
+                    fh.flush()
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
         if observe:
             obs.record(
                 "flush",

@@ -204,9 +204,24 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
 
     poset = load_poset(args.poset)
     print(f"poset: n={poset.num_threads}, {poset.num_events} events")
+    dist = args.backend == "dist"
     resilient = bool(args.resume or args.faults or args.workers)
-    if resilient and not args.paramount:
-        print("error: --resume/--faults/--workers require --paramount", file=sys.stderr)
+    if (resilient or dist or args.deadline is not None) and not args.paramount:
+        print(
+            "error: --resume/--faults/--workers/--backend/--deadline "
+            "require --paramount",
+            file=sys.stderr,
+        )
+        return 2
+    if dist and args.faults:
+        print(
+            "error: --faults injects in-process; with --backend dist use "
+            "--wire-faults",
+            file=sys.stderr,
+        )
+        return 2
+    if args.wire_faults and not dist:
+        print("error: --wire-faults requires --backend dist", file=sys.stderr)
         return 2
     observer = _make_observer(args)
     if observer is not None and not args.paramount:
@@ -218,7 +233,27 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     if args.paramount:
         policy = SchedulePolicy.parse(args.schedule)
         executor = None
-        if resilient:
+        if dist:
+            from pathlib import Path
+
+            from repro.dist import DistributedExecutor, WireFaults
+
+            wire_faults = (
+                WireFaults.parse(args.wire_faults) if args.wire_faults else None
+            )
+            if wire_faults is not None:
+                print(f"injecting wire faults: {args.wire_faults}")
+            executor = DistributedExecutor(
+                workers=args.dist_workers,
+                lease_seconds=args.lease_seconds,
+                wire_faults=wire_faults,
+                poset_path=Path(args.poset),
+            )
+            print(
+                f"distributed backend: {args.dist_workers} local worker "
+                f"process(es), {args.lease_seconds:g}s leases"
+            )
+        elif resilient:
             from repro.resilience import (
                 FaultInjectingExecutor,
                 FaultSpec,
@@ -245,6 +280,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             checkpoint=args.resume,
             schedule=policy,
             observer=observer,
+            deadline=args.deadline,
         )
         try:
             result = pm.run()
@@ -273,6 +309,17 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             )
         if result.retries:
             print(f"  retries: {result.retries} task resubmission(s)")
+        if result.hosts or result.redispatches or result.leases_expired:
+            print(
+                f"  dist: hosts={','.join(result.hosts) or '-'}, "
+                f"{result.leases_expired} lease(s) expired, "
+                f"{result.redispatches} re-dispatch(es)"
+            )
+        if result.deadline_expired:
+            print(
+                f"  deadline of {args.deadline:g}s expired: in-flight "
+                f"intervals drained, the rest skipped"
+            )
         for d in result.degradations:
             print(f"  degraded [{d.kind}]: {d.from_name} -> {d.to_name} ({d.reason})")
         for f in result.failures:
@@ -281,9 +328,11 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 f"on {f.executor}: {f.error}"
             )
         if not result.complete:
+            lost = len(result.failures)
+            why = f"{lost} interval(s) lost" if lost else "deadline expired"
             print(
-                f"  result is a LOWER BOUND: {len(result.failures)} "
-                f"interval(s) lost (Theorem 2: nothing else is affected)"
+                f"  result is a LOWER BOUND: {why} "
+                f"(Theorem 2: nothing else is affected)"
             )
         model = CostModel()
         tasks = [model.task_seconds(s.work, s.peak_live) for s in result.intervals]
@@ -309,6 +358,98 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             f"(wall {format_duration(sw.elapsed)}, peak live {result.peak_live})"
         )
     return 0
+
+
+def _cmd_coordinator(args: argparse.Namespace) -> int:
+    """Serve one distributed run to externally started workers."""
+    from repro.core.paramount import ParaMount
+    from repro.core.scheduling import SchedulePolicy
+    from repro.dist import DistributedExecutor
+    from repro.poset.io import load_poset
+
+    poset = load_poset(args.poset)
+    observer = _make_observer(args)
+    executor = DistributedExecutor(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        spawn=False,
+        lease_seconds=args.lease_seconds,
+        no_worker_grace=args.worker_grace,
+    )
+    pm = ParaMount(
+        poset,
+        subroutine=args.algorithm,
+        executor=executor,
+        checkpoint=args.resume,
+        schedule=SchedulePolicy.parse(args.schedule),
+        observer=observer,
+        deadline=args.deadline,
+    )
+    print(
+        f"coordinator: poset n={poset.num_threads}, {poset.num_events} "
+        f"events; listening on {args.host}:{args.port} "
+        f"(point workers at it with: repro-tools worker --connect "
+        f"{args.host}:{args.port})"
+    )
+    try:
+        result = pm.run()
+    finally:
+        _finish_observer(observer, args)
+    print(
+        f"coordinator done: {result.states} states over "
+        f"{len(result.intervals)} intervals "
+        f"(wall {format_duration(result.wall_time)})"
+    )
+    print(
+        f"  hosts: {','.join(result.hosts) or '-'}; "
+        f"{result.leases_expired} lease(s) expired, "
+        f"{result.redispatches} re-dispatch(es)"
+    )
+    for d in result.degradations:
+        print(f"  degraded [{d.kind}]: {d.from_name} -> {d.to_name} ({d.reason})")
+    for f in result.failures:
+        print(
+            f"  FAILED interval {f.event} after {f.attempts} attempt(s) "
+            f"on {f.executor}: {f.error}"
+        )
+    if not result.complete:
+        print("  result is PARTIAL (failures or deadline)")
+        return 1
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run one enumeration worker against a coordinator."""
+    from repro.dist import WireFaults, run_worker
+    from repro.errors import StaleDigestError
+    from repro.poset.io import load_poset
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(
+            f"error: --connect wants HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    poset = load_poset(args.poset) if args.poset else None
+    wire_faults = WireFaults.parse(args.wire_faults) if args.wire_faults else None
+    try:
+        return run_worker(
+            (host, int(port)),
+            name=args.name,
+            poset=poset,
+            wire_faults=wire_faults,
+        )
+    except StaleDigestError as exc:
+        print(f"worker refused: {exc}", file=sys.stderr)
+        return 3
+    except ConnectionRefusedError:
+        print(
+            f"error: no coordinator listening at {args.connect}",
+            file=sys.stderr,
+        )
+        return 1
 
 
 def _cmd_obs_render(args: argparse.Namespace) -> int:
@@ -680,7 +821,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a live one-line progress report to stderr "
         "(requires --paramount)",
     )
+    p.add_argument(
+        "--backend",
+        choices=("auto", "dist"),
+        default="auto",
+        help="task backend: auto (in-process, default) or dist — spawn "
+        "--dist-workers local worker processes behind a fault-tolerant "
+        "coordinator (requires --paramount)",
+    )
+    p.add_argument(
+        "--dist-workers",
+        type=int,
+        default=2,
+        help="worker processes for --backend dist (default 2)",
+    )
+    p.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=5.0,
+        help="per-interval acknowledgement deadline for --backend dist; "
+        "crashed/hung workers are detected within one lease period",
+    )
+    p.add_argument(
+        "--wire-faults",
+        metavar="SPEC",
+        help="inject deterministic wire/process faults into the first "
+        "dist worker, e.g. 'seed=1,drop_ack=0.2,kill_after=3' "
+        "(requires --backend dist)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="global wall-clock budget: stop dispatching intervals once "
+        "it expires, drain in-flight ones, and return a partial result "
+        "with complete=False (requires --paramount)",
+    )
     p.set_defaults(func=_cmd_enumerate)
+
+    p = sub.add_parser(
+        "coordinator",
+        help="serve a distributed enumeration to external workers",
+    )
+    p.add_argument("poset", help="path to a saved poset JSON")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument(
+        "--algorithm",
+        "--subroutine",
+        choices=("lexical", "lexical-fast", "bfs", "dfs", "squire"),
+        default="lexical",
+    )
+    p.add_argument(
+        "--schedule",
+        choices=("fifo", "largest", "split", "split-steal", "adaptive"),
+        default="split-steal",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="planned parallelism the schedule splits for (default 2)",
+    )
+    p.add_argument("--resume", metavar="JOURNAL", help="checkpoint journal path")
+    p.add_argument("--lease-seconds", type=float, default=5.0)
+    p.add_argument(
+        "--worker-grace",
+        type=float,
+        default=30.0,
+        help="seconds to wait for (re)connecting workers before degrading "
+        "to in-process enumeration (default 30)",
+    )
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS")
+    p.add_argument("--trace-out", metavar="TRACE.json")
+    p.add_argument("--metrics-out", metavar="METRICS.prom")
+    p.add_argument("--progress", action="store_true")
+    p.set_defaults(func=_cmd_coordinator)
+
+    p = sub.add_parser(
+        "worker", help="run an enumeration worker against a coordinator"
+    )
+    p.add_argument(
+        "--connect", required=True, metavar="HOST:PORT", help="coordinator address"
+    )
+    p.add_argument("--name", help="worker name (default HOSTNAME-PID)")
+    p.add_argument(
+        "--poset",
+        help="load this poset file instead of receiving it over the wire; "
+        "its digest must match the coordinator's or the worker is "
+        "rejected (stale-digest protection)",
+    )
+    p.add_argument(
+        "--wire-faults",
+        metavar="SPEC",
+        help="deterministic wire/process fault plan, e.g. "
+        "'seed=1,drop_ack=0.2,kill_after=3'",
+    )
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser("profile", help="profile a saved poset's lattice")
     p.add_argument("poset")

@@ -1,0 +1,89 @@
+"""Straggler extensions of detection workloads' posets.
+
+The static Theorem-2 partition bounds parallel wall-clock by its largest
+interval, and a skewed poset concentrates nearly all work in a handful of
+intervals.  These extensions append an extra thread of events to a
+detection workload's raw access poset in two calibrated shapes, giving
+the scheduling and distribution benchmarks a controllable imbalance knob:
+
+* ``"skewed"`` — the extra thread's events are sync-free local events:
+  each one's ``Gmin`` is tiny while its ``Gbnd`` covers the whole base
+  poset, so it owns a giant Figure-6a-style interval (the straggler the
+  split/steal/re-dispatch machinery exists for);
+* ``"fair"`` — the same number of extra events, but each synchronizes
+  with every base thread, so their intervals stay near-unit-size and the
+  partition remains balanced (the control case).
+
+Originally grown inside ``benchmarks/bench_interval_scheduling.py``; now
+shared with the distributed-scaling benchmark and the dist recovery
+tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import replace
+from typing import Dict, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.poset.event import INTERNAL, Event
+from repro.poset.poset import Poset
+
+__all__ = ["EXTRA_EVENTS", "extended_poset"]
+
+#: Default straggler events appended per workload — sized so the skewed
+#: raytracer poset stays tractable (each sync-free event multiplies the
+#: state count by roughly the base lattice size).
+EXTRA_EVENTS = {"sor": 4, "raytracer": 1}
+
+_cache: Dict[Tuple[str, str, int], Poset] = {}
+
+
+def extended_poset(
+    name: str, extension: str, extra_events: Optional[int] = None
+) -> Poset:
+    """The workload's raw access poset plus a straggler thread.
+
+    ``name`` is a detection workload (``"sor"``, ``"raytracer"``, …);
+    ``extension`` is ``"skewed"`` or ``"fair"``; ``extra_events``
+    overrides the calibrated :data:`EXTRA_EVENTS` count.  Results are
+    cached per configuration — workload traces are deterministic, so the
+    poset (and its checkpoint digest) is stable across calls.
+    """
+    from repro.detector.hb import events_from_trace
+    from repro.workloads.registry import DETECTION_WORKLOADS
+
+    if extension not in ("skewed", "fair"):
+        raise WorkloadError(
+            f"unknown extension {extension!r}: expected 'skewed' or 'fair'"
+        )
+    if name not in DETECTION_WORKLOADS:
+        raise WorkloadError(f"unknown detection workload {name!r}")
+    count = extra_events if extra_events is not None else EXTRA_EVENTS.get(name)
+    if count is None:
+        raise WorkloadError(
+            f"no calibrated straggler count for {name!r}; pass extra_events"
+        )
+    key = (name, extension, count)
+    if key not in _cache:
+        trace = DETECTION_WORKLOADS[name].trace()
+        events = events_from_trace(trace, merge_collections=False)
+        n = trace.num_threads
+        chains = defaultdict(list)
+        for event in events:
+            # widen every clock for the extra thread's coordinate
+            chains[event.tid].append(replace(event, vc=tuple(event.vc) + (0,)))
+        lengths = tuple(len(chains.get(t, [])) for t in range(n))
+        extra = []
+        for k in range(1, count + 1):
+            if extension == "skewed":
+                vc = (0,) * n + (k,)  # sync-free: Gmin is the unit cut
+            else:
+                vc = lengths + (k,)  # joined with every base thread's end
+            extra.append(Event(tid=n, idx=k, vc=vc, kind=INTERNAL))
+        _cache[key] = Poset(
+            [chains.get(t, []) for t in range(n)] + [extra],
+            insertion=[event.eid for event in events]
+            + [event.eid for event in extra],
+        )
+    return _cache[key]

@@ -137,6 +137,68 @@ def test_torn_tail_is_discarded(tmp_path):
     assert resumed.states == base.states
 
 
+def test_torn_multi_record_tail_is_discarded(tmp_path):
+    """A crash can cut a multi-record write buffer short, tearing several
+    trailing lines at once; resume discards the whole torn tail."""
+    poset = build_figure4_poset()
+    path = tmp_path / "x.ckpt"
+    base = ParaMount(poset, checkpoint=path).run()
+    with path.open("a") as fh:
+        fh.write('{"kind": "interval", "event": [0, 1], "lo": [0,\n')
+        fh.write('{"kind": "interval"}\n')
+        fh.write("garbage that is not even json")
+    resumed = ParaMount(poset, checkpoint=path).run()
+    assert resumed.resumed_intervals == len(base.intervals)
+    assert resumed.states == base.states
+
+
+def test_valid_record_after_torn_line_refuses_resume(tmp_path):
+    """A torn line in the *middle* means writers interleaved mid-record —
+    the journal is corrupt and trusting either side risks double counts."""
+    poset = build_figure4_poset()
+    path = tmp_path / "x.ckpt"
+    ParaMount(poset, checkpoint=path).run()
+    lines = journal_lines(path)
+    assert len(lines) >= 3
+    lines[1] = lines[1][: len(lines[1]) // 2]  # tear a mid-journal record
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(CheckpointError, match="torn line"):
+        ParaMount(poset, checkpoint=path).run()
+
+
+def test_concurrent_committers_interleave_cleanly(tmp_path, d300):
+    """Many threads hammering record() (the coordinator's acknowledgement
+    threads) produce one intact JSON line per commit — the thread + flock
+    locking never tears or interleaves records."""
+    import threading
+
+    base = ParaMount(d300).run()
+    path = tmp_path / "threads.ckpt"
+    journal = CheckpointJournal(path)
+    digest = poset_digest(d300)
+    journal.load(digest, "lexical")  # writes the header
+    stats = base.intervals
+    threads = [
+        threading.Thread(
+            target=lambda chunk=stats[i::8]: [journal.record(s) for s in chunk]
+        )
+        for i in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    lines = journal_lines(path)
+    assert len(lines) == 1 + len(stats)
+    keys = set()
+    for line in lines[1:]:
+        rec = json.loads(line)  # every line parses: no torn interleaving
+        keys.add((tuple(rec["event"]), tuple(rec["lo"]), tuple(rec["hi"])))
+    assert len(keys) == len(stats)
+    completed = journal.load(digest, "lexical")
+    assert len(completed) == len(stats)
+
+
 def test_unknown_event_record_refuses_resume(tmp_path):
     poset = build_figure4_poset()
     path = tmp_path / "x.ckpt"
