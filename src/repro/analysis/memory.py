@@ -15,15 +15,40 @@ convert to bytes with explicit per-object costs:
 Figure 12's claim — L-Para's memory is nearly identical to the sequential
 lexical algorithm's, both dominated by the input — falls straight out of
 this accounting.
+
+Alongside the model, :func:`measure_peak` *measures*: ``tracemalloc``'s
+peak traced allocation during a run plus the process's ``ru_maxrss``
+high-water RSS, both reported in the :class:`MemoryReport` next to the
+modeled bytes.  :func:`peak_memory_curve` sweeps poset width over
+independent-chain (grid) posets — the widest-level worst case — and
+records the curve the level-traversal work targets: ``bfs`` peak memory
+grows with lattice width while ``lexical`` and ``level-space`` stay flat.
 """
 
 from __future__ import annotations
 
+import gc
+import tracemalloc
 from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.poset.poset import Poset
 
-__all__ = ["MemoryModel", "MemoryReport"]
+try:  # POSIX; absent on some platforms — RSS then reports as 0
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+__all__ = [
+    "MemoryModel",
+    "MemoryReport",
+    "MeasuredPeak",
+    "measure_peak",
+    "measure_report",
+    "peak_memory_curve",
+]
+
+T = TypeVar("T")
 
 
 @dataclass(frozen=True)
@@ -72,6 +97,20 @@ class MemoryReport:
 
     baseline_bytes: int = 8 * 1024 * 1024
 
+    #: Measured peak of Python allocations during the run (``tracemalloc``),
+    #: or ``None`` for model-only reports.
+    measured_traced_bytes: Optional[int] = None
+    #: Process high-water RSS after the run (``ru_maxrss``; monotone over
+    #: the process lifetime, so an upper bound), or ``None``.
+    measured_rss_bytes: Optional[int] = None
+
+    @property
+    def measured_traced_mb(self) -> Optional[float]:
+        """Measured traced peak in MB, when this report carries one."""
+        if self.measured_traced_bytes is None:
+            return None
+        return self.measured_traced_bytes / (1024.0 * 1024.0)
+
     @property
     def total_bytes(self) -> int:
         """Total modeled resident bytes (including the runtime baseline)."""
@@ -86,3 +125,114 @@ class MemoryReport:
     def total_mb(self) -> float:
         """Total in MB (the figure's unit)."""
         return self.total_bytes / (1024.0 * 1024.0)
+
+
+# --------------------------------------------------------------------- #
+# measured peaks
+
+
+@dataclass(frozen=True)
+class MeasuredPeak:
+    """Measured peak memory of one run (what the model approximates)."""
+
+    #: Peak of tracked Python allocations while the function ran
+    #: (``tracemalloc``): the live-state growth the model prices per cut.
+    traced_bytes: int
+    #: ``getrusage`` high-water RSS of the whole process, in bytes.  This
+    #: is monotone over the process lifetime (a *bound*, not a delta) —
+    #: the analogue of the paper's whole-JVM Figure 12 measurements.
+    rss_bytes: int
+
+
+def measure_peak(fn: Callable[[], T]) -> Tuple[T, MeasuredPeak]:
+    """Run ``fn`` under ``tracemalloc``; return its result and the peaks."""
+    gc.collect()
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, traced_peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    if resource is not None:
+        # Linux reports ru_maxrss in KiB.
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    else:  # pragma: no cover
+        rss = 0
+    return result, MeasuredPeak(traced_bytes=traced_peak, rss_bytes=rss)
+
+
+def measure_report(
+    benchmark: str,
+    algorithm: str,
+    poset: Poset,
+    memory_budget: Optional[int] = None,
+    model: Optional[MemoryModel] = None,
+) -> MemoryReport:
+    """One Figure 12 row with *both* modeled and measured peaks filled in."""
+    from repro.enumeration.base import make_enumerator
+
+    mm = model if model is not None else MemoryModel()
+    enumerator = make_enumerator(algorithm, poset, memory_budget=memory_budget)
+    result, measured = measure_peak(lambda: enumerator.enumerate())
+    return MemoryReport(
+        benchmark=benchmark,
+        algorithm=algorithm,
+        poset_bytes=mm.poset_bytes(poset),
+        live_bytes=mm.live_state_bytes(poset, result.peak_live),
+        overhead_bytes=0,
+        measured_traced_bytes=measured.traced_bytes,
+        measured_rss_bytes=measured.rss_bytes,
+    )
+
+
+def _grid_poset(num_threads: int, chain_length: int) -> Poset:
+    """Independent chains — the widest-lattice worst case for BFS."""
+    from repro.poset.builder import PosetBuilder
+
+    builder = PosetBuilder(num_threads)
+    for _ in range(chain_length):
+        for tid in range(num_threads):
+            builder.append(tid)
+    return builder.build()
+
+
+def peak_memory_curve(
+    widths: Sequence[int] = (2, 3, 4, 5),
+    chain_length: int = 3,
+    algorithms: Sequence[str] = ("lexical", "bfs", "level-space"),
+) -> List[Dict[str, object]]:
+    """Measured peak memory as a function of poset width.
+
+    For each width ``n`` a grid poset (``n`` independent chains of
+    ``chain_length`` events — ``(chain_length+1)^n`` states, widest
+    possible levels) is enumerated by each algorithm under
+    :func:`measure_peak`.  One row per (width, algorithm) with the
+    measured peaks, the enumerator's ``peak_live`` and the modeled live
+    bytes, so the curve shows both the measurement and what the model
+    predicts: ``bfs`` rows grow super-linearly with width, ``lexical``
+    and ``level-space`` rows stay at one live cut.
+    """
+    mm = MemoryModel()
+    from repro.enumeration.base import make_enumerator
+
+    rows: List[Dict[str, object]] = []
+    for n in widths:
+        poset = _grid_poset(n, chain_length)
+        for algorithm in algorithms:
+            enumerator = make_enumerator(algorithm, poset)
+            result, measured = measure_peak(lambda e=enumerator: e.enumerate())
+            rows.append(
+                {
+                    "width": n,
+                    "chain_length": chain_length,
+                    "algorithm": algorithm,
+                    "states": result.states,
+                    "peak_live": result.peak_live,
+                    "modeled_live_bytes": mm.live_state_bytes(
+                        poset, result.peak_live
+                    ),
+                    "traced_peak_bytes": measured.traced_bytes,
+                    "rss_peak_bytes": measured.rss_bytes,
+                }
+            )
+    return rows

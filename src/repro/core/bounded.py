@@ -30,9 +30,17 @@ def make_bounded_subroutine(
 ) -> Enumerator:
     """Instantiate the sequential subroutine for a ParaMount run.
 
-    ``name`` is ``"lexical"`` (L-Para), ``"bfs"`` (B-Para) or ``"dfs"``
-    (validation).  ``memory_budget`` caps the subroutine's live intermediate
-    states, modeling a bounded heap.
+    ``name`` is ``"lexical"`` (L-Para), ``"lexical-fast"`` /
+    ``"lexical-packed"`` (the tuned and packed-kernel variants of L-Para),
+    ``"level-space"`` (B-Para's level order in O(n) live space), ``"bfs"``
+    (B-Para) or ``"dfs"`` (validation).  ``memory_budget`` caps the
+    subroutine's live intermediate states, modeling a bounded heap.
+
+    Subroutines travel by *name* through every executor (mp workers and
+    dist hosts re-instantiate from the name plus the shipped poset); the
+    packed subroutines convert interval bounds to their flat-array form
+    inside ``enumerate_interval``, so neither closures nor packed tables
+    ever cross the wire.
     """
     return make_enumerator(name, poset, memory_budget=memory_budget)
 

@@ -54,7 +54,7 @@ OrderSpec = Union[None, Sequence[EventId], Callable[[Poset], Sequence[EventId]]]
 ScheduleSpec = Union[None, str, SchedulePolicy]
 
 #: Subroutines that keep O(n) live state — the degradation targets.
-_LEXICAL_SUBROUTINES = ("lexical", "lexical-fast")
+_LEXICAL_SUBROUTINES = ("lexical", "lexical-fast", "lexical-packed", "level-space")
 
 
 class ParaMount:
@@ -255,6 +255,11 @@ class ParaMount:
                 journal.observer = obs
             if plan.split_intervals:
                 obs.counter("intervals_split_total").inc(plan.split_intervals)
+            # The packed subroutine reports when its bitmask fast path was
+            # unavailable (poset too large) and it fell back to the array
+            # kernel — exported so perf dashboards can spot the slow path.
+            if getattr(subroutine, "fallback_reason", None):
+                obs.counter("packed_kernel_fallbacks_total").inc()
         if obs.progress is not None:
             obs.progress.set_total(len(plan.tasks))
             for _ in completed:

@@ -1,0 +1,195 @@
+"""Packed (flat-array) views of a poset's clock table for the hot kernels.
+
+The enumeration inner loops (ISSUE 9 / ROADMAP "bitset/array state
+representation") spend their time asking two questions about vector
+clocks:
+
+1. *closure*: given a frontier vector, what is the least consistent cut
+   above it?  (a componentwise max over the frontier events' clock rows);
+2. *run extension*: for a fixed prefix, how far can the least-significant
+   coordinate advance before some clock component exceeds the prefix?
+
+Both are served from two flat layouts computed once per poset and shared
+by every worker:
+
+``clock_rows``
+    One ``array('i')`` of length ``num_events * n``, row-major: the clock
+    of event ``(t, k)`` (1-based ``k``) occupies
+    ``clock_rows[(event_base[t] + k - 1) * n : ...+ n]``.  This is the
+    per-event view — no tuples, no per-event objects.
+
+``succ_cols[t]``
+    Per thread, the same rows transposed into column-major order:
+    ``succ_cols[t][j * len_t + (k - 1)] == vc(t, k)[j]``.  Because clocks
+    are monotone along a chain, every column is sorted, so "the largest
+    ``k`` whose requirement on thread ``j`` is ≤ ``c``" is a
+    ``bisect_right`` — C-speed run extension (the packed enumerator's main
+    trick).
+
+``downset_masks`` (lazy)
+    Per event, its causal past (inclusive) as an int bitmask over all
+    events, bit ``event_base[t] + k - 1`` for event ``(t, k)``.  A union
+    of downsets is a downset, so the closure of a frontier is the OR of
+    its events' masks and the per-thread frontier counts are popcounts —
+    the "int bitmask fast path" of the packed enumerator.  Only built
+    when a kernel asks (it costs O(|E|²) bits).
+
+When numpy is importable (the ``repro[fast]`` extra) and
+``REPRO_NO_NUMPY`` is unset, table *construction* vectorizes the
+transpose; the tables themselves are always stdlib ``array('i')`` so the
+kernels and the wire format never depend on numpy.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["PackedPosetTables", "build_packed_tables", "numpy_or_none"]
+
+
+def numpy_or_none():
+    """The numpy module, or ``None`` when absent or disabled.
+
+    ``REPRO_NO_NUMPY=1`` forces the pure-stdlib path (CI exercises both);
+    checked at call time, not import time, so tests can toggle it.
+    """
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return None
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+class PackedPosetTables:
+    """Flat clock tables of one poset (see module docstring for layouts)."""
+
+    __slots__ = (
+        "num_threads",
+        "lengths",
+        "num_events",
+        "event_base",
+        "clock_rows",
+        "succ_cols",
+        "backend",
+        "_downsets",
+        "_thread_masks",
+    )
+
+    def __init__(
+        self,
+        num_threads: int,
+        lengths: Tuple[int, ...],
+        clock_rows: array,
+        succ_cols: Tuple[array, ...],
+        backend: str,
+    ):
+        self.num_threads = num_threads
+        self.lengths = lengths
+        self.num_events = sum(lengths)
+        base: List[int] = []
+        acc = 0
+        for ln in lengths:
+            base.append(acc)
+            acc += ln
+        #: ``event_base[t] + k - 1`` is event ``(t, k)``'s global index/bit.
+        self.event_base: Tuple[int, ...] = tuple(base)
+        self.clock_rows = clock_rows
+        self.succ_cols = succ_cols
+        #: ``"numpy"`` or ``"pure"`` — how the tables were constructed.
+        self.backend = backend
+        self._downsets: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._thread_masks: Optional[Tuple[int, ...]] = None
+
+    # ------------------------------------------------------------------ #
+    # row access (diagnostics/tests; kernels index the arrays directly)
+
+    def row(self, tid: int, idx: int) -> Tuple[int, ...]:
+        """Clock row of event ``(tid, idx)`` (1-based ``idx``)."""
+        n = self.num_threads
+        base = (self.event_base[tid] + idx - 1) * n
+        return tuple(self.clock_rows[base : base + n])
+
+    # ------------------------------------------------------------------ #
+    # bitmask tables (lazy — only the bitmask kernel pays for them)
+
+    def downset_masks(self) -> Tuple[Tuple[int, ...], ...]:
+        """Per thread, per event (0-based), the inclusive causal past as an
+        int bitmask over all events.
+
+        Clock row ``r`` of event ``(t, k)`` says its past holds the first
+        ``r[j]`` events of every thread ``j``, so the mask is a union of
+        per-thread bit prefixes.  Downsets are transitively closed, which
+        is what makes "closure = OR of frontier masks" exact.
+        """
+        if self._downsets is None:
+            n = self.num_threads
+            rows = self.clock_rows
+            masks: List[Tuple[int, ...]] = []
+            for t in range(n):
+                base = self.event_base[t]
+                out: List[int] = []
+                for k in range(self.lengths[t]):
+                    row = (base + k) * n
+                    m = 0
+                    for j in range(n):
+                        c = rows[row + j]
+                        if c:
+                            m |= ((1 << c) - 1) << self.event_base[j]
+                    out.append(m)
+                masks.append(tuple(out))
+            self._downsets = tuple(masks)
+        return self._downsets
+
+    def thread_masks(self) -> Tuple[int, ...]:
+        """Per thread, the bitmask selecting all of its events."""
+        if self._thread_masks is None:
+            self._thread_masks = tuple(
+                ((1 << self.lengths[t]) - 1) << self.event_base[t]
+                for t in range(self.num_threads)
+            )
+        return self._thread_masks
+
+
+def build_packed_tables(
+    num_threads: int,
+    lengths: Sequence[int],
+    vc_table: Sequence[Sequence[Sequence[int]]],
+) -> PackedPosetTables:
+    """Build the flat tables from a poset's tuple-of-tuples clock table.
+
+    ``vc_table[t][k-1]`` is the clock of event ``(t, k)`` — the shape of
+    :meth:`repro.poset.poset.Poset.vc_table`.
+    """
+    n = num_threads
+    np = numpy_or_none()
+    flat = [v for chain in vc_table for row in chain for v in row]
+    clock_rows = array("i", flat)
+    succ_cols: List[array] = []
+    if np is not None and flat:
+        for t in range(n):
+            if lengths[t]:
+                mat = np.array(vc_table[t], dtype=np.intc)  # (len_t, n)
+                col = array("i")
+                col.frombytes(np.ascontiguousarray(mat.T).tobytes())
+            else:
+                col = array("i")
+            succ_cols.append(col)
+        backend = "numpy"
+    else:
+        for t in range(n):
+            chain = vc_table[t]
+            succ_cols.append(
+                array("i", [chain[k][j] for j in range(n) for k in range(lengths[t])])
+            )
+        backend = "pure"
+    return PackedPosetTables(
+        num_threads=n,
+        lengths=tuple(lengths),
+        clock_rows=clock_rows,
+        succ_cols=tuple(succ_cols),
+        backend=backend,
+    )

@@ -49,7 +49,7 @@ class Poset:
         :mod:`repro.poset.topological`.
     """
 
-    __slots__ = ("_chains", "_vcs", "_lengths", "_n", "_insertion")
+    __slots__ = ("_chains", "_vcs", "_lengths", "_n", "_insertion", "_packed")
 
     def __init__(
         self,
@@ -73,6 +73,20 @@ class Poset:
                 f"insertion order has {len(self._insertion)} entries for "
                 f"{self.num_events} events"
             )
+        self._packed = None
+
+    def __getstate__(self):
+        # The packed tables are a pure cache over the clock table; drop
+        # them when the poset crosses a process boundary (mp/dist workers
+        # rebuild locally — tables, like closures, never cross the wire).
+        return {
+            s: getattr(self, s) for s in self.__slots__ if s != "_packed"
+        }
+
+    def __setstate__(self, state) -> None:
+        for key, value in state.items():
+            setattr(self, key, value)
+        self._packed = None
 
     # ------------------------------------------------------------------ #
     # validation
@@ -143,6 +157,20 @@ class Poset:
     def vc_table(self) -> Tuple[Tuple[Clock, ...], ...]:
         """The raw clock table (per thread, 0-based positions) for hot loops."""
         return self._vcs
+
+    def packed_tables(self):
+        """Flat-array clock tables for the packed kernels, computed once.
+
+        Returns the cached :class:`repro.poset.packed.PackedPosetTables`
+        (row-major ``clock_rows`` + per-thread column-major ``succ_cols``).
+        The cache is per-poset and per-process: executors that ship the
+        poset to workers rebuild the tables there (see ``__getstate__``).
+        """
+        if self._packed is None:
+            from repro.poset.packed import build_packed_tables
+
+            self._packed = build_packed_tables(self._n, self._lengths, self._vcs)
+        return self._packed
 
     def events(self) -> Iterator[Event]:
         """All events, thread by thread."""

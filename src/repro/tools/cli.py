@@ -719,7 +719,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--subroutine",
-        choices=("lexical", "lexical-fast", "bfs", "dfs", "squire"),
+        choices=("lexical", "lexical-fast", "lexical-packed", "level-space", "bfs", "dfs", "squire"),
         default="lexical",
         help="ParaMount's bounded subroutine",
     )
@@ -755,9 +755,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--algorithm",
         "--subroutine",
-        choices=("lexical", "lexical-fast", "bfs", "dfs", "squire"),
+        choices=("lexical", "lexical-fast", "lexical-packed", "level-space", "bfs", "dfs", "squire"),
         default="lexical",
-        help="sequential (sub)routine; lexical-fast is the tuned loop",
+        help="sequential (sub)routine; lexical-fast is the tuned loop, lexical-packed the flat-table kernels, level-space the bounded-memory level traversal",
     )
     p.add_argument(
         "--paramount",
@@ -870,7 +870,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--algorithm",
         "--subroutine",
-        choices=("lexical", "lexical-fast", "bfs", "dfs", "squire"),
+        choices=("lexical", "lexical-fast", "lexical-packed", "level-space", "bfs", "dfs", "squire"),
         default="lexical",
     )
     p.add_argument(

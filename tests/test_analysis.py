@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.analysis.memory import MemoryModel, MemoryReport
+from repro.analysis.memory import (
+    MemoryModel,
+    MemoryReport,
+    measure_peak,
+    measure_report,
+    peak_memory_curve,
+)
 from repro.analysis.speedup import (
     measure_paramount,
     measure_sequential,
@@ -93,6 +99,45 @@ def test_memory_report_totals():
     )
     assert r.total_bytes == 1250
     assert r.total_mb == pytest.approx(1250 / 1024 / 1024)
+
+
+def test_measure_peak_returns_result_and_positive_traced():
+    value, peak = measure_peak(lambda: [0] * 50_000)
+    assert len(value) == 50_000
+    assert peak.traced_bytes > 50_000 * 8 // 2  # the list itself was traced
+    assert peak.rss_bytes > 0  # POSIX in CI; ru_maxrss is populated
+
+
+def test_measure_report_carries_model_and_measurement():
+    p = build_figure4_poset()
+    report = measure_report("figure4", "lexical", p)
+    assert report.poset_bytes == MemoryModel().poset_bytes(p)
+    assert report.live_bytes == MemoryModel().cut_bytes(2)  # one live cut
+    assert report.measured_traced_bytes is not None
+    assert report.measured_traced_bytes > 0
+    assert report.measured_rss_bytes is not None
+    assert report.measured_traced_mb == pytest.approx(
+        report.measured_traced_bytes / 1024 / 1024
+    )
+    # model-only reports keep the measured fields as None
+    bare = MemoryReport(
+        benchmark="b", algorithm="a", poset_bytes=0, live_bytes=0, overhead_bytes=0
+    )
+    assert bare.measured_traced_bytes is None and bare.measured_traced_mb is None
+
+
+def test_peak_memory_curve_shape():
+    rows = peak_memory_curve(widths=(2, 3), chain_length=2)
+    assert len(rows) == 2 * 3  # widths x algorithms
+    assert {r["algorithm"] for r in rows} == {"lexical", "bfs", "level-space"}
+    for row in rows:
+        assert row["traced_peak_bytes"] > 0
+        if row["algorithm"] in ("lexical", "level-space"):
+            assert row["peak_live"] == 1
+    bfs = sorted(
+        (r for r in rows if r["algorithm"] == "bfs"), key=lambda r: r["width"]
+    )
+    assert bfs[-1]["peak_live"] > bfs[0]["peak_live"]  # grows with width
 
 
 def test_lexical_vs_lpara_memory_nearly_identical():

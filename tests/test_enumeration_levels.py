@@ -1,0 +1,121 @@
+"""Space-efficient level traversal: BFS's order in O(n) live space.
+
+``level-space`` promises BFS's level-by-level output *without* storing a
+frontier: within each level the states come out in lexical order (BFS's
+within-level order is a hash set, so cross-algorithm comparisons are by
+per-level *sets*), and ``peak_live`` stays at one cut no matter how wide
+the lattice gets.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.enumeration import (
+    BFSEnumerator,
+    CollectingVisitor,
+    LevelEnumerator,
+    LexicalEnumerator,
+)
+from repro.errors import OutOfMemoryError
+from repro.util.cuts import cut_leq
+
+from tests.conftest import build_chain_poset, build_figure4_poset, small_posets
+
+
+def by_level(cuts):
+    levels: dict = {}
+    for cut in cuts:
+        levels.setdefault(sum(cut), []).append(cut)
+    return levels
+
+
+def sequence(enumerator, lo=None, hi=None):
+    visitor = CollectingVisitor()
+    if lo is None:
+        result = enumerator.enumerate(visitor)
+    else:
+        result = enumerator.enumerate_interval(lo, hi, visitor)
+    return result, visitor.cuts
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_posets())
+def test_per_level_sets_match_bfs(poset):
+    bfs_result, bfs_cuts = sequence(BFSEnumerator(poset))
+    lvl_result, lvl_cuts = sequence(LevelEnumerator(poset))
+    assert lvl_result.states == bfs_result.states
+    bfs_levels = by_level(bfs_cuts)
+    lvl_levels = by_level(lvl_cuts)
+    assert set(bfs_levels) == set(lvl_levels)
+    for level, cuts in bfs_levels.items():
+        assert set(lvl_levels[level]) == set(cuts), level
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_posets())
+def test_level_order_and_within_level_lexical(poset):
+    _, cuts = sequence(LevelEnumerator(poset))
+    sums = [sum(c) for c in cuts]
+    assert sums == sorted(sums)  # levels come out in increasing order
+    for level_cuts in by_level(cuts).values():
+        assert level_cuts == sorted(level_cuts)  # lexical within a level
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_posets())
+def test_interval_state_set_matches_lexical(poset):
+    _, full = sequence(LexicalEnumerator(poset))
+    if len(full) < 3:
+        return
+    lo = full[len(full) // 3]
+    hi = full[2 * len(full) // 3]
+    if not cut_leq(lo, hi):
+        hi = poset.lengths
+    _, ref = sequence(LexicalEnumerator(poset), lo, hi)
+    result, cuts = sequence(LevelEnumerator(poset), lo, hi)
+    assert set(cuts) == set(ref)
+    assert result.states == len(ref)
+    assert len(cuts) == len(set(cuts))  # exactly once
+
+
+def test_empty_interval_and_points():
+    poset = build_figure4_poset()
+    result, cuts = sequence(LevelEnumerator(poset), (2, 0), (2, 0))
+    assert result.states == 0 and cuts == []
+    for point in [(0, 0), (1, 1), (2, 2)]:
+        _, cuts = sequence(LevelEnumerator(poset), point, point)
+        assert cuts == [point]
+
+
+def test_single_thread_chain():
+    poset = build_chain_poset(1, 5)
+    _, cuts = sequence(LevelEnumerator(poset))
+    assert cuts == [(c,) for c in range(6)]
+
+
+def test_level_counts_match_bfs_level_widths():
+    poset = build_chain_poset(3, 3)
+    widths = BFSEnumerator(poset).level_widths(
+        (0, 0, 0), poset.lengths
+    )
+    _, cuts = sequence(LevelEnumerator(poset))
+    levels = by_level(cuts)
+    assert [len(levels[k]) for k in sorted(levels)] == [w for w in widths if w]
+
+
+@pytest.mark.parametrize("width", [2, 3, 4, 5])
+def test_peak_live_is_one_where_bfs_grows(width):
+    poset = build_chain_poset(width, 3)
+    lvl = LevelEnumerator(poset).enumerate()
+    bfs = BFSEnumerator(poset).enumerate()
+    assert lvl.states == bfs.states
+    assert lvl.peak_live == 1
+    assert bfs.peak_live > width  # BFS stores whole levels
+
+
+def test_completes_under_budget_that_ooms_bfs():
+    poset = build_chain_poset(5, 3)
+    with pytest.raises(OutOfMemoryError):
+        BFSEnumerator(poset, memory_budget=20).enumerate()
+    result = LevelEnumerator(poset, memory_budget=20).enumerate()
+    assert result.states == BFSEnumerator(poset).enumerate().states
