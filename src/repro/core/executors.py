@@ -117,6 +117,24 @@ class Executor(ABC):
     def map_tasks(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
         """Run all tasks; return results in task order."""
 
+    def _record_queue_depth(self, remaining: int) -> None:
+        """Feed the live ``queue_depth`` gauge and the trace counter track.
+
+        The gauge is updated on every completion (a set is cheap); counter
+        samples go to the trace at most every ~250ms so a million-task run
+        does not bloat the span buffers.  No-op without an enabled
+        observer — the unobserved path pays one attribute check.
+        """
+        obs = self.observer
+        if obs is None or not getattr(obs, "enabled", False):
+            return
+        obs.gauge("queue_depth").set(remaining)
+        now = obs.clock()
+        last = getattr(self, "_depth_sampled_at", None)
+        if last is None or now - last >= 0.25 or remaining == 0:
+            self._depth_sampled_at = now
+            obs.counter_sample("queue_depth", remaining)
+
 
 class SerialExecutor(Executor):
     """Run tasks one after another on the calling thread."""
@@ -127,7 +145,12 @@ class SerialExecutor(Executor):
         super().__init__(num_workers=1)
 
     def map_tasks(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
-        return [task() for task in tasks]
+        results: List[T] = []
+        n = len(tasks)
+        for index, task in enumerate(tasks):
+            results.append(task())
+            self._record_queue_depth(n - index - 1)
+        return results
 
 
 class ThreadExecutor(Executor):
@@ -162,6 +185,7 @@ class ThreadExecutor(Executor):
             for index, future in enumerate(futures):
                 try:
                     results.append(future.result(timeout=self.task_timeout))
+                    self._record_queue_depth(len(tasks) - index - 1)
                 except concurrent.futures.TimeoutError:
                     for pending in futures:
                         pending.cancel()
@@ -264,6 +288,9 @@ class WorkStealingThreadExecutor(ThreadExecutor):
                         "steal", "schedule", task=index, weight=weights[index]
                     )
                     obs.counter("steals_total").inc()
+                    obs.gauge("tasks_queued").set(
+                        sum(len(q) for q in deques)
+                    )
                 return index
 
         def worker_loop(worker: int) -> None:
@@ -288,7 +315,9 @@ class WorkStealingThreadExecutor(ThreadExecutor):
                     results[index] = value
                     finished[index] = True
                     completed[0] += 1
+                    remaining = n - completed[0]
                     progress.notify_all()
+                self._record_queue_depth(remaining)
 
         threads = [
             threading.Thread(

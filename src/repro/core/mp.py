@@ -299,6 +299,9 @@ def paramount_count_multiprocessing(
                     worker=f"pid-{pid}",
                     attrs={"event": str(event), "states": states, "work": work},
                 )
+                obs.gauge("queue_depth").set(
+                    max(len(plan.tasks) - len(done_keys), 0)
+                )
             obs.task_done(stats)
 
     resplit = _make_resplitter(poset) if adaptive and policy.split else None

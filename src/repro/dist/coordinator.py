@@ -91,6 +91,7 @@ class Coordinator:
         heartbeat_seconds: float = 1.0,
         no_worker_grace: float = 10.0,
         max_task_attempts: int = 5,
+        http_port: Optional[int] = None,
     ):
         self.poset = poset
         self.subroutine = subroutine
@@ -123,6 +124,12 @@ class Coordinator:
         self.stale_acks = 0
         #: hosts that committed at least one interval
         self.hosts: List[str] = []
+        #: ``None`` disables the ops endpoint; ``0`` picks a free port.
+        self._http_port = http_port
+        #: The mounted :class:`~repro.obs.http.OpsEndpoint`, if any.
+        self.ops = None
+        #: last piggybacked counter reading per host (for delta ingestion)
+        self._hb_metrics: Dict[str, Dict[str, float]] = {}
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -142,10 +149,22 @@ class Coordinator:
             target=self._accept_loop, name="dist-accept", daemon=True
         )
         self._accept_thread.start()
+        if self._http_port is not None:
+            from repro.obs.http import OpsEndpoint
+
+            self.ops = OpsEndpoint(
+                self.observer,
+                port=self._http_port,
+                progress_provider=self._progress_doc,
+                health_provider=self._health_doc,
+            ).start()
         return self
 
     def stop(self) -> None:
         """Close the listener and every worker connection."""
+        if self.ops is not None:
+            self.ops.close()
+            self.ops = None
         with self._cond:
             self._closing = True
             self._cond.notify_all()
@@ -220,6 +239,8 @@ class Coordinator:
                             event=str(lease.key[0]),
                             attempt=lease.attempt,
                         )
+                if obs.enabled:
+                    self._publish_lease_gauges()
                 if self._workers:
                     self._last_worker_at = now
                 elif (
@@ -250,6 +271,81 @@ class Coordinator:
         return all(
             key in self.failures for key in self.table.outstanding()
         )
+
+    def _publish_lease_gauges(self) -> None:
+        """Refresh the live lease-table gauges and trace counter tracks.
+
+        Called with ``_cond`` held, once per monitor tick (~4 Hz), so the
+        counter samples stay bounded regardless of task count.
+        """
+        obs = self.observer
+        pending = len(self.table.pending)
+        leased = len(self.table.leased)
+        obs.gauge("leases_pending").set(pending)
+        obs.gauge("leases_leased").set(leased)
+        obs.gauge("leases_committed").set(len(self.table.committed))
+        obs.gauge("dist_workers_connected").set(len(self._workers))
+        obs.counter_sample("leases_pending", pending)
+        obs.counter_sample("leases_leased", leased)
+
+    def _ingest_worker_metrics(self, host: str, counters: object) -> None:
+        """Fold one heartbeat's piggybacked counters into per-host series.
+
+        Workers ship *cumulative* worker-local counters; the coordinator
+        keeps the last reading per ``(host, metric)`` and applies the
+        delta to a host-labeled counter, so the coordinator's ``/metrics``
+        shows cluster-wide ``name{host="…"}`` series that survive
+        heartbeat loss (deltas, not sets, never go backwards).
+        """
+        obs = self.observer
+        if not obs.enabled or not isinstance(counters, dict):
+            return
+        last = self._hb_metrics.setdefault(host, {})
+        for metric in sorted(counters):
+            value = counters[metric]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            delta = value - last.get(metric, 0.0)
+            if delta > 0:
+                obs.counter(metric, labels={"host": host}).inc(delta)
+            last[metric] = float(value)
+
+    # ------------------------------------------------------------------ #
+    # ops endpoint providers
+
+    def _progress_doc(self) -> Dict[str, Any]:
+        snapshot = self.observer.snapshot()
+        with self._cond:
+            per_worker: Dict[str, int] = {}
+            for lease in self.table.leased.values():
+                per_worker[lease.worker] = per_worker.get(lease.worker, 0) + 1
+            doc: Dict[str, Any] = {
+                "pending": len(self.table.pending),
+                "leased": len(self.table.leased),
+                "committed": len(self.table.committed),
+                "failed": len(self.failures),
+                "workers": sorted(self._workers),
+                "per_worker_leases": per_worker,
+                "draining": self._draining,
+            }
+        doc["rates"] = snapshot.get("rates", {})
+        counters = snapshot.get("counters", {})
+        doc["states"] = counters.get("states_enumerated_total", 0)
+        return doc
+
+    def _health_doc(self) -> Dict[str, Any]:
+        with self._cond:
+            workers = len(self._workers)
+            outstanding = len(self.table.outstanding())
+            degraded = (
+                workers == 0 and outstanding > 0 and self._ever_connected
+            )
+            return {
+                "status": "degraded" if degraded else "ok",
+                "workers": workers,
+                "outstanding": outstanding,
+                "draining": self._draining,
+            }
 
     # ------------------------------------------------------------------ #
     # accept / reader threads
@@ -335,6 +431,7 @@ class Coordinator:
                 with self._cond:
                     self.table.heartbeat(name, keys)
                     self._cond.notify_all()
+                self._ingest_worker_metrics(name, msg.get("metrics"))
             elif mtype == "task-error":
                 self._handle_task_error(name, msg)
             elif mtype == "bye":
@@ -412,6 +509,13 @@ class Coordinator:
                     "attempt": int(msg.get("attempt", 0)),
                 },
             )
+            # One labeled observation per *committed* task, so the
+            # per-host histogram _count totals reconcile exactly with the
+            # checkpoint journal's committed-interval count (duplicate
+            # and stale acks never reach this line).
+            obs.histogram(
+                "enumeration_seconds", labels={"host": name}
+            ).observe(stats.seconds)
         obs.task_done(stats)
 
     def _handle_task_error(self, name: str, msg: Dict[str, Any]) -> None:

@@ -80,6 +80,7 @@ class DistributedExecutor(Executor):
         fallback: Optional[Executor] = None,
         poset_path: Optional[Path] = None,
         worker_args: Optional[List[str]] = None,
+        http_port: Optional[int] = None,
     ):
         self.workers = workers
         self.host = host
@@ -93,6 +94,8 @@ class DistributedExecutor(Executor):
         self.fallback = fallback
         self.poset_path = poset_path
         self.worker_args = worker_args
+        #: ``None`` disables the coordinator's ops endpoint; ``0`` = any port.
+        self.http_port = http_port
         #: Wired by the ParaMount driver (like every executor's).
         self.observer = None
         # run context, supplied by bind_run
@@ -172,6 +175,7 @@ class DistributedExecutor(Executor):
             lease_seconds=self.lease_seconds,
             heartbeat_seconds=self.heartbeat_seconds,
             no_worker_grace=self.no_worker_grace,
+            http_port=self.http_port,
         )
         self.last_coordinator = coord
         coord.start()

@@ -67,6 +67,10 @@ class _Heartbeat:
         self._suppressed = threading.Event()
         #: Wire form of the in-flight task; set/cleared by the work loop.
         self.current: Optional[Dict[str, Any]] = None
+        #: Cumulative worker-local counters, piggybacked on every pulse so
+        #: the coordinator's ``/metrics`` can show per-host-labeled series
+        #: without a second channel.  The work loop mutates it in place.
+        self.metrics: Dict[str, float] = {}
         self._thread = threading.Thread(
             target=self._loop, name="dist-heartbeat", daemon=True
         )
@@ -92,6 +96,8 @@ class _Heartbeat:
                 "type": "heartbeat",
                 "tasks": [current] if current is not None else [],
             }
+            if self.metrics:
+                pulse["metrics"] = dict(self.metrics)
             try:
                 with self._lock:
                     send_message(self._sock, pulse)
@@ -197,6 +203,7 @@ def _work_loop(
     from repro.enumeration import make_enumerator
 
     enumerator = make_enumerator(subroutine, poset, memory_budget=memory_budget)
+    metrics = heartbeat.metrics  # shipped to the coordinator every pulse
     acked = 0
     while True:
         with send_lock:
@@ -235,6 +242,9 @@ def _work_loop(
         except ReproError as exc:
             heartbeat.current = None
             heartbeat.suppress(False)
+            metrics["task_errors_total"] = (
+                metrics.get("task_errors_total", 0) + 1
+            )
             with send_lock:
                 send_message(
                     sock,
@@ -247,6 +257,12 @@ def _work_loop(
                 )
             continue
         seconds = time.perf_counter() - t0
+        metrics["intervals_enumerated_total"] = (
+            metrics.get("intervals_enumerated_total", 0) + 1
+        )
+        metrics["states_enumerated_total"] = (
+            metrics.get("states_enumerated_total", 0) + result.states
+        )
         if fault in (WIRE_HANG,):
             # the hang happens *after* the work: results exist but the
             # heartbeat stayed silent, so the lease may already be gone

@@ -7,9 +7,16 @@
   retries.  Timestamps are microseconds relative to the earliest span, so
   a trace from an injected fake clock is byte-deterministic.
 * :func:`prometheus_text` — the Prometheus exposition format for a
-  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`.
-* :func:`spans_jsonl` — one span per line, for ad-hoc ``jq``-style
-  analysis and the log-shipping path.
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`: every family gets
+  its ``# HELP``/``# TYPE`` header (help text from
+  :data:`~repro.obs.metrics.METRIC_INVENTORY`), labeled series render
+  their label sets, histograms ship cumulative ``_bucket`` lines, and
+  windowed rates are exported as gauges.
+* :func:`spans_jsonl` / :func:`read_spans_jsonl` — one span per line, for
+  ad-hoc ``jq``-style analysis and the log-shipping path.  The reader is
+  torn-tail tolerant with the checkpoint journal's policy: a truncated
+  *final* line (a killed worker mid-write) is discarded, but a valid line
+  after a torn one means corruption, not truncation, and raises.
 """
 
 from __future__ import annotations
@@ -17,8 +24,9 @@ from __future__ import annotations
 import json
 import re
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Union
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
+from repro.obs.metrics import inventory_entry, split_series_key
 from repro.obs.trace import Span
 
 __all__ = [
@@ -28,6 +36,7 @@ __all__ = [
     "write_prometheus",
     "spans_jsonl",
     "write_spans_jsonl",
+    "read_spans_jsonl",
 ]
 
 _METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
@@ -49,11 +58,16 @@ def chrome_trace(spans: Sequence[Span], pid: int = 1) -> Dict[str, object]:
 
     Load the written file in https://ui.perfetto.dev or chrome://tracing:
     each worker is one named lane; splits show up as ``schedule`` spans,
-    steals as instant markers on the thief's lane.
+    steals as instant markers on the thief's lane.  Spans with category
+    ``"counter"`` (recorded by ``Observer.counter_sample``) become
+    ``ph="C"`` counter events — plotted tracks of live levels such as
+    states/sec and leased/pending — rather than lane markers.
     """
+    counters = [s for s in spans if s.category == "counter"]
+    spans = [s for s in spans if s.category != "counter"]
     lanes = _lane_order(spans)
     tid_of = {lane: tid for tid, lane in enumerate(lanes)}
-    t_base = min((s.t0 for s in spans), default=0.0)
+    t_base = min((s.t0 for s in spans + counters), default=0.0)
     events: List[Dict[str, object]] = []
     for tid, lane in enumerate(lanes):
         events.append(
@@ -91,6 +105,18 @@ def chrome_trace(spans: Sequence[Span], pid: int = 1) -> Dict[str, object]:
             event["ph"] = "X"
             event["dur"] = span.dt * 1e6
         events.append(event)
+    for span in sorted(counters, key=lambda s: s.t0):
+        events.append(
+            {
+                "name": span.name,
+                "cat": "counter",
+                "ph": "C",
+                "pid": pid,
+                "tid": 0,
+                "ts": (span.t0 - t_base) * 1e6,
+                "args": {"value": span.attrs.get("value", 0)},
+            }
+        )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -120,24 +146,80 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def _labels_suffix(
+    labels: Dict[str, str], extra: Union[Dict[str, str], None] = None
+) -> str:
+    items = dict(labels)
+    if extra:
+        items.update(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{items[key]}"' for key in sorted(items))
+    return "{" + body + "}"
+
+
+def _families(section: Dict[str, object]) -> List[Tuple[str, List[Tuple[Dict[str, str], object]]]]:
+    """Group a snapshot section's series keys into (base name, series) families.
+
+    Snapshot sections are sorted by series key, so the unlabeled series of
+    a family (plain ``name``) always precedes its labeled siblings
+    (``name{...}``) and family order is deterministic.
+    """
+    grouped: Dict[str, List[Tuple[Dict[str, str], object]]] = {}
+    for key, value in section.items():
+        base, labels = split_series_key(key)
+        grouped.setdefault(base, []).append((labels, value))
+    return sorted(grouped.items())
+
+
+def _family_header(lines: List[str], base: str, kind: str) -> str:
+    metric = _metric_name(base)
+    entry = inventory_entry(base)
+    if entry is not None:
+        lines.append(f"# HELP {metric} {entry[1]}")
+    lines.append(f"# TYPE {metric} {kind}")
+    return metric
+
+
 def prometheus_text(snapshot: Dict[str, object]) -> str:
-    """Render a metrics snapshot in the Prometheus text exposition format."""
+    """Render a metrics snapshot in the Prometheus text exposition format.
+
+    Each family is announced once with ``# HELP`` (from the metric
+    inventory, when registered there) and ``# TYPE``; labeled series from
+    :func:`~repro.obs.metrics.series_key` keys render their label sets, so
+    a coordinator's per-host histograms scrape as
+    ``repro_enumeration_seconds_bucket{host="host0",le="0.1"}``.
+    Windowed rates are instantaneous readings and export as gauges.
+    """
     lines: List[str] = []
-    for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
-        metric = _metric_name(name)
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_format_value(value)}")
-    for name, value in snapshot.get("gauges", {}).items():  # type: ignore[union-attr]
-        metric = _metric_name(name)
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_format_value(value)}")
-    for name, hist in snapshot.get("histograms", {}).items():  # type: ignore[union-attr]
-        metric = _metric_name(name)
-        lines.append(f"# TYPE {metric} histogram")
-        for bound, count in hist["buckets"].items():
-            lines.append(f'{metric}_bucket{{le="{bound}"}} {count}')
-        lines.append(f"{metric}_sum {_format_value(hist['sum'])}")
-        lines.append(f"{metric}_count {hist['count']}")
+    for base, series in _families(snapshot.get("counters", {})):  # type: ignore[arg-type]
+        metric = _family_header(lines, base, "counter")
+        for labels, value in series:
+            lines.append(
+                f"{metric}{_labels_suffix(labels)} {_format_value(value)}"
+            )
+    gauges: Dict[str, object] = dict(snapshot.get("gauges", {}))  # type: ignore[arg-type]
+    for key, rate in snapshot.get("rates", {}).items():  # type: ignore[union-attr]
+        gauges.setdefault(key, rate)
+    for base, series in _families(dict(sorted(gauges.items()))):
+        metric = _family_header(lines, base, "gauge")
+        for labels, value in series:
+            lines.append(
+                f"{metric}{_labels_suffix(labels)} {_format_value(value)}"
+            )
+    for base, series in _families(snapshot.get("histograms", {})):  # type: ignore[arg-type]
+        metric = _family_header(lines, base, "histogram")
+        for labels, hist in series:
+            for bound, count in hist["buckets"].items():
+                suffix = _labels_suffix(labels, {"le": bound})
+                lines.append(f"{metric}_bucket{suffix} {count}")
+            lines.append(
+                f"{metric}_sum{_labels_suffix(labels)} "
+                f"{_format_value(hist['sum'])}"
+            )
+            lines.append(
+                f"{metric}_count{_labels_suffix(labels)} {hist['count']}"
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -180,3 +262,48 @@ def write_spans_jsonl(path: Union[str, Path], spans: Iterable[Span]) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(spans_jsonl(spans))
     return path
+
+
+def _parse_span_line(line: str) -> Union[Span, None]:
+    """One JSON-lines span, or ``None`` for a torn (unparseable) line."""
+    try:
+        record = json.loads(line)
+        return Span(
+            name=record["name"],
+            category=record["cat"],
+            t0=float(record["t0"]),
+            dt=float(record["dt"]),
+            worker=record["worker"],
+            attrs=dict(record.get("attrs", {})),
+        )
+    except (ValueError, KeyError, TypeError):
+        return None
+
+
+def read_spans_jsonl(path: Union[str, Path]) -> List[Span]:
+    """Load a :func:`spans_jsonl` file, tolerating a torn final line.
+
+    A worker killed mid-flush (the fault-injection suites do exactly this)
+    leaves a truncated last line; that line is silently dropped — the
+    same policy as :class:`~repro.resilience.checkpoint.CheckpointJournal`.
+    A *valid* line after a torn one is not truncation but corruption, and
+    raises ``ValueError``.
+    """
+    spans: List[Span] = []
+    torn_at: Union[int, None] = None
+    for lineno, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        span = _parse_span_line(line)
+        if span is None:
+            torn_at = lineno
+            continue
+        if torn_at is not None:
+            raise ValueError(
+                f"{path}: valid span on line {lineno} after torn "
+                f"line {torn_at} — file is corrupt, not truncated"
+            )
+        spans.append(span)
+    return spans

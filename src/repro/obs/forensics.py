@@ -1,0 +1,242 @@
+"""Post-run forensics: stragglers, per-host skew, degradation timeline.
+
+``repro-tools obs report`` merges the three artifacts a run leaves behind
+— the Chrome trace (spans), the checkpoint journal (committed intervals),
+and the lease/robustness counters baked into the trace's instants — into
+one text report answering the questions the paper's Table 1 asks of every
+parallel run:
+
+* **stragglers** — enumerate spans slower than ``k × p95`` of all
+  enumerate spans (the tail that bounds the makespan);
+* **per-host skew** — busy seconds and committed intervals per worker
+  lane, with the max/mean imbalance factor (Table 1's metric);
+* **degradation timeline** — every instant marker that signals trouble
+  (lease expiry, worker loss, task errors, executor degradation, OOM
+  degradation, retries), in chronological order;
+* **journal reconciliation** — committed records in the journal vs.
+  enumerate spans in the trace, so a silent trace/journal divergence
+  (dropped span buffer, torn journal tail) is surfaced instead of
+  averaged away.
+
+Inputs are files, not live objects, so the report runs on artifacts
+shipped from another machine.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.render import load_trace_events
+from repro.util.tables import TextTable
+from repro.util.timing import format_duration
+
+__all__ = ["ForensicsReport", "build_report", "render_report"]
+
+#: Instant-marker names that indicate degradation or faults.
+_TROUBLE = {
+    "lease-expired",
+    "worker-lost",
+    "task-error",
+    "degrade_executor",
+    "deadline",
+    "retry",
+}
+#: Instant categories whose every marker belongs on the timeline.
+_TROUBLE_CATEGORIES = {"log"}
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Exact percentile by nearest-rank (values need not be sorted)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(math.ceil(q * len(ordered)) - 1, 0)
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+@dataclass
+class ForensicsReport:
+    """The merged post-run picture (see :func:`build_report`)."""
+
+    enumerate_spans: int = 0
+    total_busy_seconds: float = 0.0
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+    straggler_threshold: float = 0.0
+    #: (span name, worker, seconds, ratio to p95), slowest first.
+    stragglers: List[tuple] = field(default_factory=list)
+    #: worker lane -> {"busy": s, "tasks": n, "states": n}
+    hosts: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: max/mean busy-seconds imbalance across lanes (1.0 = perfect).
+    skew: float = 0.0
+    #: (ts_seconds, name, worker, detail) trouble markers, chronological.
+    timeline: List[tuple] = field(default_factory=list)
+    journal_committed: Optional[int] = None
+    #: None when no journal was given; otherwise committed == spans.
+    reconciled: Optional[bool] = None
+
+
+def _read_journal_committed(path: Union[str, Path]) -> int:
+    """Count committed interval records, tolerating a torn final line."""
+    committed = 0
+    torn = False
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            torn = True
+            continue
+        if torn:
+            raise ValueError(
+                f"{path}: valid record after a torn line — corrupt journal"
+            )
+        if isinstance(record, dict) and record.get("kind") == "interval":
+            committed += 1
+    return committed
+
+
+def build_report(
+    trace_path: Union[str, Path],
+    journal_path: Optional[Union[str, Path]] = None,
+    k: float = 3.0,
+) -> ForensicsReport:
+    """Merge a trace (and optionally a journal) into a forensics report.
+
+    ``k`` scales the straggler threshold: an enumerate span is a
+    straggler when its duration exceeds ``k × p95`` of all enumerate
+    spans.
+    """
+    events = load_trace_events(trace_path)
+    lane_names: Dict[int, str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            lane_names[event["tid"]] = event["args"]["name"]
+
+    report = ForensicsReport()
+    durations: List[float] = []
+    enumerate_events: List[dict] = []
+    t_base: Optional[float] = None
+    for event in events:
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            t_base = ts if t_base is None else min(t_base, ts)
+        ph = event.get("ph")
+        if ph == "X" and event.get("cat") == "enumerate":
+            seconds = event.get("dur", 0.0) / 1e6
+            durations.append(seconds)
+            enumerate_events.append(event)
+            lane = lane_names.get(event.get("tid"), f"tid-{event.get('tid')}")
+            host = report.hosts.setdefault(
+                lane, {"busy": 0.0, "tasks": 0, "states": 0}
+            )
+            host["busy"] += seconds
+            host["tasks"] += 1
+            host["states"] += int(event.get("args", {}).get("states", 0))
+        elif ph == "i" and (
+            event.get("name") in _TROUBLE
+            or event.get("cat") in _TROUBLE_CATEGORIES
+        ):
+            lane = lane_names.get(event.get("tid"), f"tid-{event.get('tid')}")
+            args = event.get("args", {})
+            detail = ", ".join(
+                f"{key}={args[key]}" for key in sorted(args)
+            )
+            report.timeline.append(
+                ((ts or 0.0) / 1e6, event.get("name", "?"), lane, detail)
+            )
+
+    report.enumerate_spans = len(durations)
+    report.total_busy_seconds = sum(durations)
+    report.p50 = _percentile(durations, 0.50)
+    report.p95 = _percentile(durations, 0.95)
+    report.p99 = _percentile(durations, 0.99)
+    report.straggler_threshold = k * report.p95
+    if t_base is not None:
+        base_seconds = t_base / 1e6
+        report.timeline = [
+            (ts - base_seconds, name, lane, detail)
+            for ts, name, lane, detail in sorted(report.timeline)
+        ]
+    for event in sorted(
+        enumerate_events, key=lambda e: -e.get("dur", 0.0)
+    ):
+        seconds = event.get("dur", 0.0) / 1e6
+        if report.p95 <= 0 or seconds <= report.straggler_threshold:
+            break
+        lane = lane_names.get(event.get("tid"), f"tid-{event.get('tid')}")
+        report.stragglers.append(
+            (event.get("name", "?"), lane, seconds, seconds / report.p95)
+        )
+    busies = [host["busy"] for host in report.hosts.values()]
+    if busies and sum(busies) > 0:
+        report.skew = max(busies) / (sum(busies) / len(busies))
+    if journal_path is not None:
+        report.journal_committed = _read_journal_committed(journal_path)
+        report.reconciled = report.journal_committed == report.enumerate_spans
+    return report
+
+
+def render_report(report: ForensicsReport, trace_path: str = "") -> str:
+    """One-screen text rendering of a :class:`ForensicsReport`."""
+    out: List[str] = [f"forensics: {trace_path}".rstrip(": ")]
+    out.append(
+        f"  {report.enumerate_spans} enumerate span(s), busy "
+        f"{format_duration(report.total_busy_seconds)}; per-interval "
+        f"p50 {format_duration(report.p50)}, "
+        f"p95 {format_duration(report.p95)}, "
+        f"p99 {format_duration(report.p99)}"
+    )
+
+    if report.stragglers:
+        table = TextTable(
+            ["span", "worker", "seconds", "×p95"],
+            title=f"Stragglers (> {format_duration(report.straggler_threshold)})",
+        )
+        for name, lane, seconds, ratio in report.stragglers:
+            table.add_row([name, lane, f"{seconds:.4f}", f"{ratio:.1f}"])
+        out.append(table.render())
+    else:
+        out.append("  no stragglers above the threshold")
+
+    if report.hosts:
+        table = TextTable(
+            ["worker", "tasks", "busy", "states"],
+            title=f"Per-host load (skew {report.skew:.2f}×)",
+        )
+        for lane in sorted(report.hosts):
+            host = report.hosts[lane]
+            table.add_row(
+                [
+                    lane,
+                    int(host["tasks"]),
+                    format_duration(host["busy"]),
+                    f"{int(host['states']):,}",
+                ]
+            )
+        out.append(table.render())
+
+    if report.timeline:
+        table = TextTable(
+            ["t", "marker", "worker", "detail"],
+            title="Degradation timeline",
+        )
+        for ts, name, lane, detail in report.timeline:
+            table.add_row([format_duration(ts), name, lane, detail])
+        out.append(table.render())
+    else:
+        out.append("  no degradation markers")
+
+    if report.reconciled is not None:
+        verdict = "reconciles" if report.reconciled else "DIVERGES"
+        out.append(
+            f"  journal: {report.journal_committed} committed record(s) "
+            f"{verdict} with {report.enumerate_spans} enumerate span(s)"
+        )
+    return "\n".join(out)

@@ -1,0 +1,151 @@
+"""HTTP ops endpoint: ``/metrics``, ``/healthz``, ``/progress``.
+
+The ROADMAP's north star is a long-running service, and a service is
+operated through a scrape port, not an exported file.  This module mounts
+a stdlib ``ThreadingHTTPServer`` (daemon threads, so a hung scrape never
+blocks shutdown) over a live :class:`~repro.obs.observer.Observer`:
+
+* ``GET /metrics`` — the Prometheus text exposition of the observer's
+  *current* snapshot, including histogram buckets and per-host labeled
+  series when mounted on a distributed coordinator.
+* ``GET /healthz`` — liveness JSON; returns 503 when the mounting
+  component reports itself degraded (e.g. a coordinator with outstanding
+  work and no connected workers), 200 otherwise.
+* ``GET /progress`` — a JSON progress document: intervals done/total,
+  recent-window rates (states/sec, intervals/sec), and per-worker load.
+
+Providers are injected by the mounting site (CLI run loop, dist
+coordinator), so the endpoint itself stays policy-free.  Binding to
+port 0 picks an ephemeral port, exposed as :attr:`OpsEndpoint.port` —
+tests and the CLI print the resolved URL.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+
+from repro.obs.export import prometheus_text
+from repro.obs.observer import Observer
+
+__all__ = ["OpsEndpoint"]
+
+Provider = Callable[[], Dict[str, object]]
+
+
+class OpsEndpoint:
+    """A scrapeable ops server bound to one observer.
+
+    Parameters
+    ----------
+    observer:
+        Source of ``/metrics`` snapshots and the default progress data.
+    host, port:
+        Bind address; ``port=0`` (the default) picks a free port.
+    progress_provider:
+        Optional callable returning the ``/progress`` JSON document;
+        defaults to a summary of the observer's own snapshot.
+    health_provider:
+        Optional callable returning the ``/healthz`` JSON document; any
+        ``status`` other than ``"ok"`` is served with HTTP 503.
+    """
+
+    def __init__(
+        self,
+        observer: Observer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        progress_provider: Optional[Provider] = None,
+        health_provider: Optional[Provider] = None,
+    ):
+        self.observer = observer
+        self.progress_provider = progress_provider or self._default_progress
+        self.health_provider = health_provider or (lambda: {"status": "ok"})
+        endpoint = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            daemon_threads = True
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                endpoint._serve(self)
+
+            def log_message(self, *args: object) -> None:
+                pass  # scrapes must not spam the run's stderr
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = int(self._httpd.server_address[1])
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="obs-http", daemon=True
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "OpsEndpoint":
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "OpsEndpoint":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # routes
+
+    def _default_progress(self) -> Dict[str, object]:
+        snapshot = self.observer.snapshot()
+        counters = snapshot.get("counters", {})
+        return {
+            "intervals_done": counters.get("intervals_enumerated_total", 0),
+            "states": counters.get("states_enumerated_total", 0),
+            "rates": snapshot.get("rates", {}),
+            "gauges": snapshot.get("gauges", {}),
+        }
+
+    def _serve(self, handler: BaseHTTPRequestHandler) -> None:
+        path = handler.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = prometheus_text(self.observer.snapshot()).encode()
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+                status = 200
+            elif path == "/healthz":
+                health = self.health_provider()
+                body = (json.dumps(health, sort_keys=True) + "\n").encode()
+                content_type = "application/json"
+                status = 200 if health.get("status") == "ok" else 503
+            elif path == "/progress":
+                body = (
+                    json.dumps(self.progress_provider(), sort_keys=True) + "\n"
+                ).encode()
+                content_type = "application/json"
+                status = 200
+            else:
+                body = b'{"error": "not found"}\n'
+                content_type = "application/json"
+                status = 404
+        except Exception as exc:  # a broken provider must not kill a scrape
+            body = (json.dumps({"error": str(exc)}) + "\n").encode()
+            content_type = "application/json"
+            status = 500
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)

@@ -20,7 +20,13 @@ import logging
 import time
 from typing import Callable, Dict, Optional
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    WindowedRate,
+)
 from repro.obs.trace import SpanTracer
 
 __all__ = [
@@ -76,6 +82,7 @@ class Observer:
         self.tracer = SpanTracer(clock=self.clock)
         self.metrics = MetricsRegistry(clock=self.clock)
         self.progress = progress
+        self._rate_sampled_at = float("-inf")
 
     # ------------------------------------------------------------------ #
     # tracing
@@ -131,17 +138,29 @@ class Observer:
     # ------------------------------------------------------------------ #
     # metrics
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self.metrics.counter(name, help)
+    def counter(self, name: str, help: str = "", labels=None) -> Counter:
+        return self.metrics.counter(name, help, labels=labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self.metrics.gauge(name, help)
+    def gauge(self, name: str, help: str = "", labels=None) -> Gauge:
+        return self.metrics.gauge(name, help, labels=labels)
 
     def histogram(self, name: str, help: str = "", **kwargs) -> Histogram:
         return self.metrics.histogram(name, help, **kwargs)
 
+    def windowed_rate(self, name: str, window: float = 10.0) -> WindowedRate:
+        return self.metrics.windowed_rate(name, window=window)
+
     def snapshot(self) -> Dict[str, object]:
         return self.metrics.snapshot()
+
+    def counter_sample(self, name: str, value: float) -> None:
+        """Record one reading of a live level for the trace's counter track.
+
+        Stored as a zero-duration span with category ``"counter"``; the
+        Chrome exporter turns these into ``ph: "C"`` counter events, so a
+        trace shows leased/pending and states/sec as plotted tracks.
+        """
+        self.tracer.instant(name, "counter", value=value)
 
     # ------------------------------------------------------------------ #
     # pipeline hooks
@@ -150,12 +169,21 @@ class Observer:
         """One enumeration task finished (called by the drivers).
 
         Feeds the canonical series (``states_enumerated_total``,
-        ``intervals_enumerated_total``, ``enumeration_seconds``) and the
-        progress reporter, if any.
+        ``intervals_enumerated_total``, ``enumeration_seconds``), the
+        recent-window rates behind ``/progress`` and the live gauges, and
+        the progress reporter, if any.
         """
         self.counter("states_enumerated_total").inc(stats.states)
         self.counter("intervals_enumerated_total").inc()
         self.histogram("enumeration_seconds").observe(stats.seconds)
+        states_rate = self.windowed_rate("states_per_second")
+        states_rate.add(stats.states)
+        self.windowed_rate("intervals_per_second").add(1)
+        now = self.clock()
+        if now - self._rate_sampled_at >= 0.25:
+            # Throttled states/sec counter track for the Chrome trace.
+            self._rate_sampled_at = now
+            self.counter_sample("states_per_sec", round(states_rate.rate(), 1))
         if self.progress is not None:
             self.progress.on_task_done(stats.states, stats.seconds)
 
@@ -186,6 +214,9 @@ class NullObserver(Observer):
         return None
 
     def set_worker(self, label):
+        return None
+
+    def counter_sample(self, name, value):
         return None
 
     def task_done(self, stats):

@@ -3,12 +3,18 @@
 The reporter is fed by the drivers (``OnlineParaMount.insert`` per event,
 ``ParaMount`` per finished task) and prints a rate-limited one-line status:
 
-    progress: events=1,204 intervals 970/1,204 done (pending 234) states=88,410 (41,205 states/s)
+    progress: events=1,204 intervals 970/1,204 done (pending 234) states=88,410 (41,205 states/s) eta 12s
 
 It is deliberately dumb — no terminal control, one line per emission — so
 it composes with log output and CI transcripts.  The emission clock is
 injected for testability; the rate limit, not the caller, decides when a
 line is actually written.
+
+The states/sec figure and the ETA come from a **recent-window** rate
+(:class:`~repro.obs.timeseries.WindowedRate`), not the run-cumulative
+average: on skewed posets the cumulative average is dominated by a cold
+start or one giant early interval and the old ETA could be off by an
+order of magnitude for most of the run.
 """
 
 from __future__ import annotations
@@ -17,6 +23,9 @@ import sys
 import threading
 import time
 from typing import Callable, Optional, TextIO
+
+from repro.obs.timeseries import WindowedRate
+from repro.util.timing import format_duration
 
 __all__ = ["ProgressReporter"]
 
@@ -36,6 +45,9 @@ class ProgressReporter:
         Seconds source for rate limiting and the states/sec rate.
     total_tasks:
         Optional known task count (offline runs), rendered as ``done/total``.
+    window:
+        Width in seconds of the recent window behind the displayed
+        states/sec rate and the ETA.
     """
 
     def __init__(
@@ -44,6 +56,7 @@ class ProgressReporter:
         min_interval: float = 0.5,
         clock: Optional[Clock] = None,
         total_tasks: Optional[int] = None,
+        window: float = 10.0,
     ):
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval = min_interval
@@ -56,6 +69,12 @@ class ProgressReporter:
         self.tasks_done = 0
         self.states = 0
         self.lines_emitted = 0
+        self._states_rate = WindowedRate(
+            "progress_states", window=window, clock=self.clock
+        )
+        self._tasks_rate = WindowedRate(
+            "progress_tasks", window=window, clock=self.clock
+        )
 
     # ------------------------------------------------------------------ #
     # driver hooks
@@ -76,6 +95,8 @@ class ProgressReporter:
         with self._lock:
             self.tasks_done += 1
             self.states += states
+            self._states_rate.add(states)
+            self._tasks_rate.add(1)
             self._maybe_emit()
 
     def close(self) -> None:
@@ -90,8 +111,7 @@ class ProgressReporter:
         if not force and now - self._t_last < self.min_interval:
             return
         self._t_last = now
-        elapsed = now - self._t_start
-        rate = self.states / elapsed if elapsed > 0 else 0.0
+        rate = self._states_rate.rate()
         if self.total_tasks is not None:
             pending = max(self.total_tasks - self.tasks_done, 0)
             intervals = f"intervals {self.tasks_done:,}/{self.total_tasks:,} done"
@@ -103,6 +123,9 @@ class ProgressReporter:
             parts.append(f"events={self.events_inserted:,}")
         parts.append(f"{intervals} (pending {pending:,})")
         parts.append(f"states={self.states:,} ({rate:,.0f} states/s)")
+        task_rate = self._tasks_rate.rate()
+        if self.total_tasks is not None and pending > 0 and task_rate > 0:
+            parts.append(f"eta {format_duration(pending / task_rate)}")
         self.stream.write(" ".join(parts) + "\n")
         flush = getattr(self.stream, "flush", None)
         if flush is not None:

@@ -19,9 +19,53 @@ from repro.util.timing import format_duration
 __all__ = ["render_trace_file", "load_trace_events"]
 
 
+def _recover_torn_trace(text: str, path: Union[str, Path]) -> List[dict]:
+    """Salvage complete events from a truncated Chrome trace file.
+
+    A killed run can leave the JSON cut off mid-event.  We find the
+    ``traceEvents`` array and decode one event object at a time with
+    ``raw_decode``; the first undecodable tail is the torn part and is
+    dropped — the checkpoint journal's torn-tail policy, applied to a
+    nested JSON document instead of JSON-lines.
+    """
+    marker = '"traceEvents"'
+    start = text.find(marker)
+    if start < 0:
+        raise ValueError(
+            f"{path} is not a Chrome trace file (no traceEvents key)"
+        )
+    cursor = text.find("[", start + len(marker))
+    if cursor < 0:
+        raise ValueError(f"{path}: traceEvents is not a list")
+    cursor += 1
+    decoder = json.JSONDecoder()
+    events: List[dict] = []
+    while True:
+        while cursor < len(text) and text[cursor] in " \t\r\n,":
+            cursor += 1
+        if cursor >= len(text) or text[cursor] == "]":
+            break
+        try:
+            event, cursor = decoder.raw_decode(text, cursor)
+        except ValueError:
+            break  # torn tail: keep the complete events before it
+        if isinstance(event, dict):
+            events.append(event)
+    return events
+
+
 def load_trace_events(path: Union[str, Path]) -> List[dict]:
-    """Load and structurally validate a Chrome trace-event JSON file."""
-    data = json.loads(Path(path).read_text())
+    """Load and structurally validate a Chrome trace-event JSON file.
+
+    Tolerates a torn tail: if the file is truncated mid-event (a killed
+    worker or a crash during export), the complete events before the tear
+    are returned and the partial one is dropped.
+    """
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except ValueError:
+        return _recover_torn_trace(text, path)
     if not isinstance(data, dict) or "traceEvents" not in data:
         raise ValueError(
             f"{path} is not a Chrome trace file (no traceEvents key)"
@@ -38,6 +82,7 @@ def render_trace_file(path: Union[str, Path], top: int = 5) -> str:
     lane_names: Dict[int, str] = {}
     complete: List[dict] = []
     instants: List[dict] = []
+    counter_tracks: Dict[str, int] = {}
     for event in events:
         ph = event.get("ph")
         if ph == "M" and event.get("name") == "thread_name":
@@ -46,6 +91,9 @@ def render_trace_file(path: Union[str, Path], top: int = 5) -> str:
             complete.append(event)
         elif ph == "i":
             instants.append(event)
+        elif ph == "C":
+            name = event.get("name", "?")
+            counter_tracks[name] = counter_tracks.get(name, 0) + 1
 
     out: List[str] = [f"trace: {path}"]
     if not complete and not instants:
@@ -108,6 +156,13 @@ def render_trace_file(path: Union[str, Path], top: int = 5) -> str:
             f"{key}×{count}" for key, count in sorted(marker_counts.items())
         )
         out.append(f"  markers: {rendered}")
+
+    if counter_tracks:
+        rendered = ", ".join(
+            f"{name}×{count}"
+            for name, count in sorted(counter_tracks.items())
+        )
+        out.append(f"  counter tracks: {rendered}")
 
     slowest = sorted(complete, key=lambda e: -e.get("dur", 0.0))[:top]
     if slowest:

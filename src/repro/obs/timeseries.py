@@ -1,0 +1,267 @@
+"""Windowed time-series metrics: live histograms and recent-window rates.
+
+The paper's evaluation is all about *where the time goes* — per-interval
+work distribution (Figures 10–11, Table 1 imbalance) — and a long-running
+service needs that answered live, not post-mortem.  This module holds the
+two series types the live telemetry rides on:
+
+* :class:`Histogram` — fixed log-spaced cumulative buckets with
+  **lock-free per-thread cells** (the same discipline as
+  :class:`~repro.obs.metrics.Counter` and the span tracer's buffers): an
+  ``observe`` on the enumeration hot path is a bisect, three adds into
+  the calling thread's own cell, and no lock.  Cells are summed only at
+  snapshot time, which also derives p50/p95/p99 estimates by linear
+  interpolation inside the bounding bucket.
+* :class:`WindowedRate` — a ring buffer of fixed-width time buckets
+  giving the *recent-window* rate (states/sec over the last ~10s) rather
+  than the run-cumulative average.  The distinction matters on skewed
+  posets: the cumulative average is dominated by a cold start or one
+  giant early interval, while the windowed rate tracks what the workers
+  are doing *now* — it feeds the progress reporter's ETA, the
+  ``/progress`` endpoint, and the live gauges on ``/metrics``.
+
+Both types take an injected clock, so under a fake clock two identical
+runs snapshot byte-identically (the registry-wide determinism contract).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Histogram",
+    "WindowedRate",
+    "log_buckets",
+    "DEFAULT_SECONDS_BUCKETS",
+    "QUANTILES",
+]
+
+Clock = Callable[[], float]
+
+#: The quantiles every histogram snapshot reports.
+QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def log_buckets(lo: float, hi: float, per_decade: int = 3) -> Tuple[float, ...]:
+    """Fixed log-spaced bucket bounds from ``lo`` to at least ``hi``.
+
+    ``per_decade`` bounds per power of ten; the sequence always starts at
+    ``lo`` and ends at the first bound ≥ ``hi``, so the span is covered.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be ≥ 1, got {per_decade}")
+    step = 10.0 ** (1.0 / per_decade)
+    bounds: List[float] = []
+    value = lo
+    while True:
+        # round to a clean mantissa so bounds are stable across platforms
+        magnitude = 10.0 ** math.floor(math.log10(value) + 1e-9)
+        bounds.append(round(value / magnitude, 3) * magnitude)
+        if bounds[-1] >= hi:
+            return tuple(bounds)
+        value *= step
+
+
+#: Default histogram bucket bounds for second-valued series: log-spaced
+#: from 10µs to 100s, the observed range of interval enumeration tasks.
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 100.0,
+)
+
+
+class Histogram:
+    """Cumulative-bucket histogram with lock-free per-thread cells.
+
+    ``buckets`` are the upper bounds of the non-``+Inf`` buckets, strictly
+    increasing; every observation also lands in the implicit ``+Inf``
+    bucket and in ``sum``/``count``.  Each recording thread owns one cell
+    (a plain list: bucket counts, then sum, then count), registered under
+    the lock once and then written lock-free — the Prometheus semantics
+    are reconstructed at snapshot time by summing cells.
+    """
+
+    #: Cell layout: ``len(bounds) + 1`` bucket slots, then sum, then count.
+    __slots__ = ("name", "help", "bounds", "_local", "_lock", "_cells")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ):
+        bounds = tuple(buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram buckets must be strictly increasing: {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._cells: List[List[float]] = []
+
+    def _cell(self) -> List[float]:
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = self._local.cell = [0.0] * (len(self.bounds) + 3)
+            with self._lock:
+                self._cells.append(cell)
+        return cell
+
+    def observe(self, value: float) -> None:
+        """Record one observation into the calling thread's cell."""
+        cell = self._cell()
+        cell[bisect_left(self.bounds, value)] += 1
+        cell[-2] += value
+        cell[-1] += 1
+
+    def _merged(self) -> Tuple[List[float], float, int]:
+        with self._lock:
+            cells = [list(cell) for cell in self._cells]
+        counts = [0.0] * (len(self.bounds) + 1)
+        total = 0.0
+        n = 0
+        for cell in cells:
+            for i in range(len(counts)):
+                counts[i] += cell[i]
+            total += cell[-2]
+            n += int(cell[-1])
+        return counts, total, n
+
+    @property
+    def count(self) -> int:
+        """Total observations across every thread's cell."""
+        return self._merged()[2]
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating inside its bucket.
+
+        Prometheus-style: the value is assumed uniform within the bucket;
+        an estimate in the ``+Inf`` bucket clamps to the largest bound.
+        Returns 0.0 with no observations.
+        """
+        counts, _, n = self._merged()
+        if n == 0:
+            return 0.0
+        rank = q * n
+        running = 0.0
+        for i, bound in enumerate(self.bounds):
+            prev = running
+            running += counts[i]
+            if running >= rank:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                if counts[i] == 0:
+                    return bound
+                return lo + (bound - lo) * (rank - prev) / counts[i]
+        return self.bounds[-1] if self.bounds else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Cumulative bucket counts keyed by upper bound, plus sum, count,
+        and the :data:`QUANTILES` estimates."""
+        counts, total, n = self._merged()
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += int(count)
+            cumulative[repr(bound)] = running
+        cumulative["+Inf"] = running + int(counts[-1])
+        return {
+            "buckets": cumulative,
+            "sum": total,
+            "count": n,
+            "quantiles": {
+                f"p{int(q * 100)}": self.quantile(q) for q in QUANTILES
+            },
+        }
+
+
+class WindowedRate:
+    """Per-second rate over a sliding window, on a bucketed ring buffer.
+
+    ``window`` seconds of history are kept in ``slots`` fixed-width
+    buckets; :meth:`add` credits the current bucket, :meth:`rate` sums
+    the buckets still inside the window and divides by the *covered*
+    span — before a full window has elapsed the divisor is the elapsed
+    time, so early readings are not diluted toward zero.
+
+    One lock guards the ring (adds are per-task, not per-state, so this
+    is off the enumeration hot path); the injected clock makes windowed
+    readings reproducible under test.
+    """
+
+    __slots__ = (
+        "name",
+        "window",
+        "clock",
+        "_width",
+        "_lock",
+        "_slots",
+        "_total",
+        "_t_first",
+    )
+
+    def __init__(
+        self,
+        name: str = "",
+        window: float = 10.0,
+        slots: int = 20,
+        clock: Optional[Clock] = None,
+    ):
+        if window <= 0 or slots < 1:
+            raise ValueError(
+                f"need window > 0 and slots ≥ 1, got {window}, {slots}"
+            )
+        self.name = name
+        self.window = window
+        self.clock: Clock = clock if clock is not None else time.perf_counter
+        self._width = window / slots
+        self._lock = threading.Lock()
+        #: bucket index -> accumulated amount (only live buckets are kept)
+        self._slots: Dict[int, float] = {}
+        self._total = 0.0
+        self._t_first: Optional[float] = None
+
+    def add(self, amount: float = 1.0) -> None:
+        """Credit ``amount`` to the current time bucket."""
+        now = self.clock()
+        index = int(now / self._width)
+        with self._lock:
+            if self._t_first is None:
+                self._t_first = now
+            self._slots[index] = self._slots.get(index, 0.0) + amount
+            self._total += amount
+            horizon = index - int(self.window / self._width)
+            for stale in [i for i in self._slots if i <= horizon]:
+                del self._slots[stale]
+
+    def rate(self) -> float:
+        """Amount per second over the most recent window."""
+        now = self.clock()
+        current_index = int(now / self._width)
+        horizon = current_index - int(self.window / self._width)
+        with self._lock:
+            if self._t_first is None:
+                return 0.0
+            live = sum(
+                amount
+                for index, amount in self._slots.items()
+                if index > horizon
+            )
+            covered = min(max(now - self._t_first, self._width), self.window)
+        return live / covered if covered > 0 else 0.0
+
+    @property
+    def total(self) -> float:
+        """Run-cumulative amount (the old average's numerator)."""
+        with self._lock:
+            return self._total
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"rate": self.rate(), "total": self.total}

@@ -58,7 +58,7 @@ class Span:
 class _SpanContext:
     """Context manager recording one span on exit (one allocation per span)."""
 
-    __slots__ = ("_tracer", "_name", "_category", "_attrs", "_t0")
+    __slots__ = ("_tracer", "_name", "_category", "_attrs", "_t0", "_pushed")
 
     def __init__(self, tracer: "SpanTracer", name: str, category: str, attrs):
         self._tracer = tracer
@@ -67,7 +67,19 @@ class _SpanContext:
         self._attrs = attrs
 
     def __enter__(self) -> "_SpanContext":
-        self._t0 = self._tracer.clock()
+        tracer = self._tracer
+        # Active-stack maintenance is opt-in (a sampling profiler is
+        # attached); the common traced path pays one attribute check.
+        if tracer.track_active:
+            ident = threading.get_ident()
+            stack = tracer.active.get(ident)
+            if stack is None:
+                stack = tracer.active[ident] = []
+            stack.append((self._name, self._category))
+            self._pushed = True
+        else:
+            self._pushed = False
+        self._t0 = tracer.clock()
         return self
 
     def annotate(self, **attrs: object) -> None:
@@ -83,6 +95,10 @@ class _SpanContext:
         tracer.record(
             self._name, self._category, t0, tracer.clock() - t0, attrs=attrs
         )
+        if self._pushed:
+            stack = tracer.active.get(threading.get_ident())
+            if stack:
+                stack.pop()
 
 
 class SpanTracer:
@@ -101,6 +117,16 @@ class SpanTracer:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._buffers: List[List[Span]] = []
+        #: When True (a sampling profiler is attached), span contexts
+        #: maintain :attr:`active` — per-thread stacks of open
+        #: ``(name, category)`` pairs — so samples can be attributed to
+        #: the pipeline phase that was running.  Off by default: the
+        #: traced-but-unprofiled path must not pay for stack upkeep.
+        self.track_active = False
+        #: thread ident -> stack of open ``(name, category)`` pairs.
+        #: Each thread mutates only its own list; the profiler thread
+        #: reads concurrently (GIL-atomic list ops make that safe).
+        self.active: Dict[int, List] = {}
         #: Anchor pair for rebasing epoch-clock spans shipped from worker
         #: processes onto this tracer's timeline.
         self.anchor_perf = self.clock()
@@ -198,6 +224,16 @@ class SpanTracer:
             return wrapper
 
         return decorate
+
+    def active_stacks(self) -> Dict[int, List]:
+        """Snapshot of the open-span stacks (profiler attribution source).
+
+        Only meaningful while :attr:`track_active` is on; returns shallow
+        copies so the caller can inspect them without racing the owners.
+        """
+        return {
+            ident: list(stack) for ident, stack in list(self.active.items())
+        }
 
     # ------------------------------------------------------------------ #
     # draining

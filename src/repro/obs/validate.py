@@ -1,0 +1,179 @@
+"""Structural validators for exported telemetry.
+
+Used by the test suite and by CI smoke jobs to check artifacts the way a
+downstream consumer would:
+
+* :func:`validate_chrome_trace` — the Trace Event Format rules Perfetto
+  relies on: every lane event points at a declared lane, duration events
+  are balanced per lane (``B``/``E`` nesting, non-negative ``X``
+  durations), per-lane timestamps are monotone, and counter tracks carry
+  numeric samples.
+* :func:`validate_prometheus_text` — the text exposition format rules a
+  Prometheus scraper enforces: every sample line parses, every family is
+  announced by exactly one ``# TYPE`` (and its samples follow it), and
+  histogram families ship ``_bucket``/``_sum``/``_count`` series with
+  cumulative, ``+Inf``-terminated buckets.
+
+Both return a list of human-readable problems — empty means valid — so a
+test can assert emptiness and print the failures verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["validate_chrome_trace", "validate_prometheus_text"]
+
+_PROM_KINDS = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def validate_chrome_trace(events: Sequence[dict]) -> List[str]:
+    """Structural problems in a Chrome trace-event list (empty = valid)."""
+    problems: List[str] = []
+    declared_tids = set()
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            declared_tids.add((event.get("pid"), event.get("tid")))
+
+    open_stacks: Dict[Tuple[object, object], List[str]] = {}
+    last_ts: Dict[Tuple[object, object], float] = {}
+    counter_samples = 0
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        if ph is None:
+            problems.append(f"event {i}: missing ph")
+            continue
+        if ph == "M":
+            continue
+        lane = (event.get("pid"), event.get("tid"))
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i} ({event.get('name')}): missing ts")
+            continue
+        if ph == "C":
+            value = event.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                problems.append(
+                    f"event {i} (counter {event.get('name')}): "
+                    f"non-numeric value {value!r}"
+                )
+            counter_samples += 1
+            continue
+        if lane not in declared_tids:
+            problems.append(
+                f"event {i} ({event.get('name')}): lane {lane} has no "
+                f"thread_name metadata"
+            )
+        if ts < last_ts.get(lane, float("-inf")):
+            problems.append(
+                f"event {i} ({event.get('name')}): ts {ts} goes backwards "
+                f"on lane {lane} (last {last_ts[lane]})"
+            )
+        last_ts[lane] = ts
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"event {i} ({event.get('name')}): bad dur {dur!r}"
+                )
+        elif ph == "B":
+            open_stacks.setdefault(lane, []).append(event.get("name", "?"))
+        elif ph == "E":
+            stack = open_stacks.get(lane, [])
+            if not stack:
+                problems.append(
+                    f"event {i}: E without matching B on lane {lane}"
+                )
+            else:
+                stack.pop()
+        elif ph not in ("i", "I"):
+            problems.append(f"event {i}: unknown ph {ph!r}")
+    for lane, stack in open_stacks.items():
+        if stack:
+            problems.append(
+                f"lane {lane}: {len(stack)} unclosed B event(s): {stack}"
+            )
+    return problems
+
+
+def _parse_sample(line: str) -> Tuple[str, Dict[str, str], float]:
+    """Split ``name{labels} value`` into parts; raises ValueError."""
+    body, _, value_text = line.rpartition(" ")
+    if not body:
+        raise ValueError("no value")
+    value = float(value_text)  # NaN/inf accepted, like Prometheus
+    name, brace, rest = body.partition("{")
+    labels: Dict[str, str] = {}
+    if brace:
+        if not rest.endswith("}"):
+            raise ValueError("unterminated label set")
+        for part in rest[:-1].split(","):
+            if not part:
+                continue
+            key, eq, raw = part.partition("=")
+            if not eq or not (raw.startswith('"') and raw.endswith('"')):
+                raise ValueError(f"bad label {part!r}")
+            labels[key] = raw[1:-1]
+    return name, labels, value
+
+
+def validate_prometheus_text(text: str) -> List[str]:
+    """Problems in a Prometheus text exposition (empty = valid)."""
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    buckets: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    sampled_families = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {lineno}: malformed comment {line!r}")
+                continue
+            if parts[1] == "TYPE":
+                family, kind = parts[2], parts[3] if len(parts) > 3 else ""
+                if kind not in _PROM_KINDS:
+                    problems.append(
+                        f"line {lineno}: unknown type {kind!r} for {family}"
+                    )
+                if family in typed:
+                    problems.append(
+                        f"line {lineno}: duplicate # TYPE for {family}"
+                    )
+                typed[family] = kind
+            continue
+        try:
+            name, labels, value = _parse_sample(line)
+        except ValueError as exc:
+            problems.append(f"line {lineno}: unparseable sample {line!r}: {exc}")
+            continue
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+                break
+        if family not in typed:
+            problems.append(
+                f"line {lineno}: sample {name} precedes its # TYPE line"
+            )
+        sampled_families.add(family)
+        if name.endswith("_bucket") and typed.get(family) == "histogram":
+            series = {k: v for k, v in labels.items() if k != "le"}
+            key = family + repr(sorted(series.items()))
+            buckets.setdefault(key, []).append((labels, value))
+    for key, series in buckets.items():
+        running = float("-inf")
+        for labels, count in series:
+            if count < running:
+                problems.append(
+                    f"{key}: bucket counts not cumulative at "
+                    f"le={labels.get('le')!r}"
+                )
+            running = count
+        if series and series[-1][0].get("le") != "+Inf":
+            problems.append(f"{key}: bucket series does not end at +Inf")
+    for family in typed:
+        if family not in sampled_families:
+            problems.append(f"family {family}: # TYPE with no samples")
+    return problems

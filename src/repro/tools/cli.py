@@ -157,12 +157,15 @@ def _cmd_capture_poset(args: argparse.Namespace) -> int:
 
 
 def _make_observer(args: argparse.Namespace):
-    """Build an Observer for ``enumerate`` from its --trace-out/--metrics-out/
-    --progress flags; returns ``None`` when none was requested."""
+    """Build an Observer for ``enumerate``/``coordinator`` from the
+    --trace-out/--metrics-out/--progress/--profile/--http-port flags;
+    returns ``None`` when none was requested."""
     wants_obs = bool(
         getattr(args, "trace_out", None)
         or getattr(args, "metrics_out", None)
         or getattr(args, "progress", False)
+        or getattr(args, "profile", None) is not None
+        or getattr(args, "http_port", None) is not None
     )
     if not wants_obs:
         return None
@@ -175,6 +178,14 @@ def _make_observer(args: argparse.Namespace):
     handler = SpanLogHandler(observer)
     get_logger("").addHandler(handler)
     observer._cli_log_handler = handler
+    observer._cli_profiler = None
+    if getattr(args, "profile", None) is not None:
+        from repro.obs import SamplingProfiler
+
+        observer._cli_profiler = SamplingProfiler(
+            observer, hz=args.profile
+        ).start()
+        print(f"sampling profiler attached at {args.profile:g} Hz")
     return observer
 
 
@@ -187,6 +198,17 @@ def _finish_observer(observer, args: argparse.Namespace) -> None:
     get_logger("").removeHandler(observer._cli_log_handler)
     if observer.progress is not None:
         observer.progress.close()
+    profiler = getattr(observer, "_cli_profiler", None)
+    if profiler is not None:
+        profiler.stop()
+        base = getattr(args, "profile_out", None) or "profile"
+        speedscope = profiler.write_speedscope(f"{base}.speedscope.json")
+        profiler.write_collapsed(f"{base}.collapsed.txt")
+        samples = sum(profiler.samples.values())
+        print(
+            f"profile written to {speedscope} and {base}.collapsed.txt "
+            f"({samples} samples)"
+        )
     if args.trace_out:
         write_chrome_trace(args.trace_out, observer.spans())
         print(f"trace written to {args.trace_out} ({len(observer.spans())} spans)")
@@ -226,10 +248,19 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     observer = _make_observer(args)
     if observer is not None and not args.paramount:
         print(
-            "error: --trace-out/--metrics-out/--progress require --paramount",
+            "error: --trace-out/--metrics-out/--progress/--profile/"
+            "--http-port require --paramount",
             file=sys.stderr,
         )
         return 2
+    ops = None
+    if args.http_port is not None and not dist:
+        # dist runs mount the endpoint on the coordinator instead, where
+        # the lease table and per-host series live.
+        from repro.obs import OpsEndpoint
+
+        ops = OpsEndpoint(observer, port=args.http_port).start()
+        print(f"ops endpoint: {ops.url} (/metrics /healthz /progress)")
     if args.paramount:
         policy = SchedulePolicy.parse(args.schedule)
         executor = None
@@ -248,11 +279,17 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 lease_seconds=args.lease_seconds,
                 wire_faults=wire_faults,
                 poset_path=Path(args.poset),
+                http_port=args.http_port,
             )
             print(
                 f"distributed backend: {args.dist_workers} local worker "
                 f"process(es), {args.lease_seconds:g}s leases"
             )
+            if args.http_port is not None:
+                print(
+                    f"ops endpoint: coordinator will serve /metrics "
+                    f"/healthz /progress on port {args.http_port}"
+                )
         elif resilient:
             from repro.resilience import (
                 FaultInjectingExecutor,
@@ -285,6 +322,8 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         try:
             result = pm.run()
         finally:
+            if ops is not None:
+                ops.close()
             _finish_observer(observer, args)
         print(
             f"ParaMount({args.algorithm}): {result.states} states over "
@@ -376,7 +415,13 @@ def _cmd_coordinator(args: argparse.Namespace) -> int:
         spawn=False,
         lease_seconds=args.lease_seconds,
         no_worker_grace=args.worker_grace,
+        http_port=args.http_port,
     )
+    if args.http_port is not None:
+        print(
+            f"ops endpoint: /metrics /healthz /progress on port "
+            f"{args.http_port}"
+        )
     pm = ParaMount(
         poset,
         subroutine=args.algorithm,
@@ -461,6 +506,21 @@ def _cmd_obs_render(args: argparse.Namespace) -> int:
     except (ReproError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.obs.forensics import build_report, render_report
+
+    try:
+        report = build_report(args.trace, journal_path=args.journal, k=args.k)
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(report, trace_path=args.trace))
+    if report.reconciled is False:
+        return 1
     return 0
 
 
@@ -822,6 +882,33 @@ def build_parser() -> argparse.ArgumentParser:
         "(requires --paramount)",
     )
     p.add_argument(
+        "--profile",
+        nargs="?",
+        const=100.0,
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="attach the sampling profiler at HZ samples/s (default 100) "
+        "and write PROFILE.speedscope.json + PROFILE.collapsed.txt at "
+        "the end of the run (requires --paramount)",
+    )
+    p.add_argument(
+        "--profile-out",
+        metavar="PREFIX",
+        default=None,
+        help="output prefix for --profile artifacts (default 'profile')",
+    )
+    p.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /healthz and /progress over HTTP for the "
+        "duration of the run (0 = any free port); with --backend dist the "
+        "endpoint is mounted on the coordinator and carries per-host "
+        "series (requires --paramount)",
+    )
+    p.add_argument(
         "--backend",
         choices=("auto", "dist"),
         default="auto",
@@ -897,6 +984,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="TRACE.json")
     p.add_argument("--metrics-out", metavar="METRICS.prom")
     p.add_argument("--progress", action="store_true")
+    p.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /healthz and /progress from the coordinator "
+        "(0 = any free port)",
+    )
     p.set_defaults(func=_cmd_coordinator)
 
     p = sub.add_parser(
@@ -1007,6 +1102,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many slowest spans to list (default 5)",
     )
     r.set_defaults(func=_cmd_obs_render)
+    r = obs_sub.add_parser(
+        "report",
+        help="post-run forensics: stragglers, per-host skew, degradation "
+        "timeline, journal reconciliation",
+    )
+    r.add_argument("trace", help="path to a trace written by --trace-out")
+    r.add_argument(
+        "--journal",
+        default=None,
+        metavar="JOURNAL",
+        help="checkpoint journal to reconcile committed intervals against "
+        "(exit 1 on divergence)",
+    )
+    r.add_argument(
+        "--k",
+        type=float,
+        default=3.0,
+        help="straggler threshold multiplier over the p95 interval "
+        "duration (default 3.0)",
+    )
+    r.set_defaults(func=_cmd_obs_report)
 
     return parser
 

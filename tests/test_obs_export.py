@@ -96,6 +96,10 @@ def test_prometheus_text_parses_line_by_line():
     seen = {}
     for line in text.splitlines():
         assert line  # no blank lines
+        if line.startswith("# HELP "):
+            _, _, metric, help_text = line.split(" ", 3)
+            assert metric.startswith("repro_") and help_text
+            continue
         if line.startswith("# TYPE "):
             _, _, metric, kind = line.split(" ")
             assert kind in ("counter", "gauge", "histogram")
@@ -110,6 +114,27 @@ def test_prometheus_text_parses_line_by_line():
     assert "repro_states_enumerated_total 413" in text
     assert 'repro_enumeration_seconds_bucket{le="0.1"} 1' in text
     assert "repro_enumeration_seconds_count 1" in text
+    # inventoried metrics are self-describing
+    assert "# HELP repro_states_enumerated_total " in text
+
+
+def test_prometheus_text_renders_labeled_series():
+    registry = MetricsRegistry(clock=lambda: 0.0)
+    registry.counter("states_enumerated_total").inc(10)
+    registry.counter("states_enumerated_total", labels={"host": "host0"}).inc(4)
+    registry.counter("states_enumerated_total", labels={"host": "host1"}).inc(6)
+    registry.histogram(
+        "enumeration_seconds", buckets=(0.1,), labels={"host": "host0"}
+    ).observe(0.05)
+    text = prometheus_text(registry.snapshot())
+    assert 'repro_states_enumerated_total{host="host0"} 4' in text
+    assert 'repro_states_enumerated_total{host="host1"} 6' in text
+    assert "repro_states_enumerated_total 10" in text
+    # labeled histogram buckets merge the host label with le=
+    assert 'repro_enumeration_seconds_bucket{host="host0",le="0.1"} 1' in text
+    assert 'repro_enumeration_seconds_count{host="host0"} 1' in text
+    # one family header regardless of how many labeled children exist
+    assert text.count("# TYPE repro_states_enumerated_total counter") == 1
 
 
 def test_prometheus_sanitizes_metric_names():

@@ -1,0 +1,103 @@
+"""``obs report`` forensics: stragglers, skew, timeline, reconciliation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Span, write_chrome_trace
+from repro.obs.forensics import build_report, render_report
+
+
+def synthetic_spans():
+    """Two workers; one 10x straggler; one lease expiry instant."""
+    spans = []
+    t = 0.0
+    for i in range(19):
+        worker = f"host{i % 2}"
+        spans.append(
+            Span(f"I(e{i})", "enumerate", t, 0.1, worker, {"states": 100})
+        )
+        t += 0.05
+    spans.append(Span("I(slow)", "enumerate", t, 1.0, "host0", {"states": 5}))
+    spans.append(
+        Span("lease-expired", "dist", t + 0.2, 0.0, "coordinator",
+             {"task": "I(slow)", "worker": "host0"})
+    )
+    return spans
+
+
+def write_journal(path, intervals: int):
+    lines = [json.dumps({"kind": "meta", "digest": "x"})]
+    for i in range(intervals):
+        lines.append(json.dumps({"kind": "interval", "event": [0, i]}))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def test_report_finds_straggler_and_skew(tmp_path):
+    trace = write_chrome_trace(tmp_path / "trace.json", synthetic_spans())
+    report = build_report(trace, k=3.0)
+    assert report.enumerate_spans == 20
+    assert [name for name, *_ in report.stragglers] == ["I(slow)"]
+    _, worker, seconds, ratio = report.stragglers[0]
+    assert worker == "host0"
+    assert seconds == pytest.approx(1.0, rel=0.01)
+    assert ratio > 3.0
+    # host0 carries the straggler, so it dominates busy time
+    assert report.hosts["host0"]["busy"] > report.hosts["host1"]["busy"]
+    assert report.skew > 1.0
+
+
+def test_report_timeline_collects_trouble_markers(tmp_path):
+    trace = write_chrome_trace(tmp_path / "trace.json", synthetic_spans())
+    report = build_report(trace)
+    names = [name for _, name, _, _ in report.timeline]
+    assert "lease-expired" in names
+    # timestamps are rebased to the start of the trace
+    assert all(ts >= 0.0 for ts, *_ in report.timeline)
+
+
+def test_report_reconciles_against_journal(tmp_path):
+    trace = write_chrome_trace(tmp_path / "trace.json", synthetic_spans())
+    journal = write_journal(tmp_path / "run.ckpt", intervals=20)
+    report = build_report(trace, journal_path=journal)
+    assert report.journal_committed == 20
+    assert report.reconciled is True
+
+    short = write_journal(tmp_path / "short.ckpt", intervals=17)
+    report = build_report(trace, journal_path=short)
+    assert report.reconciled is False
+    rendered = render_report(report, trace_path="trace.json")
+    assert "DIVERGES" in rendered
+
+
+def test_report_tolerates_torn_journal_tail(tmp_path):
+    trace = write_chrome_trace(tmp_path / "trace.json", synthetic_spans())
+    journal = write_journal(tmp_path / "run.ckpt", intervals=20)
+    text = journal.read_text()
+    journal.write_text(text[:-15])  # tear the final record mid-write
+    report = build_report(trace, journal_path=journal)
+    assert report.journal_committed == 19
+
+    # but a valid record after a torn line is corruption
+    torn_middle = tmp_path / "corrupt.ckpt"
+    lines = text.splitlines()
+    lines[5] = lines[5][:8]
+    torn_middle.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="corrupt"):
+        build_report(trace, journal_path=torn_middle)
+
+
+def test_render_report_is_one_screen_of_text(tmp_path):
+    trace = write_chrome_trace(tmp_path / "trace.json", synthetic_spans())
+    journal = write_journal(tmp_path / "run.ckpt", intervals=20)
+    rendered = render_report(
+        build_report(trace, journal_path=journal), trace_path=str(trace)
+    )
+    assert "Stragglers" in rendered
+    assert "Per-host load" in rendered
+    assert "Degradation timeline" in rendered
+    assert "reconciles" in rendered
+    assert "I(slow)" in rendered

@@ -1,0 +1,91 @@
+"""Sampling profiler: attribution, export formats, and zero-cost opt-out."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro.obs import Observer, SamplingProfiler
+
+
+def spin(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(200))
+
+
+def two_phase_workload(observer: Observer, seconds: float = 0.25) -> None:
+    with observer.span("setup_phase", "plan"):
+        spin(seconds)
+    with observer.span("enumerate_phase", "enumerate"):
+        spin(seconds)
+
+
+def test_profiler_attributes_samples_to_active_spans():
+    observer = Observer()
+    with SamplingProfiler(observer, hz=400.0) as profiler:
+        two_phase_workload(observer)
+    totals = profiler.phase_totals()
+    assert totals.get("plan:setup_phase", 0) > 5
+    assert totals.get("enumerate:enumerate_phase", 0) > 5
+    # both phases spin equally long: neither should dominate 10:1
+    ratio = totals["plan:setup_phase"] / totals["enumerate:enumerate_phase"]
+    assert 0.1 < ratio < 10.0
+    # the sample counter landed in the observer's metrics
+    snap = observer.snapshot()
+    assert snap["counters"]["profiler_samples_total"] >= sum(totals.values())
+
+
+def test_profiler_sees_unspanned_threads_as_untraced():
+    observer = Observer()
+    stop = threading.Event()
+    worker = threading.Thread(target=lambda: stop.wait(2.0))
+    worker.start()
+    try:
+        with SamplingProfiler(observer, hz=200.0) as profiler:
+            spin(0.15)
+    finally:
+        stop.set()
+        worker.join()
+    phases = set(profiler.phase_totals())
+    assert any(phase == "untraced" for phase in phases)
+
+
+def test_profiler_collapsed_and_speedscope_formats(tmp_path):
+    observer = Observer()
+    with SamplingProfiler(observer, hz=400.0) as profiler:
+        two_phase_workload(observer, seconds=0.1)
+    collapsed = profiler.collapsed()
+    for line in collapsed.splitlines():
+        stack, _, count = line.rpartition(" ")
+        assert int(count) > 0
+        assert stack  # phase;frame;...;frame
+    assert "plan:setup_phase;" in collapsed
+
+    path = profiler.write_speedscope(tmp_path / "profile.speedscope.json")
+    doc = json.loads(path.read_text())
+    assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+    profile = doc["profiles"][0]
+    assert profile["type"] == "sampled"
+    assert profile["unit"] == "seconds"
+    assert len(profile["samples"]) == len(profile["weights"]) > 0
+    frames = doc["shared"]["frames"]
+    for sample in profile["samples"]:
+        assert all(0 <= index < len(frames) for index in sample)
+    # phases become synthetic root frames
+    names = {frame["name"] for frame in frames}
+    assert "[plan:setup_phase]" in names
+    # weights are seconds: total sampled time ~ sample count / hz
+    assert sum(profile["weights"]) > 0
+
+
+def test_profiler_stop_restores_untracked_spans():
+    observer = Observer()
+    profiler = SamplingProfiler(observer, hz=100.0).start()
+    assert observer.tracer.track_active is True
+    profiler.stop()
+    assert observer.tracer.track_active is False
+    # spans opened after detach never maintain active stacks
+    with observer.span("after", "plan"):
+        assert observer.tracer.active_stacks() == {}

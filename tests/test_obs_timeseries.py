@@ -1,0 +1,97 @@
+"""Histogram buckets/quantiles, windowed rates, and the ETA they feed."""
+
+from __future__ import annotations
+
+import io
+import threading
+
+from repro.obs import Histogram, ProgressReporter, WindowedRate
+from repro.obs.timeseries import DEFAULT_SECONDS_BUCKETS, log_buckets
+
+
+def test_log_buckets_span_decades():
+    buckets = log_buckets(1e-3, 1.0, per_decade=1)
+    assert buckets[0] <= 1e-3 and buckets[-1] >= 1.0
+    assert all(b1 < b2 for b1, b2 in zip(buckets, buckets[1:]))
+
+
+def test_histogram_snapshot_buckets_cumulative():
+    h = Histogram("enumeration_seconds", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(value)
+    snap = h.snapshot()
+    buckets = snap["buckets"]
+    assert buckets["0.1"] == 1
+    assert buckets["1.0"] == 3
+    assert buckets["10.0"] == 4
+    assert buckets["+Inf"] == 5
+    assert snap["count"] == 5
+    assert snap["sum"] == sum((0.05, 0.5, 0.5, 5.0, 50.0))
+
+
+def test_histogram_quantiles_bracket_the_data():
+    h = Histogram("enumeration_seconds", buckets=DEFAULT_SECONDS_BUCKETS)
+    for _ in range(95):
+        h.observe(0.002)
+    for _ in range(5):
+        h.observe(20.0)
+    snap = h.snapshot()
+    # p50 lives in the bucket holding the bulk, p99 in the tail's
+    assert snap["quantiles"]["p50"] <= 0.01
+    assert snap["quantiles"]["p99"] >= 10.0
+
+
+def test_histogram_sums_across_threads():
+    h = Histogram("enumeration_seconds", buckets=(1.0,))
+
+    def work():
+        for _ in range(1000):
+            h.observe(0.5)
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert h.snapshot()["count"] == 4000
+
+
+def test_windowed_rate_reflects_recent_window_only():
+    clock_value = [0.0]
+    rate = WindowedRate("states_per_second", window=10.0, clock=lambda: clock_value[0])
+    rate.add(1000)  # t=0
+    clock_value[0] = 5.0
+    rate.add(1000)  # t=5
+    assert rate.total == 2000
+    # at t=6 both bursts are inside the window: 2000 over ~6s
+    clock_value[0] = 6.0
+    assert 250 <= rate.rate() <= 400
+    # at t=14 the first burst has aged out: 1000 over the 10s window
+    clock_value[0] = 14.0
+    assert rate.rate() <= 150
+    # long idle: everything aged out
+    clock_value[0] = 100.0
+    assert rate.rate() == 0.0
+
+
+def test_progress_reporter_eta_uses_recent_window_rate():
+    clock_value = [0.0]
+
+    def clock():
+        return clock_value[0]
+
+    stream = io.StringIO()
+    reporter = ProgressReporter(
+        stream=stream, min_interval=0.0, clock=clock, total_tasks=10
+    )
+    # one task per simulated second -> recent task rate ~1/s, 8 pending
+    for _ in range(2):
+        reporter.on_task_done(100, 0.5)
+        clock_value[0] += 1.0
+    lines = stream.getvalue().strip().splitlines()
+    assert "eta" in lines[-1]
+    assert "intervals 2/10" in lines[-1]
+    reporter.close()
+    # the final line reports completion-or-remaining, never a stale ETA of 0
+    final = stream.getvalue().strip().splitlines()[-1]
+    assert "2/10" in final

@@ -1,0 +1,95 @@
+"""Structural validators for the exported artifacts.
+
+The same validators CI runs against live scrapes: a real trace/export
+must come back clean, and each seeded defect must be named.
+"""
+
+from __future__ import annotations
+
+from repro.core.paramount import ParaMount
+from repro.obs import (
+    MetricsRegistry,
+    Observer,
+    chrome_trace,
+    prometheus_text,
+    validate_chrome_trace,
+    validate_prometheus_text,
+)
+from tests.conftest import build_chain_poset
+
+
+def build_poset():
+    return build_chain_poset(3, 3)
+
+
+def real_trace_events():
+    observer = Observer(clock=iter(range(0, 10000)).__next__)
+    observer.counter_sample("states_per_sec", 12.5)
+    ParaMount(build_poset(), observer=observer).run()
+    return chrome_trace(observer.spans())["traceEvents"]
+
+
+def test_real_trace_validates_clean():
+    assert validate_chrome_trace(real_trace_events()) == []
+
+
+def test_real_prometheus_export_validates_clean():
+    observer = Observer()
+    ParaMount(build_poset(), observer=observer).run()
+    assert validate_prometheus_text(prometheus_text(observer.snapshot())) == []
+
+
+def test_trace_validator_names_seeded_defects():
+    events = real_trace_events()
+    # an X event on an undeclared lane
+    events.append({"name": "ghost", "cat": "enumerate", "ph": "X",
+                   "pid": 1, "tid": 999, "ts": 1.0, "dur": 1.0, "args": {}})
+    problems = validate_chrome_trace(events)
+    assert any("lane" in p or "tid" in p for p in problems)
+
+    events = real_trace_events()
+    events.append({"name": "bad", "cat": "counter", "ph": "C",
+                   "pid": 1, "tid": 0, "ts": 1.0,
+                   "args": {"value": "not-a-number"}})
+    problems = validate_chrome_trace(events)
+    assert any("counter" in p for p in problems)
+
+    events = real_trace_events()
+    for event in events:
+        if event.get("ph") == "X":
+            event["dur"] = -5.0
+            break
+    problems = validate_chrome_trace(events)
+    assert any("dur" in p for p in problems)
+
+
+def test_prometheus_validator_names_seeded_defects():
+    registry = MetricsRegistry(clock=lambda: 0.0)
+    registry.counter("states_enumerated_total").inc()
+    text = prometheus_text(registry.snapshot())
+
+    # sample with no preceding TYPE
+    problems = validate_prometheus_text(text + "repro_mystery_total 3\n")
+    assert any("mystery" in p for p in problems)
+
+    # non-cumulative histogram buckets
+    broken = (
+        "# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="0.1"} 5\n'
+        'repro_h_bucket{le="1.0"} 3\n'
+        'repro_h_bucket{le="+Inf"} 5\n'
+        "repro_h_sum 1\n"
+        "repro_h_count 5\n"
+    )
+    problems = validate_prometheus_text(broken)
+    assert any("cumulative" in p for p in problems)
+
+    # histogram without a +Inf bucket
+    no_inf = (
+        "# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="0.1"} 5\n'
+        "repro_h_sum 1\n"
+        "repro_h_count 5\n"
+    )
+    problems = validate_prometheus_text(no_inf)
+    assert any("+Inf" in p for p in problems)
